@@ -1,0 +1,70 @@
+//! Ablation: what if the i-cache were set-associative?
+//!
+//! §2.2.3: "inlining is frequently misused to avoid replacement misses
+//! in the small associativity caches commonly found in high-performance
+//! RISC architectures."  Two findings fall out:
+//!
+//! * associativity rescues *pathological conflict* layouts — BAD's mCPI
+//!   drops sharply at 2 ways, because its deliberately aliased functions
+//!   can now coexist;
+//! * it does **not** rescue the ordinary layouts: the latency path is
+//!   bigger than the cache and sweeps it cyclically, the worst case for
+//!   LRU (a direct-mapped cache accidentally retains part of such a
+//!   loop; LRU retains none of it).  Code layout attacks the part of the
+//!   problem that hardware associativity cannot.
+
+use alpha_machine::{Machine, MachineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protolat_bench::TcpCtx;
+use protolat_core::config::Version;
+use protolat_core::timing::replay_trace;
+
+fn machine_with_ways(ways: u64) -> Machine {
+    let mut cfg = MachineConfig::dec3000_600();
+    cfg.mem.icache = alpha_machine::config::CacheConfig::set_associative(8 * 1024, 32, ways);
+    Machine::new(cfg)
+}
+
+fn bench(c: &mut Criterion) {
+    let ctx = TcpCtx::new();
+    println!(
+        "i-cache associativity vs layout (TCP/IP, warm mCPI)\n\
+         (associativity fixes BAD's conflicts; it cannot fix the\n\
+         capacity-driven streaming of STD/ALL — layout can):"
+    );
+    for v in [Version::Std, Version::Bad, Version::All] {
+        let img = ctx.image(v);
+        let out = replay_trace(&img, &ctx.episodes.client_out);
+        let inn = replay_trace(&img, &ctx.episodes.client_in);
+        print!("  {:<4}", v.name());
+        for ways in [1u64, 2, 4] {
+            let mut m = machine_with_ways(ways);
+            m.run_accumulate(&out);
+            m.run_accumulate(&inn);
+            m.reset_stats();
+            m.run_accumulate(&out);
+            m.run_accumulate(&inn);
+            let r = m.report((out.len() + inn.len()) as u64);
+            print!("  {ways}-way mCPI {:.2} (repl {:>3})", r.mcpi(), r.icache.replacement_misses);
+        }
+        println!();
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_associativity");
+    g.sample_size(10);
+    let img = ctx.image(Version::Std);
+    let out = replay_trace(&img, &ctx.episodes.client_out);
+    for ways in [1u64, 2] {
+        g.bench_with_input(BenchmarkId::new("ways", ways), &ways, |b, &w| {
+            b.iter(|| {
+                let mut m = machine_with_ways(w);
+                m.run(&out).mcpi()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

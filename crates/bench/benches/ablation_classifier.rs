@@ -1,0 +1,39 @@
+//! Ablation: packet-classifier cost on the path-inlined input path.
+//! The paper reports PIN/ALL numbers for a zero-overhead classifier and
+//! notes real classifiers cost 1-4 us per packet on this hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::config::Version;
+use protolat_core::harness::run_tcpip;
+use protolat_core::timing::time_roundtrip;
+use protolat_core::world::TcpIpWorld;
+use protocols::StackOptions;
+
+fn bench(c: &mut Criterion) {
+    let measure = |classifier: bool| {
+        let mut opts = StackOptions::improved();
+        opts.classifier_enabled = classifier;
+        let run = run_tcpip(TcpIpWorld::build(opts), 2);
+        let canonical = run.episodes.client_trace();
+        let img = Version::All.build_tcpip(&run.world, &canonical);
+        time_roundtrip(&run.episodes, &img, &img, run.world.lance_model.f_tx)
+    };
+
+    let off = measure(false);
+    let on = measure(true);
+    println!("classifier ablation (ALL configuration):");
+    println!("  zero-overhead classifier : {:>6.1} us e2e (paper's methodology)", off.e2e_us);
+    println!("  real classifier          : {:>6.1} us e2e", on.e2e_us);
+    println!(
+        "  per-roundtrip classifier cost: {:.1} us (paper: 1-4 us per packet, two packets per rtt)\n",
+        on.e2e_us - off.e2e_us
+    );
+
+    let mut g = c.benchmark_group("ablation_classifier");
+    g.sample_size(10);
+    g.bench_function("with_classifier", |b| b.iter(|| measure(true).e2e_us));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

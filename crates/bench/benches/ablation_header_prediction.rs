@@ -1,0 +1,45 @@
+//! Ablation: BSD header prediction on bi-directional traffic.
+//! §2.3: "rather than improving latency, header prediction slightly
+//! worsens latency on a connection with a bi-directional data flow ...
+//! with less than a dozen additional instructions executed, the
+//! slow down is not very large."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::config::Version;
+use protolat_core::harness::run_tcpip;
+use protolat_core::timing::replay_trace;
+use protolat_core::world::TcpIpWorld;
+use protocols::StackOptions;
+
+fn trace_len(hdr_pred: bool) -> (usize, u64, u64) {
+    let mut opts = StackOptions::improved();
+    opts.header_prediction = hdr_pred;
+    let run = run_tcpip(TcpIpWorld::build(opts), 2);
+    let canonical = run.episodes.client_trace();
+    let img = Version::Std.build_tcpip(&run.world, &canonical);
+    let len = replay_trace(&img, &run.episodes.client_in).len()
+        + replay_trace(&img, &run.episodes.client_out).len();
+    (len, 0, 0)
+}
+
+fn bench(c: &mut Criterion) {
+    let (without, _, _) = trace_len(false);
+    let (with, _, _) = trace_len(true);
+    println!("header prediction on bi-directional (request-response) traffic:");
+    println!("  without prediction: {without} instructions/roundtrip");
+    println!("  with prediction   : {with} instructions/roundtrip");
+    println!(
+        "  prediction overhead: {} instructions (paper: 'less than a dozen' per packet)\n",
+        with as i64 - without as i64
+    );
+    assert!(with > without, "bi-directional traffic defeats the predictor");
+    assert!(with - without < 40, "overhead must stay small");
+
+    let mut g = c.benchmark_group("ablation_header_prediction");
+    g.sample_size(10);
+    g.bench_function("bidirectional_with_prediction", |b| b.iter(|| trace_len(true).0));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

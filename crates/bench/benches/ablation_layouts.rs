@@ -1,0 +1,62 @@
+//! Ablation: the five placement strategies head to head (the §3.2
+//! micro-positioning vs bipartite comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcode::layout::{build_image, LayoutRequest, LayoutStrategy};
+use kcode::ImageConfig;
+use protolat_bench::TcpCtx;
+use protolat_core::timing::{cold_client_stats, time_roundtrip};
+
+fn bench(c: &mut Criterion) {
+    let ctx = TcpCtx::new();
+    let f_tx = ctx.world.lance_model.f_tx;
+    let strategies = [
+        ("link_order", LayoutStrategy::LinkOrder),
+        ("linear", LayoutStrategy::Linear),
+        ("bipartite", LayoutStrategy::Bipartite),
+        ("micro_position", LayoutStrategy::MicroPosition),
+        ("pessimal", LayoutStrategy::Bad),
+    ];
+    println!("layout ablation (TCP/IP, outlining on):");
+    for (name, strat) in strategies {
+        let img = build_image(
+            &ctx.world.program,
+            LayoutRequest::new(
+                strat,
+                ImageConfig::plain(name).with_outline(true).with_specialization(true),
+            )
+            .with_canonical(&ctx.canonical),
+        );
+        let t = time_roundtrip(&ctx.episodes, &img, &img, f_tx);
+        let cold = cold_client_stats(&ctx.episodes, &img);
+        println!(
+            "  {name:<15} e2e {:>6.1} us  mCPI {:.2}  i-repl {}",
+            t.e2e_us,
+            t.client.mcpi(),
+            cold.icache.replacement_misses
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_layouts");
+    g.sample_size(10);
+    for (name, strat) in strategies {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                build_image(
+                    &ctx.world.program,
+                    LayoutRequest::new(
+                        strat,
+                        ImageConfig::plain(name).with_outline(true),
+                    )
+                    .with_canonical(&ctx.canonical),
+                )
+                .code_end
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

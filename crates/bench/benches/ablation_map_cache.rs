@@ -1,0 +1,48 @@
+//! Ablation: one-entry map-cache hit rate sensitivity — the inlined
+//! cache test only pays off because packet trains make successive
+//! lookups hit (Mogul's locality observation, §2.2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xkernel::map::{LookupKind, Map};
+
+fn bench(c: &mut Criterion) {
+    // Alternate between k distinct connections: k=1 always hits the
+    // one-entry cache, larger k always misses.
+    println!("map one-entry cache hit rate vs interleaved connections:");
+    for k in [1u64, 2, 4, 8] {
+        let mut m: Map<u64, u64> = Map::new(64);
+        for i in 0..k {
+            m.bind(i, i, i);
+        }
+        let mut hits = 0;
+        let n = 1000;
+        for i in 0..n {
+            let key = i as u64 % k;
+            if m.lookup(key, &key).1 == LookupKind::CacheHit {
+                hits += 1;
+            }
+        }
+        println!("  {k} connections interleaved: {:.0}% cache hits", hits as f64 / n as f64 * 100.0);
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_map_cache");
+    for k in [1u64, 8] {
+        g.bench_with_input(BenchmarkId::new("interleave", k), &k, |b, &k| {
+            let mut m: Map<u64, u64> = Map::new(64);
+            for i in 0..k {
+                m.bind(i, i, i);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let key = i % k;
+                m.lookup(key, &key).0
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: outlining x cloning interaction — the paper's claim that
+//! outlining's chief value is enabling effective cloning ("we consider
+//! outlining a useful technique ... primarily as a means to greatly
+//! improve cloning").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcode::layout::{build_image, LayoutRequest, LayoutStrategy};
+use kcode::ImageConfig;
+use protolat_bench::TcpCtx;
+use protolat_core::timing::time_roundtrip;
+
+fn bench(c: &mut Criterion) {
+    let ctx = TcpCtx::new();
+    let f_tx = ctx.world.lance_model.f_tx;
+    let cell = |outline: bool, clone: bool| {
+        let strat = if clone { LayoutStrategy::Bipartite } else { LayoutStrategy::LinkOrder };
+        let img = build_image(
+            &ctx.world.program,
+            LayoutRequest::new(
+                strat,
+                ImageConfig::plain("cell")
+                    .with_outline(outline)
+                    .with_specialization(clone),
+            )
+            .with_canonical(&ctx.canonical),
+        );
+        time_roundtrip(&ctx.episodes, &img, &img, f_tx)
+    };
+
+    println!("outline x clone ablation (TCP/IP end-to-end, us):");
+    let oo = cell(false, false);
+    let ox = cell(false, true);
+    let xo = cell(true, false);
+    let xx = cell(true, true);
+    println!("                no-clone   bipartite");
+    println!("  no-outline    {:>7.1}    {:>7.1}", oo.e2e_us, ox.e2e_us);
+    println!("  outline       {:>7.1}    {:>7.1}", xo.e2e_us, xx.e2e_us);
+    println!(
+        "  cloning gain without outlining: {:.1} us; with outlining: {:.1} us\n",
+        oo.e2e_us - ox.e2e_us,
+        xo.e2e_us - xx.e2e_us
+    );
+
+    let mut g = c.benchmark_group("ablation_outline_clone");
+    g.sample_size(10);
+    g.bench_function("outline_and_clone", |b| b.iter(|| cell(true, true).e2e_us));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

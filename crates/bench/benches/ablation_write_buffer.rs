@@ -1,0 +1,48 @@
+//! Ablation: write-buffer depth and merging.  The 21064's 4-deep
+//! write-merging buffer absorbs the write-through d-cache's store
+//! stream; shrinking it exposes store stalls.
+
+use alpha_machine::{InstRecord, Machine, MachineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn store_burst(n: usize) -> Vec<InstRecord> {
+    // Alternating compute/store with poor merge locality: each store
+    // goes to a different cache block.
+    let mut t = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        t.push(InstRecord::alu(0x1000 + i as u64 * 4));
+        t.push(InstRecord::store(0x2000 + i as u64 * 4, 0x80000 + i as u64 * 64));
+    }
+    t
+}
+
+fn mcpi_with_depth(depth: usize, trace: &[InstRecord]) -> f64 {
+    let mut cfg = MachineConfig::dec3000_600();
+    cfg.mem.write_buffer_entries = depth;
+    let mut m = Machine::new(cfg);
+    m.run_accumulate(trace); // warm
+    m.run(trace).mcpi()
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = store_burst(512);
+    println!("write-buffer depth vs store-burst mCPI:");
+    for depth in [1usize, 2, 4, 8] {
+        println!("  depth {depth}: mCPI {:.2}", mcpi_with_depth(depth, &trace));
+    }
+    let d1 = mcpi_with_depth(1, &trace);
+    let d4 = mcpi_with_depth(4, &trace);
+    assert!(d1 >= d4, "deeper buffer cannot be slower: {d1:.2} vs {d4:.2}");
+    println!();
+
+    let mut g = c.benchmark_group("ablation_write_buffer");
+    for depth in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &d| {
+            b.iter(|| mcpi_with_depth(d, &trace))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

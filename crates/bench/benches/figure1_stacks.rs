@@ -1,0 +1,14 @@
+//! Figure 1: the protocol graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::experiments::figure1;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figure1::run().render());
+    let mut g = c.benchmark_group("figure1");
+    g.bench_function("render_stacks", |b| b.iter(|| figure1::run().render().len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

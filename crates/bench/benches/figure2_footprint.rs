@@ -1,0 +1,15 @@
+//! Figure 2: i-cache footprint maps under outlining/cloning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::experiments::figure2;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figure2::run().render());
+    let mut g = c.benchmark_group("figure2");
+    g.sample_size(10);
+    g.bench_function("occupancy_maps", |b| b.iter(|| figure2::run().maps.len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

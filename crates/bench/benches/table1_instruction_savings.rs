@@ -1,0 +1,17 @@
+//! Table 1: dynamic instruction-count savings of the Section-2 changes.
+//! Prints the reproduced table, then benchmarks the end-to-end
+//! measurement kernel (functional run + replay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table1::run().render());
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("measure_all_toggles", |b| b.iter(table1::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Table 2: original vs improved x-kernel TCP/IP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table2::run().render());
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("original_vs_improved", |b| b.iter(table2::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

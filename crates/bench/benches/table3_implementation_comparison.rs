@@ -1,0 +1,15 @@
+//! Table 3: TCP/IP implementation comparison (demux-boundary counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::experiments::table3;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table3::run().render());
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("segment_counts", |b| b.iter(table3::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Tables 4 and 5: end-to-end roundtrip latency, raw and
+//! controller-adjusted, for all six versions of both stacks.  The
+//! benchmarked kernel is one full roundtrip timing (replay + warm
+//! machine simulation) per version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::TcpCtx;
+use protolat_core::config::Version;
+use protolat_core::experiments::table4;
+use protolat_core::timing::time_roundtrip;
+
+fn bench(c: &mut Criterion) {
+    let t4 = table4::run();
+    println!("{}", t4.render());
+    println!("{}", t4.render_adjusted());
+
+    let ctx = TcpCtx::new();
+    let f_tx = ctx.world.lance_model.f_tx;
+    let mut g = c.benchmark_group("table4_roundtrip_timing");
+    for v in Version::all() {
+        let img = ctx.image(v);
+        g.bench_function(v.name(), |b| {
+            b.iter(|| time_roundtrip(&ctx.episodes, &img, &img, f_tx).e2e_us)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 6: trace-driven cache simulation, cold caches, per version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::TcpCtx;
+use protolat_core::config::Version;
+use protolat_core::experiments::table6;
+use protolat_core::timing::cold_client_stats;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table6::run().render());
+
+    let ctx = TcpCtx::new();
+    let mut g = c.benchmark_group("table6_cold_simulation");
+    for v in [Version::Std, Version::All] {
+        let img = ctx.image(v);
+        g.bench_function(v.name(), |b| {
+            b.iter(|| cold_client_stats(&ctx.episodes, &img).icache.misses)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

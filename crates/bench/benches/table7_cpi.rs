@@ -1,0 +1,29 @@
+//! Table 7: Tp / trace length / mCPI / iCPI per version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::{RpcCtx, TcpCtx};
+use protolat_core::config::Version;
+use protolat_core::experiments::table7;
+use protolat_core::timing::replay_trace;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table7::run().render());
+
+    // The replay engine is the inner loop of every experiment: benchmark
+    // it per stack.
+    let tcp = TcpCtx::new();
+    let rpc = RpcCtx::new();
+    let tcp_img = tcp.image(Version::Std);
+    let rpc_img = rpc.image(Version::Std);
+    let mut g = c.benchmark_group("table7_replay");
+    g.bench_function("tcpip_client_out", |b| {
+        b.iter(|| replay_trace(&tcp_img, &tcp.episodes.client_out).len())
+    });
+    g.bench_function("rpc_client_out", |b| {
+        b.iter(|| replay_trace(&rpc_img, &rpc.episodes.client_out).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

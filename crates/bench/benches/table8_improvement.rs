@@ -1,0 +1,15 @@
+//! Table 8: improvement comparison across configuration transitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::experiments::table8;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table8::run().render());
+    let mut g = c.benchmark_group("table8");
+    g.sample_size(10);
+    g.bench_function("all_transitions", |b| b.iter(table8::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Table 9: outlining effectiveness (unused fetch slots, static sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_core::experiments::table9;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table9::run().render());
+    let mut g = c.benchmark_group("table9");
+    g.sample_size(10);
+    g.bench_function("outlining_effectiveness", |b| b.iter(table9::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerate every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p protolat-core --bin repro
+//! ```
+
+fn main() {
+    println!("Reproduction of Mosberger et al., \"Analysis of Techniques to");
+    println!("Improve Protocol Processing Latency\" (TR 96-03, 1996)");
+    println!("Simulated platform: DEC 3000/600 (175 MHz Alpha 21064)\n");
+    println!("{}", protolat_core::experiments::run_all());
+}

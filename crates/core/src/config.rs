@@ -1,0 +1,143 @@
+//! The paper's six measured configurations.
+
+use kcode::events::EventStream;
+use kcode::layout::{build_image, InlineSpec, LayoutRequest, LayoutStrategy};
+use kcode::{Image, ImageConfig};
+
+use crate::world::{RpcWorld, TcpIpWorld};
+
+/// Which protocol stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    TcpIp,
+    Rpc,
+}
+
+/// The configurations of Section 4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// Cloning used to *worsen* i-cache behaviour (pessimal layout).
+    Bad,
+    /// The improved x-kernel, no Section-3 techniques.
+    Std,
+    /// STD + outlining.
+    Out,
+    /// OUT + cloning with the bipartite layout.
+    Clo,
+    /// OUT + path-inlining.
+    Pin,
+    /// PIN + cloning — every technique.
+    All,
+}
+
+impl Version {
+    /// All six, in the paper's Table 4 order (decreasing latency).
+    pub fn all() -> [Version; 6] {
+        [Version::Bad, Version::Std, Version::Out, Version::Clo, Version::Pin, Version::All]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Version::Bad => "BAD",
+            Version::Std => "STD",
+            Version::Out => "OUT",
+            Version::Clo => "CLO",
+            Version::Pin => "PIN",
+            Version::All => "ALL",
+        }
+    }
+
+    fn strategy(&self) -> LayoutStrategy {
+        match self {
+            Version::Bad => LayoutStrategy::Bad,
+            Version::Std | Version::Out | Version::Pin => LayoutStrategy::LinkOrder,
+            Version::Clo | Version::All => LayoutStrategy::Bipartite,
+        }
+    }
+
+    fn outline(&self) -> bool {
+        !matches!(self, Version::Std)
+    }
+
+    fn specialize(&self) -> bool {
+        matches!(self, Version::Bad | Version::Clo | Version::All)
+    }
+
+    fn inlined(&self) -> bool {
+        matches!(self, Version::Pin | Version::All)
+    }
+
+    /// Build the image for this version over an arbitrary program,
+    /// given the canonical trace and the two path-inlining groups.
+    pub fn build(
+        &self,
+        program: &std::sync::Arc<kcode::Program>,
+        canonical: &EventStream,
+        out_group: Vec<kcode::FuncId>,
+        in_group: Vec<kcode::FuncId>,
+    ) -> Image {
+        let config = ImageConfig::plain(self.name())
+            .with_outline(self.outline())
+            .with_specialization(self.specialize());
+        let mut req = LayoutRequest::new(self.strategy(), config).with_canonical(canonical);
+        if self.inlined() {
+            req = req.with_inline(vec![
+                InlineSpec { name: "path_out".into(), funcs: out_group },
+                InlineSpec { name: "path_in".into(), funcs: in_group },
+            ]);
+        }
+        build_image(program, req)
+    }
+
+    /// Image for the TCP/IP world.
+    pub fn build_tcpip(&self, world: &TcpIpWorld, canonical: &EventStream) -> Image {
+        self.build(
+            &world.program,
+            canonical,
+            world.model.output_path_funcs(),
+            world.model.input_path_funcs(),
+        )
+    }
+
+    /// Image for the RPC world.
+    pub fn build_rpc(&self, world: &RpcWorld, canonical: &EventStream) -> Image {
+        self.build(
+            &world.program,
+            canonical,
+            world.model.output_path_funcs(),
+            world.model.input_path_funcs(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_tcpip;
+    use protocols::StackOptions;
+
+    #[test]
+    fn all_six_versions_build_tcpip_images() {
+        let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 1);
+        let canonical = run.episodes.client_trace();
+        for v in Version::all() {
+            let img = v.build_tcpip(&run.world, &canonical);
+            assert_eq!(img.config.name, v.name());
+            if v.inlined() {
+                assert!(img.is_inlined(run.world.model.f_tcp_input));
+                assert!(img.is_inlined(run.world.model.f_tcp_output));
+                assert!(!img.is_inlined(run.world.lib.cksum.f), "library stays callable");
+            }
+        }
+    }
+
+    #[test]
+    fn version_properties() {
+        assert!(!Version::Std.outline());
+        assert!(Version::Out.outline());
+        assert!(Version::Clo.specialize());
+        assert!(!Version::Pin.specialize());
+        assert!(Version::All.inlined());
+        assert_eq!(Version::all().len(), 6);
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 1 — the two protocol graphs, rendered from the live stack
+//! descriptions.
+
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    pub tcpip: String,
+    pub rpc: String,
+}
+
+pub fn run() -> Figure1 {
+    Figure1 {
+        tcpip: protocols::tcpip::stack_graph().render(),
+        rpc: protocols::rpc::stack_graph().render(),
+    }
+}
+
+impl Figure1 {
+    pub fn render(&self) -> String {
+        format!("Figure 1: Protocol stacks\n\n{}\n{}", self.tcpip, self.rpc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_stacks_render_in_order() {
+        let f = run();
+        let s = f.render();
+        for name in ["TCPTEST", "TCP", "IP", "VNET", "ETH", "LANCE"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        for name in ["XRPCTEST", "MSELECT", "VCHAN", "CHAN", "BID", "BLAST"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        // RPC stack is deeper than TCP/IP (the paper's point).
+        assert!(f.rpc.lines().count() > f.tcpip.lines().count());
+    }
+}

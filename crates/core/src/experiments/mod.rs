@@ -1,0 +1,51 @@
+//! Experiment drivers: one per table/figure of the paper.
+//!
+//! Every driver returns a structured result plus a rendered plain-text
+//! table; the `repro` binary runs them all and prints the full report
+//! that `EXPERIMENTS.md` records.
+
+pub mod figure1;
+pub mod future;
+pub mod figure2;
+pub mod latency;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;
+pub mod throughput;
+
+/// Run every experiment and render the full report.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    out.push_str(&figure1::run().render());
+    out.push('\n');
+    out.push_str(&table1::run().render());
+    out.push('\n');
+    out.push_str(&table2::run().render());
+    out.push('\n');
+    out.push_str(&table3::run().render());
+    out.push('\n');
+    let t4 = table4::run();
+    out.push_str(&t4.render());
+    out.push('\n');
+    out.push_str(&t4.render_adjusted()); // Table 5
+    out.push('\n');
+    out.push_str(&table6::run().render());
+    out.push('\n');
+    out.push_str(&table7::run().render());
+    out.push('\n');
+    out.push_str(&table8::run().render());
+    out.push('\n');
+    out.push_str(&table9::run().render());
+    out.push('\n');
+    out.push_str(&figure2::run().render());
+    out.push('\n');
+    out.push_str(&throughput::run().render());
+    out.push('\n');
+    out.push_str(&future::run().render());
+    out
+}

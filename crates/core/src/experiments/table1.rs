@@ -1,0 +1,167 @@
+//! Table 1 — dynamic instruction-count reductions of the Section-2
+//! changes, measured on the TCP/IP processing path.
+//!
+//! For each optimization the improved kernel is rebuilt with that single
+//! switch turned back off; the difference in the client-side roundtrip
+//! trace length is the dynamic saving.  Paper: 324 / 208 / 171 / 120 /
+//! 119 / 90 / 39, total 1071.
+
+use crate::config::Version;
+use crate::harness::run_tcpip;
+use crate::report::Table;
+use crate::timing::replay_trace;
+use crate::world::TcpIpWorld;
+use protocols::StackOptions;
+
+/// One row: the change and its measured saving.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub name: &'static str,
+    pub paper_saved: i64,
+    pub measured_saved: i64,
+}
+
+/// The full result.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    pub rows: Vec<Row>,
+    pub improved_len: u64,
+    pub original_len: u64,
+}
+
+/// Client-side dynamic trace length for an option set.
+fn trace_len(opts: StackOptions) -> u64 {
+    let run = run_tcpip(TcpIpWorld::build(opts), 2);
+    let canonical = run.episodes.client_trace();
+    let img = Version::Std.build_tcpip(&run.world, &canonical);
+    let out = replay_trace(&img, &run.episodes.client_out).len();
+    let inn = replay_trace(&img, &run.episodes.client_in).len();
+    (out + inn) as u64
+}
+
+pub fn run() -> Table1 {
+    let improved_len = trace_len(StackOptions::improved());
+    let original_len = trace_len(StackOptions::original());
+
+    let toggles: Vec<(&'static str, i64, fn(&mut StackOptions))> = vec![
+        ("Change bytes and shorts to words in TCP state", 324, |o| {
+            o.wide_types = false
+        }),
+        ("More efficiently refresh message after processing", 208, |o| {
+            o.msg_refresh_shortcircuit = false
+        }),
+        ("Use USC in LANCE to avoid descriptor copying", 171, |o| {
+            o.usc_lance = false
+        }),
+        ("Inlined hash-table cache test", 120, |o| {
+            o.inline_map_cache = false
+        }),
+        ("Various inlining", 119, |o| o.misc_inlining = false),
+        ("Avoid integer division", 90, |o| o.avoid_division = false),
+        ("Other minor changes", 39, |o| o.minor_changes = false),
+    ];
+
+    let rows = toggles
+        .into_iter()
+        .map(|(name, paper, off)| {
+            let mut opts = StackOptions::improved();
+            off(&mut opts);
+            let len = trace_len(opts);
+            Row {
+                name,
+                paper_saved: paper,
+                measured_saved: len as i64 - improved_len as i64,
+            }
+        })
+        .collect();
+
+    Table1 { rows, improved_len, original_len }
+}
+
+impl Table1 {
+    pub fn total_measured(&self) -> i64 {
+        self.rows.iter().map(|r| r.measured_saved).sum()
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 1: Dynamic Instruction Count Reductions (TCP/IP path)",
+            &["Technique", "Paper", "Measured"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.name.to_string(),
+                r.paper_saved.to_string(),
+                r.measured_saved.to_string(),
+            ]);
+        }
+        t.row(&[
+            "Total".to_string(),
+            "1071".to_string(),
+            self.total_measured().to_string(),
+        ]);
+        let mut s = t.render();
+        s.push_str(&format!(
+            "(improved trace: {} insts; original trace: {} insts; all-off delta: {})\n",
+            self.improved_len,
+            self.original_len,
+            self.original_len as i64 - self.improved_len as i64,
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_change_saves_instructions() {
+        let t = run();
+        for r in &t.rows {
+            assert!(
+                r.measured_saved > 0,
+                "{} saved {} (must be positive)",
+                r.name,
+                r.measured_saved
+            );
+        }
+    }
+
+    #[test]
+    fn savings_rank_matches_paper_roughly() {
+        let t = run();
+        let get = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.name.contains(name))
+                .unwrap()
+                .measured_saved
+        };
+        // The byte/short widening is the largest single saving.
+        let wide = get("bytes and shorts");
+        for r in &t.rows {
+            if !r.name.contains("bytes and shorts") {
+                assert!(
+                    wide >= r.measured_saved,
+                    "wide-types ({wide}) must dominate {} ({})",
+                    r.name,
+                    r.measured_saved
+                );
+            }
+        }
+        // Division avoidance lands in the paper's ballpark.
+        let div = get("division");
+        assert!((40..=200).contains(&div), "division saving {div}");
+    }
+
+    #[test]
+    fn total_in_paper_ballpark() {
+        let t = run();
+        let total = t.total_measured();
+        assert!(
+            (600..=1800).contains(&total),
+            "total saving {total} vs paper 1071"
+        );
+    }
+}

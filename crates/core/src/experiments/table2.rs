@@ -1,0 +1,110 @@
+//! Table 2 — performance comparison of the original and improved
+//! x-kernel TCP/IP stacks (both measured as the STD layout).
+//!
+//! Paper: RTT 377.7 → 351.0 µs, instructions 5821 → 4750, cycles
+//! 18941 → 15688, CPI 3.26 → 3.30.
+
+use crate::config::Version;
+use crate::harness::run_tcpip;
+use crate::report::{f1, f2, Table};
+use crate::timing::{time_roundtrip, RoundtripTiming};
+use crate::world::TcpIpWorld;
+use protocols::StackOptions;
+
+/// One measured kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    pub rtt_us: f64,
+    pub instructions: u64,
+    pub cycles: u64,
+    pub cpi: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    pub original: Kernel,
+    pub improved: Kernel,
+}
+
+fn measure(opts: StackOptions) -> Kernel {
+    let run = run_tcpip(TcpIpWorld::build(opts), 2);
+    let canonical = run.episodes.client_trace();
+    let img = Version::Std.build_tcpip(&run.world, &canonical);
+    let t: RoundtripTiming =
+        time_roundtrip(&run.episodes, &img, &img, run.world.lance_model.f_tx);
+    Kernel {
+        rtt_us: t.e2e_us,
+        instructions: t.client.instructions,
+        cycles: t.client.cycles(),
+        cpi: t.client.cpi(),
+    }
+}
+
+pub fn run() -> Table2 {
+    Table2 {
+        original: measure(StackOptions::original()),
+        improved: measure(StackOptions::improved()),
+    }
+}
+
+impl Table2 {
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 2: Original vs Improved x-kernel TCP/IP (STD layout)",
+            &["Metric", "Paper orig", "Paper impr", "Ours orig", "Ours impr"],
+        );
+        t.row(&[
+            "Roundtrip latency [us]".into(),
+            "377.7".into(),
+            "351.0".into(),
+            f1(self.original.rtt_us),
+            f1(self.improved.rtt_us),
+        ]);
+        t.row(&[
+            "Instructions executed".into(),
+            "5821".into(),
+            "4750".into(),
+            self.original.instructions.to_string(),
+            self.improved.instructions.to_string(),
+        ]);
+        t.row(&[
+            "Processing time [cycles]".into(),
+            "18941".into(),
+            "15688".into(),
+            self.original.cycles.to_string(),
+            self.improved.cycles.to_string(),
+        ]);
+        t.row(&[
+            "CPI".into(),
+            "3.26".into(),
+            "3.30".into(),
+            f2(self.original.cpi),
+            f2(self.improved.cpi),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_shape_matches_paper() {
+        let t = run();
+        // ~20% fewer instructions.
+        let ratio = t.improved.instructions as f64 / t.original.instructions as f64;
+        assert!(
+            (0.70..0.95).contains(&ratio),
+            "instruction ratio {ratio:.2} (paper 0.82)"
+        );
+        // Lower latency.
+        assert!(t.improved.rtt_us < t.original.rtt_us);
+        // CPI roughly unchanged (within 15%).
+        let cpi_ratio = t.improved.cpi / t.original.cpi;
+        assert!(
+            (0.85..1.2).contains(&cpi_ratio),
+            "CPI ratio {cpi_ratio:.2} (paper ~1.01)"
+        );
+    }
+}

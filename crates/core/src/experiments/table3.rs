@@ -1,0 +1,147 @@
+//! Table 3 — comparison of TCP/IP implementations: the 80386 counts of
+//! [CJRS89], the DEC Unix v3.2c trace measurements cited by the paper,
+//! and our x-kernel's measured segment counts.
+//!
+//! Following the paper's own advice, the portable metric is the number
+//! of instructions executed *between demultiplexing boundaries*, not
+//! within a named function: IP-input-to-TCP-input and
+//! TCP-input-to-socket-delivery.
+
+use crate::config::Version;
+use crate::harness::run_tcpip;
+use crate::report::{f2, Table};
+use crate::timing::{replay_trace, time_roundtrip};
+use crate::world::TcpIpWorld;
+use alpha_machine::InstRecord;
+use kcode::{FuncId, Image};
+use protocols::StackOptions;
+
+/// Literature constants (from the paper's Table 3).
+pub const I386_TCP_INPUT: u64 = 276;
+pub const I386_IPINTR: u64 = 57;
+pub const DEC_UNIX_IPINTR: u64 = 248;
+pub const DEC_UNIX_TCP_INPUT: u64 = 406;
+pub const DEC_UNIX_IP_TO_TCP: u64 = 437;
+pub const DEC_UNIX_TCP_TO_SOCKET: u64 = 1004;
+pub const DEC_UNIX_CPI: f64 = 4.26;
+pub const PAPER_XKERNEL_IP_TO_TCP: u64 = 446; // 1450 - 1004
+pub const PAPER_XKERNEL_TCP_TO_SOCKET: u64 = 995; // 1441 - 446
+
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Instructions from entering IP demux to entering TCP demux.
+    pub ip_to_tcp: u64,
+    /// Instructions from entering TCP demux to application delivery.
+    pub tcp_to_socket: u64,
+    /// Our measured client CPI.
+    pub cpi: f64,
+}
+
+/// First trace index executing inside `func`.
+fn first_index_in(trace: &[InstRecord], image: &Image, func: FuncId) -> Option<usize> {
+    let placement = image.placement(func);
+    let fdef = image.program.function(func);
+    let in_func = |pc: u64| {
+        (0..fdef.blocks.len()).any(|i| {
+            let a = placement.block_addr[i];
+            let l = placement.block_len[i] as u64 * 4;
+            pc >= a && pc < a + l
+        })
+    };
+    trace.iter().position(|r| in_func(r.pc))
+}
+
+pub fn run() -> Table3 {
+    let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+    let canonical = run.episodes.client_trace();
+    let img = Version::Std.build_tcpip(&run.world, &canonical);
+    let in_trace = replay_trace(&img, &run.episodes.client_in);
+    let m = &run.world.model;
+
+    let ip_start = first_index_in(&in_trace, &img, m.f_ip_demux).expect("ip demux runs");
+    let tcp_start =
+        first_index_in(&in_trace, &img, m.f_tcp_demux).expect("tcp demux runs");
+    let deliver_start =
+        first_index_in(&in_trace, &img, m.f_test_deliver).expect("delivery runs");
+    assert!(ip_start < tcp_start && tcp_start < deliver_start);
+
+    let t = time_roundtrip(&run.episodes, &img, &img, run.world.lance_model.f_tx);
+
+    Table3 {
+        ip_to_tcp: (tcp_start - ip_start) as u64,
+        tcp_to_socket: (deliver_start - tcp_start) as u64,
+        cpi: t.client.cpi(),
+    }
+}
+
+impl Table3 {
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 3: Comparison of TCP/IP Implementations (input path)",
+            &["Count", "80386 [CJRS89]", "DEC Unix v3.2c", "Paper x-kernel", "Ours"],
+        );
+        t.row(&[
+            "in ipintr".into(),
+            I386_IPINTR.to_string(),
+            DEC_UNIX_IPINTR.to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+        t.row(&[
+            "in tcp_input".into(),
+            I386_TCP_INPUT.to_string(),
+            DEC_UNIX_TCP_INPUT.to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+        t.row(&[
+            "IP input -> TCP input".into(),
+            "-".into(),
+            DEC_UNIX_IP_TO_TCP.to_string(),
+            PAPER_XKERNEL_IP_TO_TCP.to_string(),
+            self.ip_to_tcp.to_string(),
+        ]);
+        t.row(&[
+            "TCP input -> socket input".into(),
+            "-".into(),
+            DEC_UNIX_TCP_TO_SOCKET.to_string(),
+            PAPER_XKERNEL_TCP_TO_SOCKET.to_string(),
+            self.tcp_to_socket.to_string(),
+        ]);
+        t.row(&[
+            "CPI".into(),
+            "-".into(),
+            f2(DEC_UNIX_CPI),
+            "3.30".into(),
+            f2(self.cpi),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_counts_have_paper_shape() {
+        let t = run();
+        // TCP-side processing dominates IP-side, roughly 2:1 like the
+        // paper's 995 vs 446.
+        assert!(
+            t.tcp_to_socket > t.ip_to_tcp,
+            "tcp {} vs ip {}",
+            t.tcp_to_socket,
+            t.ip_to_tcp
+        );
+        // Within a factor of ~2 of the paper's absolute counts.
+        assert!((200..=1000).contains(&t.ip_to_tcp), "ip_to_tcp {}", t.ip_to_tcp);
+        assert!(
+            (500..=2200).contains(&t.tcp_to_socket),
+            "tcp_to_socket {}",
+            t.tcp_to_socket
+        );
+        // Our CPI beats the DEC Unix 4.26 like the paper's 3.3 did.
+        assert!(t.cpi < DEC_UNIX_CPI);
+    }
+}

@@ -1,0 +1,175 @@
+//! Table 7 — processing time of the traced (client-side) code: Tp,
+//! trace length, mCPI and iCPI per version per stack.
+
+use crate::config::Version;
+use crate::harness::{run_rpc, run_tcpip};
+use crate::report::{f1, f2, Table};
+use crate::timing::{time_roundtrip_with, RPC_UNTRACED_PER_HOP_US, UNTRACED_PER_HOP_US};
+use crate::world::{RpcWorld, TcpIpWorld};
+use protocols::StackOptions;
+
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub version: Version,
+    pub tp_us: f64,
+    pub length: u64,
+    pub mcpi: f64,
+    pub icpi: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Table7 {
+    pub tcpip: Vec<Row>,
+    pub rpc: Vec<Row>,
+}
+
+pub fn run() -> Table7 {
+    let tcp_run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+    let tcp_canonical = tcp_run.episodes.client_trace();
+    let tcpip = Version::all()
+        .into_iter()
+        .map(|v| {
+            let img = v.build_tcpip(&tcp_run.world, &tcp_canonical);
+            let t = time_roundtrip_with(
+                &tcp_run.episodes,
+                &img,
+                &img,
+                tcp_run.world.lance_model.f_tx,
+                UNTRACED_PER_HOP_US,
+            );
+            Row {
+                version: v,
+                tp_us: t.tp_us(),
+                length: t.client.instructions,
+                mcpi: t.client.mcpi(),
+                icpi: t.client.icpi(),
+            }
+        })
+        .collect();
+
+    let rpc_run = run_rpc(RpcWorld::build(StackOptions::improved()), 2);
+    let rpc_canonical = rpc_run.episodes.client_trace();
+    let rpc = Version::all()
+        .into_iter()
+        .map(|v| {
+            let img = v.build_rpc(&rpc_run.world, &rpc_canonical);
+            let server = Version::All.build_rpc(&rpc_run.world, &rpc_canonical);
+            let t = time_roundtrip_with(
+                &rpc_run.episodes,
+                &img,
+                &server,
+                rpc_run.world.lance_model.f_tx,
+                RPC_UNTRACED_PER_HOP_US,
+            );
+            Row {
+                version: v,
+                tp_us: t.tp_us(),
+                length: t.client.instructions,
+                mcpi: t.client.mcpi(),
+                icpi: t.client.icpi(),
+            }
+        })
+        .collect();
+
+    Table7 { tcpip, rpc }
+}
+
+impl Table7 {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, rows) in [("TCP/IP", &self.tcpip), ("RPC", &self.rpc)] {
+            let mut t = Table::new(
+                &format!("Table 7: Client Processing Time ({name})"),
+                &["Version", "Tp [us]", "Length", "mCPI", "iCPI"],
+            );
+            for r in rows {
+                t.row(&[
+                    r.version.name().to_string(),
+                    f1(r.tp_us),
+                    r.length.to_string(),
+                    f2(r.mcpi),
+                    f2(r.icpi),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by(rows: &[Row], v: Version) -> &Row {
+        rows.iter().find(|r| r.version == v).unwrap()
+    }
+
+    #[test]
+    fn mcpi_reduction_factor_matches_paper() {
+        let t = run();
+        // "Both protocol stacks achieve a reduction of more than 3.9
+        // when going from version BAD to version ALL" (as a factor our
+        // calibration gives 3.4-4.0).
+        for rows in [&t.tcpip, &t.rpc] {
+            let factor = by(rows, Version::Bad).mcpi / by(rows, Version::All).mcpi;
+            assert!(
+                factor > 3.0,
+                "BAD/ALL mCPI factor {factor:.1} (paper >= 3.9)"
+            );
+        }
+    }
+
+    #[test]
+    fn std_mcpi_well_above_all() {
+        let t = run();
+        // "version ALL ... STD has an mCPI that is more than 35% larger".
+        let ratio =
+            by(&t.tcpip, Version::Std).mcpi / by(&t.tcpip, Version::All).mcpi;
+        assert!(ratio > 1.2, "STD/ALL mCPI ratio {ratio:.2} (paper 1.37)");
+    }
+
+    #[test]
+    fn icpi_classes_match_paper() {
+        let t = run();
+        for rows in [&t.tcpip, &t.rpc] {
+            let std = by(rows, Version::Std).icpi;
+            let out = by(rows, Version::Out).icpi;
+            let pin = by(rows, Version::Pin).icpi;
+            // STD has the largest iCPI; outlining improves it by ~0.1.
+            assert!(std > out + 0.04, "STD {std:.2} vs OUT {out:.2}");
+            let delta = std - out;
+            assert!(
+                (0.04..0.25).contains(&delta),
+                "outlining iCPI delta {delta:.2} (paper ~0.1)"
+            );
+            // BAD/OUT/CLO share the outlined code: same iCPI class.
+            let bad = by(rows, Version::Bad).icpi;
+            let clo = by(rows, Version::Clo).icpi;
+            assert!((bad - out).abs() < 0.05);
+            assert!((clo - out).abs() < 0.05);
+            let _ = pin;
+        }
+    }
+
+    #[test]
+    fn mcpi_well_above_zero_everywhere() {
+        let t = run();
+        for r in t.tcpip.iter().chain(&t.rpc) {
+            assert!(r.mcpi > 0.5, "{} mCPI {:.2}", r.version.name(), r.mcpi);
+        }
+    }
+
+    #[test]
+    fn inlined_versions_have_shortest_traces() {
+        let t = run();
+        for rows in [&t.tcpip, &t.rpc] {
+            let pin = by(rows, Version::Pin).length;
+            let all = by(rows, Version::All).length;
+            for v in [Version::Bad, Version::Std, Version::Out, Version::Clo] {
+                assert!(pin < by(rows, v).length);
+                assert!(all < by(rows, v).length);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Functional ping-pong runs: drive the two hosts over the simulated
+//! wire and capture per-side execution episodes.
+//!
+//! The latency test is the paper's: zero-payload RPCs, 1-byte TCP
+//! segments (TCP sends nothing for empty writes), request-response,
+//! 100 000 roundtrips in the real measurement — here one functional
+//! roundtrip is recorded and replayed, since replay is deterministic.
+
+use kcode::events::EventStream;
+use netsim::lance::LanceTiming;
+use netsim::Ns;
+
+use crate::world::{RpcWorld, TcpIpWorld};
+
+/// The episodes of one roundtrip, per side.
+#[derive(Debug, Clone)]
+pub struct RoundtripEpisodes {
+    /// Client send path (app_send → ... → LANCE).
+    pub client_out: EventStream,
+    /// Server receive + echo reply (one interrupt episode).
+    pub server_turn: EventStream,
+    /// Client receive path (interrupt → delivery).
+    pub client_in: EventStream,
+}
+
+impl RoundtripEpisodes {
+    /// Client-side trace (out + in) concatenated — the paper's traced
+    /// client processing, and the canonical trace layouts are built
+    /// from.
+    pub fn client_trace(&self) -> EventStream {
+        let mut ev = self.client_out.clone();
+        ev.events.extend(self.client_in.events.iter().cloned());
+        ev
+    }
+}
+
+/// A completed TCP/IP functional run.
+pub struct TcpIpRun {
+    pub episodes: RoundtripEpisodes,
+    pub world: TcpIpWorld,
+}
+
+/// Drive the TCP/IP handshake until both sides are established.
+fn establish(
+    client: &mut protocols::tcpip::TcpIpHost,
+    server: &mut protocols::tcpip::TcpIpHost,
+    now: &mut Ns,
+) {
+    server.listen();
+    client.connect(*now);
+    // Ferry frames until quiescent.
+    for _ in 0..8 {
+        let mut progress = false;
+        for bytes in client.take_tx() {
+            *now += 105_000;
+            server.deliver_wire(&bytes, *now);
+            progress = true;
+        }
+        for bytes in server.take_tx() {
+            *now += 105_000;
+            client.deliver_wire(&bytes, *now);
+            progress = true;
+        }
+        if !progress {
+            break;
+        }
+    }
+    assert!(client.is_established(), "client handshake failed");
+    assert!(server.is_established(), "server handshake failed");
+    // Drop handshake recordings.
+    client.take_episode();
+    server.take_episode();
+}
+
+/// Run the TCP/IP ping-pong: `warmup` unrecorded roundtrips (to settle
+/// map caches and window state), then one recorded roundtrip.
+pub fn run_tcpip(world: TcpIpWorld, warmup: usize) -> TcpIpRun {
+    let timing = LanceTiming::dec3000_600();
+    let mut client = world.client(timing);
+    let mut server = world.server(timing);
+    let mut now: Ns = 0;
+
+    establish(&mut client, &mut server, &mut now);
+
+    let roundtrip = |client: &mut protocols::tcpip::TcpIpHost,
+                         server: &mut protocols::tcpip::TcpIpHost,
+                         now: &mut Ns|
+     -> RoundtripEpisodes {
+        let delivered_before = client.delivered.len();
+        client.app_send(b"x", *now);
+        let client_out = client.take_episode();
+        let frames = client.take_tx();
+        assert_eq!(frames.len(), 1, "one request frame per ping");
+        *now += 105_000;
+        for bytes in &frames {
+            server.deliver_wire(bytes, *now);
+        }
+        let server_turn = server.take_episode();
+        let replies = server.take_tx();
+        assert_eq!(replies.len(), 1, "one echo reply per ping");
+        *now += 105_000;
+        for bytes in &replies {
+            client.deliver_wire(bytes, *now);
+        }
+        let client_in = client.take_episode();
+        assert_eq!(
+            client.delivered.len(),
+            delivered_before + 1,
+            "reply must reach the client application"
+        );
+        RoundtripEpisodes { client_out, server_turn, client_in }
+    };
+
+    for _ in 0..warmup {
+        let _ = roundtrip(&mut client, &mut server, &mut now);
+    }
+    let episodes = roundtrip(&mut client, &mut server, &mut now);
+    TcpIpRun { episodes, world }
+}
+
+/// A completed RPC functional run.
+pub struct RpcRun {
+    pub episodes: RoundtripEpisodes,
+    pub world: RpcWorld,
+}
+
+/// Run the RPC ping-pong: zero-byte calls.
+pub fn run_rpc(world: RpcWorld, warmup: usize) -> RpcRun {
+    let timing = LanceTiming::dec3000_600();
+    let mut client = world.client(timing);
+    let mut server = world.server(timing);
+    let mut now: Ns = 0;
+
+    let roundtrip = |client: &mut protocols::rpc::RpcHost,
+                         server: &mut protocols::rpc::RpcHost,
+                         now: &mut Ns|
+     -> RoundtripEpisodes {
+        let done_before = client.completed;
+        client.call(&[], *now);
+        let client_out = client.take_episode();
+        let frames = client.take_tx();
+        assert_eq!(frames.len(), 1, "one request frame per call");
+        *now += 105_000;
+        for bytes in &frames {
+            server.deliver_wire(bytes, *now);
+        }
+        let server_turn = server.take_episode();
+        let replies = server.take_tx();
+        assert_eq!(replies.len(), 1, "one reply frame per call");
+        *now += 105_000;
+        for bytes in &replies {
+            client.deliver_wire(bytes, *now);
+        }
+        let client_in = client.take_episode();
+        assert_eq!(client.completed, done_before + 1, "call must complete");
+        RoundtripEpisodes { client_out, server_turn, client_in }
+    };
+
+    for _ in 0..warmup {
+        let _ = roundtrip(&mut client, &mut server, &mut now);
+    }
+    let episodes = roundtrip(&mut client, &mut server, &mut now);
+    RpcRun { episodes, world }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocols::StackOptions;
+
+    #[test]
+    fn tcpip_pingpong_completes_and_balances() {
+        let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+        for ep in [
+            &run.episodes.client_out,
+            &run.episodes.server_turn,
+            &run.episodes.client_in,
+        ] {
+            assert!(!ep.is_empty());
+            ep.check_balanced().expect("episode must balance");
+        }
+        // The server turn includes the echo send: it is the longest.
+        assert!(
+            run.episodes.server_turn.len() > run.episodes.client_out.len(),
+            "server turn contains both input and output processing"
+        );
+    }
+
+    #[test]
+    fn rpc_pingpong_completes_and_balances() {
+        let run = run_rpc(RpcWorld::build(StackOptions::improved()), 2);
+        for ep in [
+            &run.episodes.client_out,
+            &run.episodes.server_turn,
+            &run.episodes.client_in,
+        ] {
+            assert!(!ep.is_empty());
+            ep.check_balanced().expect("episode must balance");
+        }
+    }
+
+    #[test]
+    fn warmed_up_run_is_deterministic() {
+        let a = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+        let b = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+        assert_eq!(a.episodes.client_out, b.episodes.client_out);
+        assert_eq!(a.episodes.client_in, b.episodes.client_in);
+    }
+
+    #[test]
+    fn original_options_run_longer_traces() {
+        let imp = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+        let orig = run_tcpip(TcpIpWorld::build(StackOptions::original()), 2);
+        // The original kernel does strictly more work per roundtrip.
+        let imp_len = imp.episodes.client_trace().len();
+        let orig_len = orig.episodes.client_trace().len();
+        assert!(
+            orig_len > imp_len,
+            "original events {orig_len} vs improved {imp_len}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Plain-text table rendering for the experiment drivers.
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("{}\n", self.title);
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        out.push_str(&format!("+{sep}+\n"));
+        let hdr: Vec<String> = (0..ncols)
+            .map(|i| format!(" {:<w$} ", self.headers[i], w = widths[i]))
+            .collect();
+        out.push_str(&format!("|{}|\n", hdr.join("|")));
+        out.push_str(&format!("+{sep}+\n"));
+        for row in &self.rows {
+            let cells: Vec<String> = (0..ncols)
+                .map(|i| format!(" {:>w$} ", row[i], w = widths[i]))
+                .collect();
+            out.push_str(&format!("|{}|\n", cells.join("|")));
+        }
+        out.push_str(&format!("+{sep}+\n"));
+        out
+    }
+}
+
+/// Format a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["Version", "T [us]"]);
+        t.row(&["STD".into(), f1(351.0)]);
+        t.row(&["ALL".into(), f1(310.8)]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("351.0"));
+        assert!(s.lines().count() >= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_wrong_arity() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

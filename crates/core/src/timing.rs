@@ -1,0 +1,302 @@
+//! Episode replay and end-to-end latency composition.
+//!
+//! A roundtrip decomposes exactly as on the testbed:
+//!
+//! ```text
+//! e2e = pre-tx(client out) + controller+wire (105 µs)
+//!     + pre-tx(server turn) + controller+wire (105 µs)
+//!     + client in + untraced interrupt/context-switch constants
+//! ```
+//!
+//! *pre-tx* is the processing up to the instant the frame is handed to
+//! the LANCE controller; everything after that (message refresh, ring
+//! maintenance, interrupt epilogue) overlaps network I/O — the paper's
+//! observation that the §2.2.2 refresh saving does not show up in
+//! end-to-end latency.
+//!
+//! Timing runs are *warm*: each host's machine replays the roundtrip
+//! twice and the second pass is measured, so steady-state conflict
+//! misses (the BAD layout's recurring evictions) are charged while
+//! compulsory first-run misses are not.
+
+use alpha_machine::{InstRecord, Machine, RunReport};
+use kcode::events::EventStream;
+use kcode::{FuncId, Image, Replayer};
+
+use crate::harness::RoundtripEpisodes;
+
+/// Untraced per-receive work: interrupt dispatch before the traced
+/// handler plus the context switch to the shepherd thread.  The paper's
+/// traces "cover all protocol processing code except for the network
+/// driver interrupt handling and context switching".
+pub const UNTRACED_PER_HOP_US: f64 = 6.0;
+
+/// Extra untraced cost per hop for the RPC stack: the blocking-call
+/// semantics force a full thread block + scheduler pass + context
+/// switch on the client and a shepherd dispatch on the server, which
+/// the tracing could not capture.
+pub const RPC_UNTRACED_PER_HOP_US: f64 = 58.0;
+
+/// Controller + wire time per one-way minimum frame (measured 105 µs on
+/// the DEC 3000/600's LANCE).
+pub const CONTROLLER_WIRE_US: f64 = 105.0;
+
+/// Traced processing that overlaps network I/O, per side, beyond the
+/// post-transmit suffix excluded structurally.  The paper's own numbers
+/// imply it: client-side Tp is ≈90 µs (STD) while the processing
+/// visible in end-to-end latency is (351−210)/2 ≈ 70 µs per side —
+/// late-output bookkeeping (retransmit queue, timers, stack unwinding)
+/// and DMA-concurrent early-input dispatch hide under the controller's
+/// 105 µs.
+pub const OVERLAP_PER_SIDE_US: f64 = 13.0;
+
+/// One timed roundtrip.
+#[derive(Debug, Clone)]
+pub struct RoundtripTiming {
+    /// Warm per-episode reports.
+    pub client_out: RunReport,
+    pub server_turn: RunReport,
+    pub client_in: RunReport,
+    /// Merged client-side report (out + in): the paper's traced client
+    /// processing (Table 7's Tp, length, mCPI, iCPI).
+    pub client: RunReport,
+    /// Pre-transmit portions, µs.
+    pub client_out_pre_us: f64,
+    pub server_pre_us: f64,
+    /// End-to-end roundtrip latency, µs.
+    pub e2e_us: f64,
+}
+
+impl RoundtripTiming {
+    /// Client-side processing time (the traced code), µs.
+    pub fn tp_us(&self) -> f64 {
+        self.client.time_us()
+    }
+}
+
+/// Replay an episode into an instruction trace.
+pub fn replay_trace(image: &Image, ep: &EventStream) -> Vec<InstRecord> {
+    Replayer::new(image)
+        .replay(ep)
+        .expect("episode must replay cleanly")
+        .trace
+}
+
+/// Index just past the last instruction belonging to `func` in `trace`
+/// (the transmit boundary when `func` is the driver's transmit
+/// function).  Returns `trace.len()` if the function never appears.
+pub fn boundary_after_last(trace: &[InstRecord], image: &Image, func: FuncId) -> usize {
+    let placement = image.placement(func);
+    let fdef = image.program.function(func);
+    let in_func = |pc: u64| -> bool {
+        (0..fdef.blocks.len()).any(|i| {
+            let a = placement.block_addr[i];
+            let l = placement.block_len[i] as u64 * 4;
+            pc >= a && pc < a + l
+        })
+    };
+    match trace.iter().rposition(|r| in_func(r.pc)) {
+        Some(i) => i + 1,
+        None => trace.len(),
+    }
+}
+
+/// Run `trace` on a machine and report, also returning the cycle count
+/// at `boundary`.
+fn run_with_boundary(m: &mut Machine, trace: &[InstRecord], boundary: usize) -> (RunReport, u64) {
+    m.reset_stats();
+    let b = boundary.min(trace.len());
+    m.run_accumulate(&trace[..b]);
+    let pre_cycles = m.cpu.cycles() + m.mem.stall_cycles();
+    m.run_accumulate(&trace[b..]);
+    (m.report(trace.len() as u64), pre_cycles)
+}
+
+/// Time one roundtrip: client episodes against `client_image`, server
+/// turn against `server_image` (normally the same version for TCP/IP;
+/// always ALL for the RPC server per the paper's methodology).
+pub fn time_roundtrip(
+    episodes: &RoundtripEpisodes,
+    client_image: &Image,
+    server_image: &Image,
+    f_tx: FuncId,
+) -> RoundtripTiming {
+    time_roundtrip_with(episodes, client_image, server_image, f_tx, UNTRACED_PER_HOP_US)
+}
+
+/// [`time_roundtrip`] with an explicit untraced-per-hop constant (the
+/// RPC stack uses [`RPC_UNTRACED_PER_HOP_US`]).
+pub fn time_roundtrip_with(
+    episodes: &RoundtripEpisodes,
+    client_image: &Image,
+    server_image: &Image,
+    f_tx: FuncId,
+    untraced_us: f64,
+) -> RoundtripTiming {
+    let out_trace = replay_trace(client_image, &episodes.client_out);
+    let in_trace = replay_trace(client_image, &episodes.client_in);
+    let server_trace = replay_trace(server_image, &episodes.server_turn);
+
+    let clock = client_image_clock();
+    let mut client_m = Machine::dec3000_600();
+    let mut server_m = Machine::dec3000_600();
+
+    let out_boundary = boundary_after_last(&out_trace, client_image, f_tx);
+    let server_boundary = boundary_after_last(&server_trace, server_image, f_tx);
+
+    // Warm-up pass.
+    client_m.run_accumulate(&out_trace);
+    client_m.run_accumulate(&in_trace);
+    server_m.run_accumulate(&server_trace);
+
+    // Measured pass.
+    let (client_out, out_pre_cycles) =
+        run_with_boundary(&mut client_m, &out_trace, out_boundary);
+    let (client_in, _) = run_with_boundary(&mut client_m, &in_trace, in_trace.len());
+    let (server_turn, server_pre_cycles) =
+        run_with_boundary(&mut server_m, &server_trace, server_boundary);
+
+    let mut client = client_out;
+    client.merge(&client_in);
+
+    let client_out_pre_us = out_pre_cycles as f64 / clock;
+    let server_pre_us = server_pre_cycles as f64 / clock;
+    let e2e_us = (client_out_pre_us - OVERLAP_PER_SIDE_US).max(0.0)
+        + CONTROLLER_WIRE_US
+        + untraced_us
+        + (server_pre_us - OVERLAP_PER_SIDE_US).max(0.0)
+        + CONTROLLER_WIRE_US
+        + untraced_us
+        + client_in.time_us();
+
+    RoundtripTiming {
+        client_out,
+        server_turn,
+        client_in,
+        client,
+        client_out_pre_us,
+        server_pre_us,
+        e2e_us,
+    }
+}
+
+fn client_image_clock() -> f64 {
+    alpha_machine::MachineConfig::dec3000_600().cpu.clock_mhz as f64
+}
+
+/// Cold, trace-driven client-side cache statistics — the methodology of
+/// the paper's Table 6 (one traced roundtrip through a cache simulator
+/// with empty caches).
+pub fn cold_client_stats(episodes: &RoundtripEpisodes, image: &Image) -> RunReport {
+    let out_trace = replay_trace(image, &episodes.client_out);
+    let in_trace = replay_trace(image, &episodes.client_in);
+    let mut m = Machine::dec3000_600();
+    m.reset();
+    m.run_accumulate(&out_trace);
+    m.run_accumulate(&in_trace);
+    m.report((out_trace.len() + in_trace.len()) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Version;
+    use crate::harness::run_tcpip;
+    use crate::world::TcpIpWorld;
+    use protocols::StackOptions;
+
+    fn setup() -> (crate::harness::TcpIpRun, EventStream) {
+        let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+        let canonical = run.episodes.client_trace();
+        (run, canonical)
+    }
+
+    #[test]
+    fn std_roundtrip_times_in_paper_range() {
+        let (run, canonical) = setup();
+        let img = Version::Std.build_tcpip(&run.world, &canonical);
+        let t = time_roundtrip(
+            &run.episodes,
+            &img,
+            &img,
+            run.world.lance_model.f_tx,
+        );
+        // Paper: STD TCP/IP is 351 µs end-to-end, Tp ≈ 90 µs.  Accept a
+        // generous band — exact calibration is checked by EXPERIMENTS.md.
+        assert!(
+            (320.0..420.0).contains(&t.e2e_us),
+            "STD e2e {:.1} µs out of range",
+            t.e2e_us
+        );
+        assert!((60.0..110.0).contains(&t.tp_us()), "Tp {:.1}", t.tp_us());
+        assert!(t.client.mcpi() > 1.0, "memory must matter");
+    }
+
+    #[test]
+    fn bad_is_slower_than_all() {
+        let (run, canonical) = setup();
+        let f_tx = run.world.lance_model.f_tx;
+        let bad = Version::Bad.build_tcpip(&run.world, &canonical);
+        let all = Version::All.build_tcpip(&run.world, &canonical);
+        let t_bad = time_roundtrip(&run.episodes, &bad, &bad, f_tx);
+        let t_all = time_roundtrip(&run.episodes, &all, &all, f_tx);
+        assert!(
+            t_bad.e2e_us > t_all.e2e_us + 30.0,
+            "BAD {:.1} must be well above ALL {:.1}",
+            t_bad.e2e_us,
+            t_all.e2e_us
+        );
+        assert!(t_bad.client.mcpi() > 2.0 * t_all.client.mcpi());
+    }
+
+    #[test]
+    fn version_ordering_matches_paper() {
+        let (run, canonical) = setup();
+        let f_tx = run.world.lance_model.f_tx;
+        let mut last = f64::INFINITY;
+        for v in Version::all() {
+            let img = v.build_tcpip(&run.world, &canonical);
+            let t = time_roundtrip(&run.episodes, &img, &img, f_tx);
+            // Near-monotone: PIN/CLO and ALL/PIN may swap by a couple of
+            // microseconds (the paper itself calls some of these gaps
+            // "meager" and within measurement uncertainty).
+            assert!(
+                t.e2e_us < last + 2.5,
+                "{} at {:.1} µs breaks ordering (prev {:.1})",
+                v.name(),
+                t.e2e_us,
+                last
+            );
+            last = t.e2e_us;
+        }
+    }
+
+    #[test]
+    fn cold_stats_have_paper_shape() {
+        let (run, canonical) = setup();
+        let img = Version::Std.build_tcpip(&run.world, &canonical);
+        let r = cold_client_stats(&run.episodes, &img);
+        // i-cache accesses = dynamic instructions.
+        assert_eq!(r.icache.accesses, r.instructions);
+        // The paper's STD client trace is 4750 instructions; ours must
+        // land nearby.
+        assert!(
+            (4200..5600).contains(&r.instructions),
+            "trace length {}",
+            r.instructions
+        );
+        // d-cache accesses are a substantial fraction of instructions.
+        let dfrac = r.dcache.accesses as f64 / r.instructions as f64;
+        assert!((0.15..0.6).contains(&dfrac), "d-access fraction {dfrac:.2}");
+    }
+
+    #[test]
+    fn boundary_splits_at_transmit() {
+        let (run, canonical) = setup();
+        let img = Version::Std.build_tcpip(&run.world, &canonical);
+        let trace = replay_trace(&img, &run.episodes.client_out);
+        let b = boundary_after_last(&trace, &img, run.world.lance_model.f_tx);
+        assert!(b > trace.len() / 3, "transmit near the end of the out path");
+        assert!(b <= trace.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! Run-time execution recording.
+//!
+//! Protocol code carries a [`Recorder`] through the stack and reports
+//! what it does: which functions it enters, which way each conditional
+//! goes, how many times each loop iterates.  The result is an
+//! [`EventStream`] — the paper's "execution trace" — that can be replayed
+//! against any laid-out image.
+
+use crate::ids::{FuncId, SegId};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ev {
+    /// A call site executed (the next `Enter` is its callee).
+    CallSite { seg: SegId },
+    /// Entered a function.  `ops` are activation operand base addresses
+    /// (message buffer, connection state, ...), resolved by
+    /// `DataRef::Operand` references in the function's blocks.
+    Enter { func: FuncId, ops: Vec<u64> },
+    /// Straight segment executed.
+    Straight { seg: SegId },
+    /// Conditional segment executed, with the run-time outcome.
+    Cond { seg: SegId, taken: bool },
+    /// Loop segment executed `iters` times (possibly zero).
+    Loop { seg: SegId, iters: u32 },
+    /// Returned from the current function.
+    Leave,
+}
+
+/// A recorded execution: a flat list of events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventStream {
+    pub events: Vec<Ev>,
+}
+
+impl EventStream {
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of function activations in the stream.
+    pub fn activations(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, Ev::Enter { .. })).count()
+    }
+
+    /// Check bracketing: every Enter has a matching Leave and the stream
+    /// ends at depth zero.  Returns the maximum call depth.
+    pub fn check_balanced(&self) -> Result<usize, String> {
+        let mut depth = 0usize;
+        let mut max_depth = 0usize;
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Ev::Enter { .. } => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                Ev::Leave => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| format!("Leave at event {i} underflows"))?;
+                }
+                _ => {
+                    if depth == 0 {
+                        return Err(format!("segment event {e:?} at {i} outside any function"));
+                    }
+                }
+            }
+        }
+        if depth != 0 {
+            return Err(format!("stream ends at depth {depth}"));
+        }
+        Ok(max_depth)
+    }
+}
+
+/// Records events; carried through the protocol stack by reference.
+///
+/// The recorder can be *disabled* (e.g. during functional warm-up runs or
+/// on the un-instrumented side of a test); all recording calls become
+/// no-ops.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    stream: EventStream,
+    enabled: bool,
+    depth: usize,
+}
+
+impl Recorder {
+    /// A recorder that is actively recording.
+    pub fn new() -> Self {
+        Recorder { stream: EventStream::default(), enabled: true, depth: 0 }
+    }
+
+    /// A recorder that ignores everything (zero-cost functional runs).
+    pub fn disabled() -> Self {
+        Recorder { stream: EventStream::default(), enabled: false, depth: 0 }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Current call depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Record only the call-site half; the callee (e.g. a driver entry
+    /// point that records its own activation) must `enter` next.
+    pub fn callsite(&mut self, seg: SegId) {
+        if self.enabled {
+            self.stream.events.push(Ev::CallSite { seg });
+        }
+    }
+
+    /// Record a direct call site followed by entering `func`.
+    pub fn call(&mut self, seg: SegId, func: FuncId) {
+        if self.enabled {
+            self.stream.events.push(Ev::CallSite { seg });
+        }
+        self.enter(func);
+    }
+
+    /// Record a call site followed by entering `func` with operands.
+    pub fn call_with(&mut self, seg: SegId, func: FuncId, ops: &[u64]) {
+        if self.enabled {
+            self.stream.events.push(Ev::CallSite { seg });
+        }
+        self.enter_with(func, ops);
+    }
+
+    /// Enter a function without an explicit call site (episode roots,
+    /// interrupt handlers).
+    pub fn enter(&mut self, func: FuncId) {
+        self.enter_with(func, &[]);
+    }
+
+    /// Enter a function with activation operands.
+    pub fn enter_with(&mut self, func: FuncId, ops: &[u64]) {
+        self.depth += 1;
+        if self.enabled {
+            self.stream.events.push(Ev::Enter { func, ops: ops.to_vec() });
+        }
+    }
+
+    /// Straight segment.
+    pub fn seg(&mut self, seg: SegId) {
+        if self.enabled {
+            self.stream.events.push(Ev::Straight { seg });
+        }
+    }
+
+    /// Conditional segment; returns `taken` so it can wrap real branches:
+    /// `if rec.cond(SEG, x.is_none()) { ... }`.
+    pub fn cond(&mut self, seg: SegId, taken: bool) -> bool {
+        if self.enabled {
+            self.stream.events.push(Ev::Cond { seg, taken });
+        }
+        taken
+    }
+
+    /// Loop segment executed `iters` times.
+    pub fn loop_iters(&mut self, seg: SegId, iters: u32) {
+        if self.enabled {
+            self.stream.events.push(Ev::Loop { seg, iters });
+        }
+    }
+
+    /// Leave the current function.
+    pub fn leave(&mut self) {
+        debug_assert!(self.depth > 0, "leave() without enter()");
+        self.depth = self.depth.saturating_sub(1);
+        if self.enabled {
+            self.stream.events.push(Ev::Leave);
+        }
+    }
+
+    /// Take the recorded stream, leaving the recorder empty (an
+    /// *episode* boundary).
+    pub fn take(&mut self) -> EventStream {
+        debug_assert_eq!(self.depth, 0, "taking an episode mid-function");
+        std::mem::take(&mut self.stream)
+    }
+
+    /// Peek at the stream without taking it.
+    pub fn stream(&self) -> &EventStream {
+        &self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_nested_calls() {
+        let mut r = Recorder::new();
+        r.enter(FuncId(0));
+        r.seg(SegId(0));
+        r.call(SegId(1), FuncId(1));
+        r.cond(SegId(2), true);
+        r.leave();
+        r.leave();
+        let s = r.take();
+        assert_eq!(s.activations(), 2);
+        assert_eq!(s.check_balanced().unwrap(), 2);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::disabled();
+        r.enter(FuncId(0));
+        r.seg(SegId(0));
+        r.leave();
+        assert!(r.take().is_empty());
+    }
+
+    #[test]
+    fn cond_returns_its_argument() {
+        let mut r = Recorder::new();
+        r.enter(FuncId(0));
+        assert!(r.cond(SegId(0), true));
+        assert!(!r.cond(SegId(0), false));
+        r.leave();
+    }
+
+    #[test]
+    fn unbalanced_stream_detected() {
+        let s = EventStream {
+            events: vec![Ev::Enter { func: FuncId(0), ops: vec![] }],
+        };
+        assert!(s.check_balanced().is_err());
+        let s2 = EventStream { events: vec![Ev::Leave] };
+        assert!(s2.check_balanced().is_err());
+        let s3 = EventStream { events: vec![Ev::Straight { seg: SegId(0) }] };
+        assert!(s3.check_balanced().is_err());
+    }
+
+    #[test]
+    fn take_resets_stream() {
+        let mut r = Recorder::new();
+        r.enter(FuncId(0));
+        r.leave();
+        assert_eq!(r.take().len(), 2);
+        assert!(r.take().is_empty());
+    }
+
+    #[test]
+    fn depth_tracks_even_when_disabled() {
+        let mut r = Recorder::disabled();
+        r.enter(FuncId(0));
+        assert_eq!(r.depth(), 1);
+        r.leave();
+        assert_eq!(r.depth(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Typed identifiers for the code model.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a function within a [`crate::Program`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct FuncId(pub u32);
+
+/// Identifies a segment.  Segment ids are unique across the whole program
+/// (not per function) so runtime events don't need to carry the function.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SegId(pub u32);
+
+/// Index of a basic block within its function.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct BlockIdx(pub u32);
+
+impl BlockIdx {
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a named data region (globals, protocol state, pools...).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RegionId(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(FuncId(1));
+        set.insert(FuncId(1));
+        set.insert(FuncId(2));
+        assert_eq!(set.len(), 2);
+        assert!(SegId(1) < SegId(2));
+        assert_eq!(BlockIdx(3).idx(), 3);
+    }
+}

@@ -1,0 +1,536 @@
+//! Layout strategies — the "cloning" technique.
+//!
+//! Cloning copies functions and relocates them.  What distinguishes the
+//! paper's configurations is *where* the clones land:
+//!
+//! * [`LayoutStrategy::LinkOrder`] — no cloning: functions sit wherever
+//!   the link order put them (registration order here).  This is the STD
+//!   and OUT placement.
+//! * [`LayoutStrategy::Linear`] — clones placed strictly in the order of
+//!   first invocation ("closest-is-best" over everything).  The right
+//!   choice when the whole path fits in the i-cache.
+//! * [`LayoutStrategy::Bipartite`] — the paper's winner: the i-cache
+//!   index space is split into a *path* partition and a *library*
+//!   partition; path functions (executed once per path invocation) are
+//!   laid sequentially in the path partition in first-call order, library
+//!   functions (called repeatedly) in the library partition, so library
+//!   code is never evicted by the once-through path stream.
+//! * [`LayoutStrategy::MicroPosition`] — trace-driven greedy placement
+//!   minimizing predicted conflict misses, at instruction granularity,
+//!   accepting inter-function gaps.  Reduces replacement misses
+//!   dramatically but scatters code (non-sequential fetch, wasted
+//!   prefetch bandwidth) — the paper found it never beats bipartite
+//!   end-to-end.
+//! * [`LayoutStrategy::Bad`] — the pessimal clone placement: hot
+//!   functions aliased onto the same i-cache sets *and* onto b-cache sets
+//!   occupied by hot data.  Used to bound how bad an uncontrolled layout
+//!   can get.
+
+mod micro;
+
+use std::collections::HashSet;
+
+use crate::datalayout::DataLayout;
+use crate::events::{Ev, EventStream};
+use crate::func::FuncKind;
+use crate::ids::FuncId;
+use crate::image::{
+    AddrCursor, ColdPolicy, Image, ImageAssembler, ImageConfig, PinnedCursor, SeqCursor,
+    WindowCursor,
+};
+use crate::program::Program;
+use crate::transform::inline::{merged_block_order, InlinePlan, MergedGroup};
+
+pub use micro::micro_position;
+
+/// Placement strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutStrategy {
+    LinkOrder,
+    Linear,
+    Bipartite,
+    MicroPosition,
+    Bad,
+}
+
+/// Specification of one path-inlined group (name + member functions);
+/// the block order is derived from the canonical trace.
+#[derive(Debug, Clone)]
+pub struct InlineSpec {
+    pub name: String,
+    pub funcs: Vec<FuncId>,
+}
+
+/// Everything needed to build an image.
+pub struct LayoutRequest<'a> {
+    pub strategy: LayoutStrategy,
+    pub config: ImageConfig,
+    /// Reference trace: required by every strategy except `LinkOrder`.
+    pub canonical: Option<&'a EventStream>,
+    /// Path-inlining groups (PIN/ALL configurations).
+    pub inline: Vec<InlineSpec>,
+    /// i-cache size in bytes (the aliasing modulus for Bipartite/Bad).
+    pub icache_bytes: u64,
+    /// b-cache size in bytes (aliasing modulus for Bad).
+    pub bcache_bytes: u64,
+}
+
+impl<'a> LayoutRequest<'a> {
+    pub fn new(strategy: LayoutStrategy, config: ImageConfig) -> Self {
+        LayoutRequest {
+            strategy,
+            config,
+            canonical: None,
+            inline: Vec::new(),
+            icache_bytes: 8 * 1024,
+            bcache_bytes: 2 * 1024 * 1024,
+        }
+    }
+
+    pub fn with_canonical(mut self, ev: &'a EventStream) -> Self {
+        self.canonical = Some(ev);
+        self
+    }
+
+    pub fn with_inline(mut self, groups: Vec<InlineSpec>) -> Self {
+        self.inline = groups;
+        self
+    }
+}
+
+/// First-invocation order of functions in a trace.
+pub fn first_call_order(events: &EventStream) -> Vec<FuncId> {
+    let mut seen = HashSet::new();
+    let mut order = Vec::new();
+    for ev in &events.events {
+        if let Ev::Enter { func, .. } = ev {
+            if seen.insert(*func) {
+                order.push(*func);
+            }
+        }
+    }
+    order
+}
+
+/// Function-level activity sequence: which function is executing, in
+/// order, including resumptions after returns.  Drives interleaving
+/// weights for micro-positioning.
+pub fn activity_sequence(events: &EventStream) -> Vec<FuncId> {
+    let mut stack: Vec<FuncId> = Vec::new();
+    let mut seq = Vec::new();
+    for ev in &events.events {
+        match ev {
+            Ev::Enter { func, .. } => {
+                stack.push(*func);
+                seq.push(*func);
+            }
+            Ev::Leave => {
+                stack.pop();
+                if let Some(&top) = stack.last() {
+                    seq.push(top);
+                }
+            }
+            _ => {}
+        }
+    }
+    seq
+}
+
+/// Build an image per the request.
+pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) -> Image {
+    let data = DataLayout::for_program(program);
+    let mut asm = ImageAssembler::new(program.clone(), req.config.clone());
+
+    // Resolve inline groups against the canonical trace.
+    let plan: InlinePlan = if req.inline.is_empty() {
+        InlinePlan::default()
+    } else {
+        let canonical = req
+            .canonical
+            .expect("path-inlining requires a canonical trace");
+        let groups = req
+            .inline
+            .iter()
+            .map(|spec| {
+                let funcs: HashSet<FuncId> = spec.funcs.iter().copied().collect();
+                MergedGroup {
+                    name: spec.name.clone(),
+                    funcs: funcs.clone(),
+                    order: merged_block_order(program, canonical, &funcs),
+                }
+            })
+            .collect();
+        let plan = InlinePlan { groups };
+        plan.check_disjoint().expect("inline groups must be disjoint");
+        plan
+    };
+    let inlined = plan.inlined_funcs();
+
+    let cold_policy = |cloned: bool| -> ColdPolicy {
+        if !asm_outline(&req.config) {
+            ColdPolicy::Inline
+        } else if cloned {
+            ColdPolicy::FarRegion
+        } else {
+            ColdPolicy::EndOfFunction
+        }
+    };
+
+    match req.strategy {
+        LayoutStrategy::LinkOrder => {
+            // The real kernel links dozens of unrelated protocols and
+            // subsystems between the functions of the measured path: in
+            // link order, path functions are scattered, not packed.
+            // Deterministic pseudo-random gaps model that interleaved
+            // unrelated code — the source of the replacement misses that
+            // cloning removes.
+            let mut cur = SeqCursor::new(Image::CODE_BASE);
+            for g in &plan.groups {
+                asm.place_merged(g, &mut cur);
+            }
+            let policy = cold_policy(false);
+            for f in all_funcs(program) {
+                if !inlined.contains(&f) {
+                    let gap = (f.0 as u64).wrapping_mul(0x9E37_79B9).rotate_left(11) % 48 * 64;
+                    cur.next += gap;
+                    asm.place_function(f, &mut cur, policy);
+                }
+            }
+        }
+        LayoutStrategy::Linear => {
+            let canonical = req.canonical.expect("Linear layout requires a trace");
+            let mut cur = SeqCursor::new(Image::CODE_BASE);
+            for g in &plan.groups {
+                asm.place_merged(g, &mut cur);
+            }
+            let policy = cold_policy(true);
+            for f in ordered_funcs(program, canonical) {
+                if !inlined.contains(&f) {
+                    asm.place_function(f, &mut cur, policy);
+                }
+            }
+        }
+        LayoutStrategy::Bipartite => {
+            let canonical = req.canonical.expect("Bipartite layout requires a trace");
+            let order = first_call_order(canonical);
+            // Only library code with real temporal locality — called
+            // more than once per path invocation — earns a slot in the
+            // protected partition; single-use library functions behave
+            // like path code and placing them in the library window
+            // would only compress the path partition further.
+            let mut call_counts: std::collections::HashMap<FuncId, u32> =
+                std::collections::HashMap::new();
+            for ev in &canonical.events {
+                if let Ev::Enter { func, .. } = ev {
+                    *call_counts.entry(*func).or_insert(0) += 1;
+                }
+            }
+            let is_lib = |f: FuncId| {
+                program.function(f).kind == FuncKind::Library
+                    && call_counts.get(&f).copied().unwrap_or(0) >= 1
+            };
+            let lib_bytes: u64 = order
+                .iter()
+                .filter(|f| is_lib(**f))
+                .filter(|f| !inlined.contains(*f))
+                .map(|f| {
+                    crate::transform::outline::hot_laid_size(
+                        program.function(*f),
+                        req.config.outline,
+                    ) as u64
+                        * 4
+                })
+                .sum();
+            let lib_bytes = (lib_bytes.div_ceil(512) * 512).min(req.icache_bytes / 2).max(512);
+            let split = req.icache_bytes - lib_bytes;
+
+            let mut path_cur =
+                WindowCursor::new(Image::CODE_BASE, req.icache_bytes, 0, split);
+            let mut lib_cur = WindowCursor::new(
+                Image::CODE_BASE,
+                req.icache_bytes,
+                split,
+                req.icache_bytes,
+            );
+            for g in &plan.groups {
+                asm.place_merged(g, &mut path_cur);
+            }
+            let policy = cold_policy(true);
+            for f in ordered_funcs(program, canonical) {
+                if inlined.contains(&f) {
+                    continue;
+                }
+                let cur: &mut dyn AddrCursor = if is_lib(f) {
+                    &mut lib_cur
+                } else {
+                    &mut path_cur
+                };
+                asm.place_function(f, cur, policy);
+            }
+        }
+        LayoutStrategy::MicroPosition => {
+            let canonical = req.canonical.expect("MicroPosition requires a trace");
+            let placements = micro_position(program, canonical, &req, &inlined);
+            let policy = cold_policy(true);
+            let mut cur = SeqCursor::new(Image::CODE_BASE);
+            for g in &plan.groups {
+                asm.place_merged(g, &mut cur);
+            }
+            for (f, addr) in placements {
+                if inlined.contains(&f) {
+                    continue;
+                }
+                let mut pin = PinnedCursor { next: addr };
+                asm.place_function(f, &mut pin, policy);
+            }
+        }
+        LayoutStrategy::Bad => {
+            let canonical = req.canonical.expect("Bad layout requires a trace");
+            let order = ordered_funcs(program, canonical);
+            let policy = cold_policy(true);
+            // Base chosen to alias, in the b-cache, with the data segment
+            // (DATA_BASE % bcache == 0), so hot code evicts hot data.
+            let bad_base = {
+                let b = DataLayout::DATA_BASE + 8 * req.bcache_bytes;
+                debug_assert_eq!(b % req.bcache_bytes, DataLayout::DATA_BASE % req.bcache_bytes);
+                b
+            };
+            let mut merged_cur = PinnedCursor { next: bad_base };
+            for g in &plan.groups {
+                asm.place_merged(g, &mut merged_cur);
+            }
+            // Every hot function starts at i-cache index 0 of its own
+            // b-cache frame: all of them alias pairwise in the i-cache
+            // and in the b-cache.
+            for (k, f) in order.iter().enumerate() {
+                if inlined.contains(f) {
+                    continue;
+                }
+                let mut pin = PinnedCursor {
+                    next: bad_base + (k as u64 + 1) * req.bcache_bytes,
+                };
+                asm.place_function(*f, &mut pin, policy);
+            }
+        }
+    }
+
+    asm.finish(data)
+}
+
+fn asm_outline(config: &ImageConfig) -> bool {
+    config.outline
+}
+
+fn all_funcs(program: &Program) -> Vec<FuncId> {
+    (0..program.functions().len() as u32).map(FuncId).collect()
+}
+
+/// First-call order followed by never-called functions in id order.
+pub fn ordered_funcs(program: &Program, canonical: &EventStream) -> Vec<FuncId> {
+    let mut order = first_call_order(canonical);
+    let seen: HashSet<FuncId> = order.iter().copied().collect();
+    for f in all_funcs(program) {
+        if !seen.contains(&f) {
+            order.push(f);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::Body;
+    use crate::events::Recorder;
+    use crate::func::FrameSpec;
+    use crate::ids::SegId;
+    use crate::program::ProgramBuilder;
+    use std::sync::Arc;
+
+    struct Fixture {
+        program: Arc<Program>,
+        path_a: FuncId,
+        path_b: FuncId,
+        lib: FuncId,
+        segs: Vec<SegId>,
+    }
+
+    fn fixture() -> Fixture {
+        let mut pb = ProgramBuilder::new();
+        let (lib, s_lib) = pb.function("lib", FuncKind::Library, FrameSpec::leaf(), |fb| {
+            fb.straight("w", Body::ops(30))
+        });
+        let (path_b, s_b) = pb.function("pb", FuncKind::Path, FrameSpec::standard(), |fb| {
+            fb.straight("w", Body::ops(200))
+        });
+        let (path_a, (s_a, s_call_lib, s_call_b)) =
+            pb.function("pa", FuncKind::Path, FrameSpec::standard(), |fb| {
+                let a = fb.straight("w", Body::ops(100));
+                let cl = fb.call("lib", lib, Body::ops(1));
+                let cb = fb.call("b", path_b, Body::ops(1));
+                (a, cl, cb)
+            });
+        Fixture {
+            program: pb.build(),
+            path_a,
+            path_b,
+            lib,
+            segs: vec![s_a, s_call_lib, s_call_b, s_lib, s_b],
+        }
+    }
+
+    fn trace(fx: &Fixture) -> EventStream {
+        let mut r = Recorder::new();
+        r.enter(fx.path_a);
+        r.seg(fx.segs[0]);
+        r.call(fx.segs[1], fx.lib);
+        r.seg(fx.segs[3]);
+        r.leave();
+        r.call(fx.segs[2], fx.path_b);
+        r.seg(fx.segs[4]);
+        r.leave();
+        r.leave();
+        r.take()
+    }
+
+    #[test]
+    fn first_call_order_dedups() {
+        let fx = fixture();
+        let ev = trace(&fx);
+        assert_eq!(first_call_order(&ev), vec![fx.path_a, fx.lib, fx.path_b]);
+    }
+
+    #[test]
+    fn activity_sequence_includes_resumptions() {
+        let fx = fixture();
+        let ev = trace(&fx);
+        let seq = activity_sequence(&ev);
+        assert_eq!(
+            seq,
+            vec![fx.path_a, fx.lib, fx.path_a, fx.path_b, fx.path_a]
+        );
+    }
+
+    #[test]
+    fn linear_layout_orders_by_first_call() {
+        let fx = fixture();
+        let ev = trace(&fx);
+        let img = build_image(
+            &fx.program,
+            LayoutRequest::new(LayoutStrategy::Linear, ImageConfig::plain("lin"))
+                .with_canonical(&ev),
+        );
+        assert!(img.entry_addr(fx.path_a) < img.entry_addr(fx.lib));
+        assert!(img.entry_addr(fx.lib) < img.entry_addr(fx.path_b));
+    }
+
+    #[test]
+    fn bipartite_separates_library_index_range() {
+        let fx = fixture();
+        let ev = trace(&fx);
+        let img = build_image(
+            &fx.program,
+            LayoutRequest::new(
+                LayoutStrategy::Bipartite,
+                ImageConfig::plain("clo").with_outline(true),
+            )
+            .with_canonical(&ev),
+        );
+        let icache = 8 * 1024u64;
+        let lib_idx = img.entry_addr(fx.lib) % icache;
+        let pa_idx = img.entry_addr(fx.path_a) % icache;
+        let pb_idx = img.entry_addr(fx.path_b) % icache;
+        assert!(lib_idx > pa_idx.max(pb_idx), "library sits in the high partition");
+    }
+
+    #[test]
+    fn bad_layout_aliases_functions() {
+        let fx = fixture();
+        let ev = trace(&fx);
+        let img = build_image(
+            &fx.program,
+            LayoutRequest::new(
+                LayoutStrategy::Bad,
+                ImageConfig::plain("bad").with_outline(true),
+            )
+            .with_canonical(&ev),
+        );
+        let icache = 8 * 1024u64;
+        let a = img.entry_addr(fx.path_a) % icache;
+        let b = img.entry_addr(fx.path_b) % icache;
+        let l = img.entry_addr(fx.lib) % icache;
+        assert_eq!(a, b);
+        assert_eq!(a, l);
+        // And they alias in the b-cache too.
+        let bc = 2 * 1024 * 1024u64;
+        assert_eq!(
+            img.entry_addr(fx.path_a) % bc,
+            img.entry_addr(fx.path_b) % bc
+        );
+    }
+
+    #[test]
+    fn link_order_ignores_trace() {
+        let fx = fixture();
+        let img = build_image(
+            &fx.program,
+            LayoutRequest::new(LayoutStrategy::LinkOrder, ImageConfig::plain("std")),
+        );
+        // Registration order: lib, path_b, path_a.
+        assert!(img.entry_addr(fx.lib) < img.entry_addr(fx.path_b));
+        assert!(img.entry_addr(fx.path_b) < img.entry_addr(fx.path_a));
+    }
+
+    #[test]
+    fn inline_groups_merge_path_functions() {
+        let fx = fixture();
+        let ev = trace(&fx);
+        let img = build_image(
+            &fx.program,
+            LayoutRequest::new(
+                LayoutStrategy::Linear,
+                ImageConfig::plain("pin").with_outline(true),
+            )
+            .with_canonical(&ev)
+            .with_inline(vec![InlineSpec {
+                name: "merged".into(),
+                funcs: vec![fx.path_a, fx.path_b],
+            }]),
+        );
+        assert!(img.is_inlined(fx.path_a));
+        assert!(img.is_inlined(fx.path_b));
+        assert!(!img.is_inlined(fx.lib));
+    }
+
+    #[test]
+    fn micro_position_produces_disjoint_hot_code() {
+        let fx = fixture();
+        let ev = trace(&fx);
+        let img = build_image(
+            &fx.program,
+            LayoutRequest::new(
+                LayoutStrategy::MicroPosition,
+                ImageConfig::plain("mic").with_outline(true),
+            )
+            .with_canonical(&ev),
+        );
+        // Entry addresses must be distinct and hot code must not overlap.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for f in [fx.path_a, fx.path_b, fx.lib] {
+            let func = img.program.function(f);
+            let p = img.placement(f);
+            for (i, b) in func.blocks.iter().enumerate() {
+                if !b.cold {
+                    ranges.push((
+                        p.block_addr[i],
+                        p.block_addr[i] + p.block_len[i] as u64 * 4,
+                    ));
+                }
+            }
+        }
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping placements {w:?}");
+        }
+    }
+}

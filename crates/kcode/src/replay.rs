@@ -1,0 +1,913 @@
+//! Trace replay: event stream × laid-out image → dynamic instruction
+//! trace.
+//!
+//! The replayer walks a recorded [`EventStream`] and, using the block
+//! addresses of an [`Image`], emits one [`InstRecord`] per dynamically
+//! executed instruction.  Control-flow instructions are derived from
+//! *layout adjacency*:
+//!
+//! * a conditional test's branch is **not taken** when the dynamically
+//!   following block starts right after the branch, **taken** otherwise
+//!   (this is how outlining converts jump-over-error-code into
+//!   fall-through);
+//! * a block whose layout reserved a jump slot emits the jump only when
+//!   its dynamic successor is non-adjacent (otherwise the slot is dead
+//!   padding — fetched but never executed, i.e. an i-cache gap);
+//! * a transition with no slot and a non-adjacent successor emits a
+//!   "virtual" jump re-using the predecessor's last instruction address
+//!   (early returns and skipped never-entered loops).
+//!
+//! Call specialization (cloning) and path-inlining are applied here too:
+//! near direct calls drop the callee-address load and skip the callee's
+//! GP-reload prologue instructions; calls between two path-inlined
+//! functions vanish entirely, along with the callee's prologue and
+//! epilogue.
+
+use std::collections::HashSet;
+
+use alpha_machine::{InstClass, InstRecord};
+
+use crate::body::SlotClass;
+use crate::datalayout::DataLayout;
+use crate::events::{Ev, EventStream};
+use crate::func::{BlockRole, SegKind};
+use crate::ids::{BlockIdx, FuncId, SegId};
+use crate::image::Image;
+use crate::program::GOT_REGION;
+
+/// The replayed trace plus fetch-utilization statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOutput {
+    /// The dynamic instruction trace.
+    pub trace: Vec<InstRecord>,
+    /// Distinct i-cache blocks touched by instruction fetch.
+    pub fetched_blocks: HashSet<u64>,
+    /// Distinct instruction addresses executed.
+    pub executed_pcs: HashSet<u64>,
+    /// Call instructions emitted.
+    pub calls: u64,
+    /// Taken control transfers emitted.
+    pub taken: u64,
+}
+
+impl ReplayOutput {
+    /// Fraction of instruction slots in fetched i-cache blocks that were
+    /// never executed — the paper's Table 9 "i-cache unused" metric.
+    pub fn unused_fraction(&self, block_bytes: u64) -> f64 {
+        let slots = self.fetched_blocks.len() as f64 * (block_bytes / 4) as f64;
+        if slots == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.executed_pcs.len() as f64 / slots
+    }
+
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pend {
+    /// Conditional branch at `slot`: class decided by adjacency.
+    CondBranch { slot: u64 },
+    /// Optional jump at `slot`: emitted only if non-adjacent.
+    MaybeJump { slot: u64 },
+}
+
+#[derive(Debug)]
+struct Activation {
+    func: FuncId,
+    ops: Vec<u64>,
+    frame_base: u64,
+    /// Where the caller resumes after this activation's callees return.
+    resume_end: Option<u64>,
+    /// Entered through an inlined splice (no prologue/epilogue).
+    spliced: bool,
+    /// Entered through a real call instruction (needs a return).
+    via_call: bool,
+}
+
+/// Replays event streams against one image.
+pub struct Replayer<'a> {
+    image: &'a Image,
+    stack_base: u64,
+}
+
+impl<'a> Replayer<'a> {
+    pub fn new(image: &'a Image) -> Self {
+        Replayer { image, stack_base: image.data.stack_top() }
+    }
+
+    /// Use a specific stack base (thread stacks from a pool).
+    pub fn with_stack_base(mut self, base: u64) -> Self {
+        self.stack_base = base;
+        self
+    }
+
+    pub fn image(&self) -> &Image {
+        self.image
+    }
+
+    /// Replay one event stream into an instruction trace.
+    pub fn replay(&self, events: &EventStream) -> Result<ReplayOutput, String> {
+        let mut st = ReplayState {
+            image: self.image,
+            out: ReplayOutput::default(),
+            stack: Vec::new(),
+            sp: self.stack_base,
+            prev_end: None,
+            pending: None,
+            pending_call: None,
+        };
+        for (i, ev) in events.events.iter().enumerate() {
+            st.step(ev).map_err(|e| format!("event {i}: {e}"))?;
+        }
+        if !st.stack.is_empty() {
+            return Err(format!("stream ended inside {} activations", st.stack.len()));
+        }
+        Ok(st.out)
+    }
+}
+
+struct ReplayState<'a> {
+    image: &'a Image,
+    out: ReplayOutput,
+    stack: Vec<Activation>,
+    sp: u64,
+    prev_end: Option<u64>,
+    pending: Option<Pend>,
+    pending_call: Option<SegId>,
+}
+
+impl<'a> ReplayState<'a> {
+    fn emit(&mut self, rec: InstRecord) {
+        if rec.class.is_taken_control() {
+            self.out.taken += 1;
+        }
+        self.out.fetched_blocks.insert(rec.pc & !31);
+        self.out.executed_pcs.insert(rec.pc);
+        self.out.trace.push(rec);
+    }
+
+    fn cur(&mut self) -> Result<&mut Activation, String> {
+        self.stack.last_mut().ok_or_else(|| "segment outside any function".to_string())
+    }
+
+    /// Resolve a data reference for the current activation.
+    fn resolve(&self, act: &Activation, blk_salt: u64, r: crate::body::DataRef) -> u64 {
+        use crate::body::DataRef::*;
+        match r {
+            Region(region, off) if region == GOT_REGION => {
+                // Spread GOT entries: each call site loads its own slot.
+                let base = self.image.data.addr(GOT_REGION, 0);
+                base + ((blk_salt * 131 + off as u64) * 8) % 4096
+            }
+            Region(region, off) => self.image.data.addr(region, off),
+            Operand(slot, off) => {
+                let base = act
+                    .ops
+                    .get(slot as usize)
+                    .copied()
+                    .unwrap_or(DataLayout::DATA_BASE);
+                base + off as u64
+            }
+            Stack(off) => act.frame_base + off as u64,
+        }
+    }
+
+    /// Handle the control transition into a block starting at `addr`.
+    fn transition_to(&mut self, addr: u64) {
+        if let Some(p) = self.pending.take() {
+            match p {
+                Pend::CondBranch { slot } => {
+                    let class = if addr == slot + 4 {
+                        InstClass::BranchNotTaken
+                    } else {
+                        InstClass::BranchTaken
+                    };
+                    self.emit(InstRecord::new(slot, class));
+                }
+                Pend::MaybeJump { slot } => {
+                    if addr != slot + 4 {
+                        self.emit(InstRecord::new(slot, InstClass::BranchTaken));
+                    }
+                }
+            }
+        } else if let Some(pe) = self.prev_end {
+            if addr != pe {
+                // Virtual jump: re-use the last slot's address.
+                self.emit(InstRecord::new(pe.saturating_sub(4), InstClass::BranchTaken));
+            }
+        }
+        self.prev_end = None;
+    }
+
+    /// Emit a block's body.  `skip` drops leading instructions (prologue
+    /// specialization), `drop_got` removes the final GOT load (call
+    /// specialization / inlining).  Returns the end address of the body.
+    fn emit_body(&mut self, f: FuncId, b: BlockIdx, skip: u32, drop_got: bool) -> Result<u64, String> {
+        self.emit_body_iter(f, b, skip, drop_got, 0)
+    }
+
+    /// Like [`Self::emit_body`], with a loop-iteration offset applied to
+    /// `Operand` references (`iter * loop_stride` bytes — the loop walks
+    /// its buffer).
+    fn emit_body_iter(
+        &mut self,
+        f: FuncId,
+        b: BlockIdx,
+        skip: u32,
+        drop_got: bool,
+        iter: u32,
+    ) -> Result<u64, String> {
+        let func = self.image.program.function(f);
+        let block = func.block(b);
+        let placement = self.image.placement(f);
+        let addr = placement.block_addr[b.idx()];
+        let spliced = placement.inlined;
+
+        // Cross-call optimization: shrink ALU work in inlined bodies.
+        let shrink = if spliced {
+            self.image.config.inline_alu_shrink_permille
+        } else {
+            0
+        };
+        let drop_alu = (block.body.alu as u32 * shrink / 1000) as u16;
+
+        let blk_salt = (f.0 as u64) << 16 | b.0 as u64;
+        let mut slots = block.body.expand();
+        if drop_got {
+            // Remove the last load (the callee-address load added by the
+            // call-site builder).
+            if let Some(pos) = slots.iter().rposition(|s| matches!(s, SlotClass::Load(_))) {
+                slots.remove(pos);
+            }
+        }
+        // Drop `drop_alu` ALU slots from the back, and `skip` leading
+        // slots (prologue specialization always skips ALU-ish setup).
+        let mut dropped = 0;
+        if drop_alu > 0 {
+            let mut kept = Vec::with_capacity(slots.len());
+            let mut to_drop = drop_alu;
+            for s in slots.iter().rev() {
+                if to_drop > 0 && matches!(s, SlotClass::Alu) {
+                    to_drop -= 1;
+                    dropped += 1;
+                } else {
+                    kept.push(*s);
+                }
+            }
+            kept.reverse();
+            slots = kept;
+        }
+        let _ = dropped;
+
+        let act_ops;
+        let act_frame;
+        {
+            let act = self.cur()?;
+            act_ops = act.ops.clone();
+            act_frame = act.frame_base;
+        }
+        let act_view = Activation {
+            func: f,
+            ops: act_ops,
+            frame_base: act_frame,
+            resume_end: None,
+            spliced,
+            via_call: false,
+        };
+
+        let iter_off = iter as u64 * block.loop_stride as u64;
+        let mut pc = addr + skip as u64 * 4;
+        for s in slots.iter().skip(skip as usize) {
+            let rec = match s {
+                SlotClass::Alu => InstRecord::alu(pc),
+                SlotClass::Mul => InstRecord::mul(pc),
+                SlotClass::Load(i) => {
+                    let r = block.body.loads[*i as usize];
+                    let mut a = self.resolve(&act_view, blk_salt, r);
+                    if matches!(r, crate::body::DataRef::Operand(..)) {
+                        a += iter_off;
+                    }
+                    InstRecord::load(pc, a)
+                }
+                SlotClass::Store(i) => {
+                    let r = block.body.stores[*i as usize];
+                    let mut a = self.resolve(&act_view, blk_salt, r);
+                    if matches!(r, crate::body::DataRef::Operand(..)) {
+                        a += iter_off;
+                    }
+                    InstRecord::store(pc, a)
+                }
+            };
+            self.emit(rec);
+            pc += 4;
+        }
+        Ok(addr + (block.body.len() as u64) * 4)
+    }
+
+    /// Visit a plain (non-call, non-entry/exit) block.
+    fn visit_block(&mut self, f: FuncId, b: BlockIdx) -> Result<(), String> {
+        let placement = self.image.placement(f);
+        let addr = placement.block_addr[b.idx()];
+        self.transition_to(addr);
+        let body_end = self.emit_body(f, b, 0, false)?;
+        let func = self.image.program.function(f);
+        match func.block(b).role {
+            BlockRole::CondTest => {
+                self.pending = Some(Pend::CondBranch { slot: body_end });
+                self.prev_end = Some(body_end + 4);
+            }
+            _ => {
+                if placement.has_slot[b.idx()] {
+                    self.pending = Some(Pend::MaybeJump { slot: body_end });
+                    self.prev_end = Some(body_end + 4);
+                } else {
+                    self.pending = None;
+                    self.prev_end = Some(body_end);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn seg_of(&self, seg: SegId) -> Result<(FuncId, SegKind), String> {
+        let f = self
+            .image
+            .program
+            .owner_of(seg)
+            .ok_or_else(|| format!("unknown segment {seg:?}"))?;
+        let kind = self
+            .image
+            .program
+            .function(f)
+            .segment(seg)
+            .ok_or_else(|| format!("segment {seg:?} missing in {f:?}"))?
+            .kind
+            .clone();
+        Ok((f, kind))
+    }
+
+    fn check_owner(&mut self, f: FuncId, seg: SegId) -> Result<(), String> {
+        let cur = self.cur()?.func;
+        if cur != f {
+            return Err(format!(
+                "segment {seg:?} belongs to {:?} but current function is {:?}",
+                self.image.program.function(f).name,
+                self.image.program.function(cur).name,
+            ));
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, ev: &Ev) -> Result<(), String> {
+        match ev {
+            Ev::CallSite { seg } => {
+                if self.pending_call.is_some() {
+                    return Err("CallSite while another call is pending".into());
+                }
+                let (f, kind) = self.seg_of(*seg)?;
+                self.check_owner(f, *seg)?;
+                if !matches!(kind, SegKind::Call { .. }) {
+                    return Err(format!("CallSite event on non-call segment {seg:?}"));
+                }
+                self.pending_call = Some(*seg);
+                Ok(())
+            }
+            Ev::Enter { func, ops } => self.enter(*func, ops),
+            Ev::Leave => self.leave(),
+            Ev::Straight { seg } => {
+                let (f, kind) = self.seg_of(*seg)?;
+                self.check_owner(f, *seg)?;
+                match kind {
+                    SegKind::Straight { block } => self.visit_block(f, block),
+                    SegKind::Checked { tests, .. } => {
+                        // Error-free execution: each hot chunk's check
+                        // branch resolves by adjacency (jump over the
+                        // inline error block, or fall through when it is
+                        // outlined).
+                        for t in tests {
+                            self.visit_block(f, t)?;
+                        }
+                        Ok(())
+                    }
+                    other => Err(format!("Straight event on {other:?}")),
+                }
+            }
+            Ev::Cond { seg, taken } => {
+                let (f, kind) = self.seg_of(*seg)?;
+                self.check_owner(f, *seg)?;
+                match kind {
+                    SegKind::Cond { test, then_blk, else_blk, .. } => {
+                        self.visit_block(f, test)?;
+                        if *taken {
+                            self.visit_block(f, then_blk)?;
+                        } else if let Some(e) = else_blk {
+                            self.visit_block(f, e)?;
+                        }
+                        Ok(())
+                    }
+                    other => Err(format!("Cond event on {other:?}")),
+                }
+            }
+            Ev::Loop { seg, iters } => {
+                let (f, kind) = self.seg_of(*seg)?;
+                self.check_owner(f, *seg)?;
+                match kind {
+                    SegKind::Loop { body, .. } => self.run_loop(f, body, *iters),
+                    other => Err(format!("Loop event on {other:?}")),
+                }
+            }
+        }
+    }
+
+    fn run_loop(&mut self, f: FuncId, body: BlockIdx, iters: u32) -> Result<(), String> {
+        if iters == 0 {
+            // Never entered: the guard jumped over the body.  Leave
+            // prev_end untouched; the next block's adjacency check emits
+            // the jump if the body physically intervenes.
+            return Ok(());
+        }
+        let placement = self.image.placement(f);
+        let addr = placement.block_addr[body.idx()];
+        for i in 0..iters {
+            self.transition_to(addr);
+            let body_end = self.emit_body_iter(f, body, 0, false, i)?;
+            let slot = body_end;
+            if i + 1 < iters {
+                // Backward branch taken.
+                self.emit(InstRecord::new(slot, InstClass::BranchTaken));
+                self.prev_end = None; // next iteration re-enters at addr
+                self.pending = None;
+            } else {
+                // Final iteration: branch falls through.
+                self.emit(InstRecord::new(slot, InstClass::BranchNotTaken));
+                self.pending = None;
+                self.prev_end = Some(slot + 4);
+            }
+        }
+        Ok(())
+    }
+
+    fn enter(&mut self, func: FuncId, ops: &[u64]) -> Result<(), String> {
+        let callee_inlined = self.image.placement(func).inlined;
+        let frame_bytes = self.image.program.function(func).frame.frame_bytes as u64;
+
+        // Process the pending call site, if any.
+        let mut skip = 0u32;
+        let mut via_splice = false;
+        let mut via_real_call = false;
+        if let Some(seg) = self.pending_call.take() {
+            let (cf, kind) = self.seg_of(seg)?;
+            let (site, static_callee) = match kind {
+                SegKind::Call { site, callee } => (site, callee),
+                _ => unreachable!("validated at CallSite"),
+            };
+            if let Some(sc) = static_callee {
+                if sc != func {
+                    return Err(format!(
+                        "call site {seg:?} statically targets {sc:?} but entered {func:?}"
+                    ));
+                }
+            }
+            let caller_inlined = self.image.placement(cf).inlined;
+            let placement = self.image.placement(cf);
+            let site_addr = placement.block_addr[site.idx()];
+            let site_len = placement.block_len[site.idx()];
+            let site_end = site_addr + site_len as u64 * 4;
+
+            let caller_group = self.image.placement(cf).group;
+            let callee_group = self.image.placement(func).group;
+            let splice = caller_inlined
+                && callee_inlined
+                && static_callee.is_some()
+                && caller_group == callee_group;
+            let near = !splice
+                && self.image.config.specialize_calls
+                && static_callee.is_some()
+                && !callee_inlined
+                && {
+                    let entry = self.image.entry_addr(func);
+                    site_addr.abs_diff(entry) <= self.image.config.near_call_bytes
+                };
+
+            self.transition_to(site_addr);
+            let body_end = self.emit_body(cf, site, 0, splice || near)?;
+
+            if splice {
+                // No call instruction: execution flows into the spliced
+                // callee code.
+                via_splice = true;
+                self.prev_end = Some(body_end);
+                self.pending = None;
+                if let Some(act) = self.stack.last_mut() {
+                    act.resume_end = Some(body_end);
+                }
+            } else {
+                via_real_call = true;
+                let slot = body_end;
+                self.out.calls += 1;
+                self.emit(InstRecord::call(slot));
+                self.prev_end = None;
+                self.pending = None;
+                if let Some(act) = self.stack.last_mut() {
+                    act.resume_end = Some(site_end);
+                }
+                if near {
+                    skip = self.image.program.function(func).frame.skippable as u32;
+                }
+            }
+        } else {
+            // Root entry (interrupt, episode start): control arrives from
+            // nowhere we model.
+            self.pending = None;
+            self.prev_end = None;
+        }
+
+        self.sp -= frame_bytes;
+        self.stack.push(Activation {
+            func,
+            ops: ops.to_vec(),
+            frame_base: self.sp,
+            resume_end: None,
+            spliced: callee_inlined,
+            via_call: via_real_call && callee_inlined,
+        });
+
+        if callee_inlined {
+            // Spliced functions have no prologue.  If entered through a
+            // real call (not a splice), execution starts at the first
+            // mainline block; adjacency flows from there.
+            if !via_splice {
+                self.prev_end = None;
+            }
+        } else {
+            // Visit the entry block (prologue) with optional skip.
+            let f = func;
+            let func_ref = self.image.program.function(f);
+            let entry = func_ref.entry;
+            let placement = self.image.placement(f);
+            let addr = placement.block_addr[entry.idx()];
+            self.transition_to(addr);
+            let body_end = self.emit_body(f, entry, skip, false)?;
+            self.pending = None;
+            self.prev_end = Some(body_end + placement.has_slot[entry.idx()] as u64 * 4);
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) -> Result<(), String> {
+        let act = self.stack.pop().ok_or("Leave with empty stack")?;
+        let frame_bytes = self.image.program.function(act.func).frame.frame_bytes as u64;
+        self.sp += frame_bytes;
+
+        if act.spliced {
+            if act.via_call {
+                // A real call into a merged function: its tail contains a
+                // return instruction.
+                let at = self.prev_end.unwrap_or(0).saturating_sub(4);
+                self.emit(InstRecord::ret(at));
+                self.pending = None;
+                self.prev_end = None;
+            }
+            // Otherwise: spliced — control flows onward inside the
+            // merged code; adjacency resumes from wherever we are.
+        } else {
+            // Visit the exit block: restores + ret.
+            let f = act.func;
+            let func = self.image.program.function(f);
+            let exit = func.exit;
+            let placement = self.image.placement(f);
+            let addr = placement.block_addr[exit.idx()];
+            // Push a temporary view so emit_body can resolve stack refs.
+            self.stack.push(act);
+            self.transition_to(addr);
+            let body_end = self.emit_body(f, exit, 0, false)?;
+            self.stack.pop();
+            self.emit(InstRecord::ret(body_end));
+            self.pending = None;
+            self.prev_end = None;
+        }
+
+        // Control returns to the caller's resume point.
+        if let Some(parent) = self.stack.last_mut() {
+            if let Some(re) = parent.resume_end.take() {
+                self.prev_end = Some(re);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::Body;
+    use crate::events::Recorder;
+    use crate::func::{FrameSpec, FuncKind, Predict};
+    use crate::image::ImageConfig;
+    use crate::layout::{build_image, InlineSpec, LayoutRequest, LayoutStrategy};
+    use crate::program::{Program, ProgramBuilder};
+    use std::sync::Arc;
+
+    struct Fx {
+        program: Arc<Program>,
+        leaf: FuncId,
+        main: FuncId,
+        s_leaf: SegId,
+        s_work: SegId,
+        s_err: SegId,
+        s_call: SegId,
+        s_loop: SegId,
+    }
+
+    fn fx() -> Fx {
+        let mut pb = ProgramBuilder::new();
+        let (leaf, s_leaf) = pb.function("leaf", FuncKind::Library, FrameSpec::leaf(), |fb| {
+            fb.straight("w", Body::ops(6))
+        });
+        let (main, (s_work, s_err, s_call, s_loop)) =
+            pb.function("main", FuncKind::Path, FrameSpec::standard(), |fb| {
+                let w = fb.straight("work", Body::ops(12));
+                let e = fb.cond("err", Body::ops(2), Body::ops(24), Predict::False);
+                let c = fb.call("leafcall", leaf, Body::ops(2));
+                let l = fb.loop_seg("copy", Body::ops(8), false);
+                (w, e, c, l)
+            });
+        Fx { program: pb.build(), leaf, main, s_leaf, s_work, s_err, s_call, s_loop }
+    }
+
+    fn record(fxx: &Fx, err: bool, loops: u32) -> EventStream {
+        let mut r = Recorder::new();
+        r.enter_with(fxx.main, &[0x9000]);
+        r.seg(fxx.s_work);
+        r.cond(fxx.s_err, err);
+        r.call(fxx.s_call, fxx.leaf);
+        r.seg(fxx.s_leaf);
+        r.leave();
+        r.loop_iters(fxx.s_loop, loops);
+        r.leave();
+        r.take()
+    }
+
+    fn img(fxx: &Fx, outline: bool) -> Image {
+        let ev = record(fxx, false, 0);
+        build_image(
+            &fxx.program,
+            LayoutRequest::new(
+                LayoutStrategy::Linear,
+                ImageConfig::plain(if outline { "out" } else { "std" })
+                    .with_outline(outline),
+            )
+            .with_canonical(&ev),
+        )
+    }
+
+    fn count(out: &ReplayOutput, class: InstClass) -> usize {
+        out.trace.iter().filter(|r| r.class == class).count()
+    }
+
+    #[test]
+    fn happy_path_replays_and_balances() {
+        let fxx = fx();
+        let image = img(&fxx, false);
+        let out = Replayer::new(&image).replay(&record(&fxx, false, 0)).unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(count(&out, InstClass::Call), 1);
+        assert_eq!(count(&out, InstClass::Ret), 2, "leaf + main returns");
+    }
+
+    #[test]
+    fn outlining_removes_taken_branch_on_good_path() {
+        let fxx = fx();
+        let plain = img(&fxx, false);
+        let outlined = img(&fxx, true);
+        let ev = record(&fxx, false, 0);
+        let t_plain = Replayer::new(&plain).replay(&ev).unwrap();
+        let t_out = Replayer::new(&outlined).replay(&ev).unwrap();
+        assert!(
+            t_out.taken < t_plain.taken,
+            "outlined taken={} plain taken={}",
+            t_out.taken,
+            t_plain.taken
+        );
+    }
+
+    #[test]
+    fn error_path_costs_more_when_outlined() {
+        let fxx = fx();
+        let outlined = img(&fxx, true);
+        let good = Replayer::new(&outlined).replay(&record(&fxx, false, 0)).unwrap();
+        let bad = Replayer::new(&outlined).replay(&record(&fxx, true, 0)).unwrap();
+        // Error path executes the cold block plus extra jumps.
+        assert!(bad.len() > good.len() + 20);
+        assert!(bad.taken > good.taken);
+    }
+
+    #[test]
+    fn loop_iterations_emit_backward_branches() {
+        let fxx = fx();
+        let image = img(&fxx, false);
+        let out0 = Replayer::new(&image).replay(&record(&fxx, false, 0)).unwrap();
+        let out3 = Replayer::new(&image).replay(&record(&fxx, false, 3)).unwrap();
+        // 3 iterations: 8 body instructions each + 3 loop branches
+        // (2 taken + 1 not-taken), plus possibly one adjacency jump
+        // difference around the skipped/entered loop body.
+        let delta = out3.len() as i64 - out0.len() as i64;
+        assert!((26..=28).contains(&delta), "delta={delta}");
+        assert_eq!(
+            out3.trace.iter().filter(|r| r.class == InstClass::BranchNotTaken).count()
+                - out0.trace.iter().filter(|r| r.class == InstClass::BranchNotTaken).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn stack_refs_resolve_below_stack_top() {
+        let fxx = fx();
+        let image = img(&fxx, false);
+        let out = Replayer::new(&image).replay(&record(&fxx, false, 0)).unwrap();
+        let stack_top = image.data.stack_top();
+        let stack_accesses: Vec<u64> = out
+            .trace
+            .iter()
+            .filter_map(|r| r.mem.map(|(_, a)| a))
+            .filter(|a| *a > stack_top - 0x10000 && *a < stack_top)
+            .collect();
+        assert!(!stack_accesses.is_empty(), "prologue saves must hit the stack");
+    }
+
+    #[test]
+    fn operands_resolve_to_supplied_bases() {
+        let fxx = fx();
+        // Add a function using operand refs.
+        let mut pb = ProgramBuilder::new();
+        let (f, s) = pb.function("op", FuncKind::Path, FrameSpec::leaf(), |fb| {
+            fb.straight(
+                "w",
+                Body::ops(2).load_operand(0, 16, 2, 8).store_operand(0, 64, 1, 8),
+            )
+        });
+        let program = pb.build();
+        let mut r = Recorder::new();
+        r.enter_with(f, &[0xBEEF00]);
+        r.seg(s);
+        r.leave();
+        let ev = r.take();
+        let image = build_image(
+            &program,
+            LayoutRequest::new(LayoutStrategy::LinkOrder, ImageConfig::plain("t")),
+        );
+        let out = Replayer::new(&image).replay(&ev).unwrap();
+        let addrs: Vec<u64> =
+            out.trace.iter().filter_map(|r| r.mem.map(|(_, a)| a)).collect();
+        assert!(addrs.contains(&0xBEEF10));
+        assert!(addrs.contains(&0xBEEF18));
+        assert!(addrs.contains(&0xBEEF40));
+        let _ = fxx;
+    }
+
+    #[test]
+    fn inlined_group_elides_call_overhead() {
+        let mut pb = ProgramBuilder::new();
+        let (inner, s_inner) = pb.function("inner", FuncKind::Path, FrameSpec::standard(), |fb| {
+            fb.straight("w", Body::ops(10))
+        });
+        let (outer, (s_o, s_c)) =
+            pb.function("outer", FuncKind::Path, FrameSpec::standard(), |fb| {
+                let o = fb.straight("w", Body::ops(10));
+                let c = fb.call("c", inner, Body::ops(2));
+                (o, c)
+            });
+        let program = pb.build();
+        let rec = || {
+            let mut r = Recorder::new();
+            r.enter(outer);
+            r.seg(s_o);
+            r.call(s_c, inner);
+            r.seg(s_inner);
+            r.leave();
+            r.leave();
+            r.take()
+        };
+        let ev = rec();
+
+        let plain = build_image(
+            &program,
+            LayoutRequest::new(
+                LayoutStrategy::Linear,
+                ImageConfig::plain("plain").with_outline(true),
+            )
+            .with_canonical(&ev),
+        );
+        let pinned = build_image(
+            &program,
+            LayoutRequest::new(
+                LayoutStrategy::Linear,
+                ImageConfig::plain("pin").with_outline(true),
+            )
+            .with_canonical(&ev)
+            .with_inline(vec![InlineSpec {
+                name: "merged".into(),
+                funcs: vec![outer, inner],
+            }]),
+        );
+        let t_plain = Replayer::new(&plain).replay(&ev).unwrap();
+        let t_pin = Replayer::new(&pinned).replay(&ev).unwrap();
+        assert_eq!(count(&t_pin, InstClass::Call), 0, "no call instructions left");
+        assert_eq!(count(&t_pin, InstClass::Ret), 0);
+        assert!(
+            t_pin.len() + 10 < t_plain.len(),
+            "inlining must remove call overhead: {} vs {}",
+            t_pin.len(),
+            t_plain.len()
+        );
+        assert!(t_pin.taken < t_plain.taken);
+    }
+
+    #[test]
+    fn call_specialization_skips_prologue_and_got_load() {
+        let fxx = fx();
+        let ev = record(&fxx, false, 0);
+        let base = build_image(
+            &fxx.program,
+            LayoutRequest::new(
+                LayoutStrategy::Linear,
+                ImageConfig::plain("clo").with_outline(true),
+            )
+            .with_canonical(&ev),
+        );
+        let spec = build_image(
+            &fxx.program,
+            LayoutRequest::new(
+                LayoutStrategy::Linear,
+                ImageConfig::plain("clo+spec")
+                    .with_outline(true)
+                    .with_specialization(true),
+            )
+            .with_canonical(&ev),
+        );
+        let t_base = Replayer::new(&base).replay(&ev).unwrap();
+        let t_spec = Replayer::new(&spec).replay(&ev).unwrap();
+        // GOT load + skippable prologue instruction(s) removed.
+        assert!(
+            t_spec.len() + 2 <= t_base.len(),
+            "specialized {} vs base {}",
+            t_spec.len(),
+            t_base.len()
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let fxx = fx();
+        let image = img(&fxx, true);
+        let ev = record(&fxx, false, 2);
+        let a = Replayer::new(&image).replay(&ev).unwrap();
+        let b = Replayer::new(&image).replay(&ev).unwrap();
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn unused_fraction_drops_with_outlining() {
+        let fxx = fx();
+        let ev = record(&fxx, false, 0);
+        let plain = img(&fxx, false);
+        let outlined = img(&fxx, true);
+        let u_plain =
+            Replayer::new(&plain).replay(&ev).unwrap().unused_fraction(32);
+        let u_out =
+            Replayer::new(&outlined).replay(&ev).unwrap().unused_fraction(32);
+        assert!(
+            u_out < u_plain,
+            "outlined unused {u_out:.3} must be below plain {u_plain:.3}"
+        );
+    }
+
+    #[test]
+    fn mismatched_segment_owner_is_an_error() {
+        let fxx = fx();
+        let image = img(&fxx, false);
+        let mut r = Recorder::new();
+        r.enter(fxx.main);
+        r.seg(fxx.s_leaf); // belongs to leaf, not main
+        r.leave();
+        let err = Replayer::new(&image).replay(&r.take());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unbalanced_stream_is_an_error() {
+        let fxx = fx();
+        let image = img(&fxx, false);
+        let mut r = Recorder::new();
+        r.enter(fxx.main);
+        let err = Replayer::new(&image).replay(r.stream());
+        assert!(err.is_err());
+    }
+}

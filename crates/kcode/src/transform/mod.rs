@@ -1,0 +1,11 @@
+//! Code transformations: outlining and path-inlining.
+//!
+//! (Cloning is a *placement* decision, so it lives in [`crate::layout`];
+//! the call-specialization it enables is applied by the replayer based on
+//! caller/callee distance.)
+
+pub mod inline;
+pub mod outline;
+
+pub use inline::{merged_block_order, InlinePlan, MergedGroup};
+pub use outline::{laid_len, needs_term_slot, split_hot_cold};

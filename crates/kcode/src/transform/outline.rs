@@ -1,0 +1,201 @@
+//! Outlining: hot/cold block partitioning and the static terminator-slot
+//! rules.
+//!
+//! Outlining is the paper's conservative, language-based variant: only
+//! blocks carrying a static annotation (`PREDICT_FALSE`/`PREDICT_TRUE` on
+//! an if, never-entered loops, explicit initialization code) are moved.
+//! The transformation itself is a block *ordering*: the hot blocks stay
+//! in source order; cold blocks are emitted after them (or in a shared
+//! cold region, when the layout strategy separates cold code entirely).
+//!
+//! Whether a block physically ends with a jump instruction depends on the
+//! ordering, which is why [`needs_term_slot`] takes an
+//! `out_of_line` predicate.  The rules mirror what a compiler emits:
+//!
+//! * conditional tests, loop bodies, call sites and epilogues always
+//!   contain their control instruction;
+//! * a block moved out of line must jump back to the join point;
+//! * a then-arm followed inline by its else-arm must jump over it — but
+//!   if the else-arm was outlined, the then-arm falls through to the join
+//!   and the jump disappears (one of the ways outlining removes taken
+//!   branches).
+
+use crate::func::{BlockCtx, BlockRole, Function};
+use crate::ids::BlockIdx;
+
+/// Partition a function's non-entry/exit blocks into (hot-in-source-order,
+/// cold-in-source-order).  The entry block is always first in hot; the
+/// exit block is always last in hot.
+pub fn split_hot_cold(func: &Function) -> (Vec<BlockIdx>, Vec<BlockIdx>) {
+    let mut hot = Vec::new();
+    let mut cold = Vec::new();
+    for (i, b) in func.blocks.iter().enumerate() {
+        let idx = BlockIdx(i as u32);
+        if b.cold {
+            cold.push(idx);
+        } else {
+            hot.push(idx);
+        }
+    }
+    (hot, cold)
+}
+
+/// Does `block` statically need a terminator instruction slot, given
+/// which blocks are placed out of line?
+pub fn needs_term_slot(
+    func: &Function,
+    block: BlockIdx,
+    out_of_line: &dyn Fn(BlockIdx) -> bool,
+) -> bool {
+    let b = func.block(block);
+    match b.role {
+        BlockRole::CondTest
+        | BlockRole::LoopBody
+        | BlockRole::CallSite
+        | BlockRole::Exit => true,
+        _ => {
+            if out_of_line(block) {
+                // Outlined code must jump back to the mainline.
+                return true;
+            }
+            match func.block_ctx(block) {
+                BlockCtx::ThenWithElse { else_blk } => {
+                    // Jump over the else-arm — unless the else-arm was
+                    // outlined, in which case the then-arm falls through.
+                    !out_of_line(else_blk)
+                }
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Laid-out length of a block in instructions: its body plus the
+/// terminator slot if one is required.
+pub fn laid_len(
+    func: &Function,
+    block: BlockIdx,
+    out_of_line: &dyn Fn(BlockIdx) -> bool,
+) -> u32 {
+    let body = func.block(block).body.len();
+    body + needs_term_slot(func, block, out_of_line) as u32
+}
+
+/// Static size in instructions of the function as laid out with the given
+/// outlining decision applied to every cold block.
+pub fn laid_size(func: &Function, outline: bool) -> u32 {
+    let ool = |b: BlockIdx| outline && func.block(b).cold;
+    (0..func.blocks.len())
+        .map(|i| laid_len(func, BlockIdx(i as u32), &ool))
+        .sum()
+}
+
+/// Static size of only the mainline (hot) code under the given outlining
+/// decision — the paper's Table 9 "Size" with outlining.
+pub fn hot_laid_size(func: &Function, outline: bool) -> u32 {
+    let ool = |b: BlockIdx| outline && func.block(b).cold;
+    (0..func.blocks.len())
+        .filter(|i| !func.blocks[*i].cold)
+        .map(|i| laid_len(func, BlockIdx(i as u32), &ool))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::Body;
+    use crate::func::{FrameSpec, FuncKind, FunctionBuilder, Predict, SegKind};
+    use crate::ids::FuncId;
+
+    fn sample() -> Function {
+        let mut fb = FunctionBuilder::new(
+            FuncId(0),
+            "f",
+            FuncKind::Path,
+            FrameSpec::standard(),
+            0,
+        );
+        fb.straight("work", Body::ops(10));
+        fb.cond("err", Body::ops(2), Body::ops(40), Predict::False);
+        fb.cond_else("sel", Body::ops(2), Body::ops(6), Body::ops(30), Predict::True);
+        fb.finish()
+    }
+
+    #[test]
+    fn split_separates_cold_blocks() {
+        let f = sample();
+        let (hot, cold) = split_hot_cold(&f);
+        assert_eq!(hot.len() + cold.len(), f.blocks.len());
+        assert_eq!(cold.len(), 2, "err.then and sel.else are cold");
+        for c in &cold {
+            assert!(f.block(*c).cold);
+        }
+        // Hot order preserves source order.
+        for w in hot.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn cond_test_always_has_slot() {
+        let f = sample();
+        let never = |_: BlockIdx| false;
+        for (i, b) in f.blocks.iter().enumerate() {
+            if b.role == BlockRole::CondTest {
+                assert!(needs_term_slot(&f, BlockIdx(i as u32), &never));
+            }
+        }
+    }
+
+    #[test]
+    fn outlined_block_gains_jump_back_slot() {
+        let f = sample();
+        let (_, cold) = split_hot_cold(&f);
+        let err_then = cold[0];
+        let inline_pred = |_: BlockIdx| false;
+        let outline_pred = |b: BlockIdx| f.block(b).cold;
+        assert!(!needs_term_slot(&f, err_then, &inline_pred));
+        assert!(needs_term_slot(&f, err_then, &outline_pred));
+    }
+
+    #[test]
+    fn then_with_else_loses_jump_when_else_outlined() {
+        let f = sample();
+        // Find the then-arm of "sel".
+        let sel_then = f
+            .segments
+            .iter()
+            .find_map(|s| match &s.kind {
+                SegKind::Cond { then_blk, else_blk: Some(_), .. } => Some(*then_blk),
+                _ => None,
+            })
+            .unwrap();
+        let inline_pred = |_: BlockIdx| false;
+        let outline_pred = |b: BlockIdx| f.block(b).cold;
+        assert!(needs_term_slot(&f, sel_then, &inline_pred), "jump over else");
+        assert!(
+            !needs_term_slot(&f, sel_then, &outline_pred),
+            "else outlined: then falls through to join"
+        );
+    }
+
+    #[test]
+    fn outlining_shrinks_mainline_size() {
+        let f = sample();
+        let full = laid_size(&f, false);
+        let hot = hot_laid_size(&f, true);
+        assert!(hot < full);
+        // The cold bodies (40 + 30 instructions) dominate the reduction.
+        assert!(full - hot >= 68, "full={full} hot={hot}");
+    }
+
+    #[test]
+    fn laid_size_with_outline_can_exceed_without_by_jumpbacks() {
+        // Total size with outlining adds jump-back slots on cold blocks
+        // and removes the then-over-else jump; net effect small.
+        let f = sample();
+        let without = laid_size(&f, false);
+        let with = laid_size(&f, true);
+        assert!((with as i64 - without as i64).abs() <= 2);
+    }
+}

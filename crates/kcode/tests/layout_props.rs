@@ -1,0 +1,182 @@
+//! Property tests over the layout engine: placements never overlap, and
+//! the strategies keep their defining invariants on arbitrary programs.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use kcode::events::Recorder;
+use kcode::func::{FrameSpec, FuncKind};
+use kcode::layout::{build_image, LayoutRequest, LayoutStrategy};
+use kcode::program::ProgramBuilder;
+use kcode::{Body, EventStream, FuncId, Image, ImageConfig, Program, SegId};
+
+fn build_chain(sizes: &[(bool, u16)]) -> (Arc<Program>, Vec<FuncId>, Vec<SegId>, Vec<SegId>) {
+    let mut pb = ProgramBuilder::new();
+    let mut funcs = Vec::new();
+    let mut segs = Vec::new();
+    let mut calls = Vec::new();
+    let mut prev: Option<FuncId> = None;
+    for (i, (lib, size)) in sizes.iter().enumerate().rev() {
+        let callee = prev;
+        let kind = if *lib { FuncKind::Library } else { FuncKind::Path };
+        let (f, (s, c)) = pb.function(&format!("f{i}"), kind, FrameSpec::standard(), |fb| {
+            let s = fb.straight_checked("w", Body::ops(*size));
+            let c = callee.map(|cc| fb.call("down", cc, Body::ops(2)));
+            (s, c)
+        });
+        funcs.push(f);
+        segs.push(s);
+        if let Some(c) = c {
+            calls.push(c);
+        }
+        prev = Some(f);
+    }
+    funcs.reverse();
+    segs.reverse();
+    calls.reverse();
+    (pb.build(), funcs, segs, calls)
+}
+
+fn record_walk(
+    funcs: &[FuncId],
+    segs: &[SegId],
+    calls: &[SegId],
+) -> EventStream {
+    let mut rec = Recorder::new();
+    rec.enter(funcs[0]);
+    rec.seg(segs[0]);
+    for i in 1..funcs.len() {
+        rec.call(calls[i - 1], funcs[i]);
+        rec.seg(segs[i]);
+    }
+    for _ in 1..funcs.len() {
+        rec.leave();
+    }
+    rec.leave();
+    rec.take()
+}
+
+/// All placed block spans of an image, as (start, end) byte ranges.
+fn spans(image: &Image) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for fi in 0..image.program.functions().len() {
+        let f = FuncId(fi as u32);
+        let p = image.placement(f);
+        for i in 0..p.block_addr.len() {
+            if p.block_len[i] > 0 {
+                out.push((p.block_addr[i], p.block_addr[i] + p.block_len[i] as u64 * 4));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_layout_overlaps_blocks(
+        sizes in proptest::collection::vec((any::<bool>(), 8u16..120), 2..8),
+        outline in any::<bool>(),
+    ) {
+        let (program, funcs, segs, calls) = build_chain(&sizes);
+        let ev = record_walk(&funcs, &segs, &calls);
+        for strat in [
+            LayoutStrategy::LinkOrder,
+            LayoutStrategy::Linear,
+            LayoutStrategy::Bipartite,
+            LayoutStrategy::MicroPosition,
+            LayoutStrategy::Bad,
+        ] {
+            let image = build_image(
+                &program,
+                LayoutRequest::new(strat, ImageConfig::plain("p").with_outline(outline))
+                    .with_canonical(&ev),
+            );
+            let sp = spans(&image);
+            for w in sp.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].0,
+                    "{strat:?}: blocks overlap: {:x?} vs {:x?}",
+                    w[0],
+                    w[1]
+                );
+            }
+            prop_assert!(image.code_end >= sp.last().map(|(_, e)| *e).unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn linear_layout_orders_by_first_call(
+        sizes in proptest::collection::vec((any::<bool>(), 8u16..120), 2..8),
+    ) {
+        let (program, funcs, segs, calls) = build_chain(&sizes);
+        let ev = record_walk(&funcs, &segs, &calls);
+        let image = build_image(
+            &program,
+            LayoutRequest::new(LayoutStrategy::Linear, ImageConfig::plain("lin"))
+                .with_canonical(&ev),
+        );
+        for w in funcs.windows(2) {
+            prop_assert!(
+                image.entry_addr(w[0]) < image.entry_addr(w[1]),
+                "call order must be address order"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_layout_aliases_every_hot_function(
+        sizes in proptest::collection::vec((any::<bool>(), 8u16..120), 2..8),
+    ) {
+        let (program, funcs, segs, calls) = build_chain(&sizes);
+        let ev = record_walk(&funcs, &segs, &calls);
+        let image = build_image(
+            &program,
+            LayoutRequest::new(
+                LayoutStrategy::Bad,
+                ImageConfig::plain("bad").with_outline(true),
+            )
+            .with_canonical(&ev),
+        );
+        let icache = 8 * 1024u64;
+        let idx0 = image.entry_addr(funcs[0]) % icache;
+        for f in &funcs[1..] {
+            prop_assert_eq!(image.entry_addr(*f) % icache, idx0);
+        }
+    }
+
+    #[test]
+    fn bipartite_keeps_library_out_of_the_path_window(
+        sizes in proptest::collection::vec((any::<bool>(), 8u16..120), 2..8),
+    ) {
+        prop_assume!(sizes.iter().any(|(lib, _)| *lib));
+        prop_assume!(sizes.iter().any(|(lib, _)| !*lib));
+        let (program, funcs, segs, calls) = build_chain(&sizes);
+        let ev = record_walk(&funcs, &segs, &calls);
+        let image = build_image(
+            &program,
+            LayoutRequest::new(
+                LayoutStrategy::Bipartite,
+                ImageConfig::plain("bip").with_outline(true),
+            )
+            .with_canonical(&ev),
+        );
+        let icache = 8 * 1024u64;
+        // Every library entry index is above every path entry index.
+        let max_path = funcs
+            .iter()
+            .filter(|f| program.function(**f).kind == FuncKind::Path)
+            .map(|f| image.entry_addr(*f) % icache)
+            .max();
+        let min_lib = funcs
+            .iter()
+            .filter(|f| program.function(**f).kind == FuncKind::Library)
+            .map(|f| image.entry_addr(*f) % icache)
+            .min();
+        if let (Some(p), Some(l)) = (max_path, min_lib) {
+            prop_assert!(l > p, "library index {l} must sit above path max {p}");
+        }
+    }
+}

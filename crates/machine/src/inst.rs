@@ -1,0 +1,142 @@
+//! Dynamic instruction records — the unit of the trace format shared
+//! between the code model (`kcode`) and this machine model.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional class of an instruction, as far as the timing model cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstClass {
+    /// Simple integer ALU operation (add, logical, shift, compare, cmov).
+    Alu,
+    /// Integer multiply — long latency on the 21064 (~19 extra cycles).
+    Mul,
+    /// A load instruction (the data address is in [`InstRecord::mem`]).
+    Load,
+    /// A store instruction (the data address is in [`InstRecord::mem`]).
+    Store,
+    /// Conditional branch that fell through (not taken).
+    BranchNotTaken,
+    /// Conditional branch that was taken, or an unconditional jump.
+    BranchTaken,
+    /// Subroutine call (jsr/bsr) — a taken control transfer.
+    Call,
+    /// Subroutine return — a taken control transfer.
+    Ret,
+    /// No-op (used for alignment padding that is actually fetched).
+    Nop,
+}
+
+impl InstClass {
+    /// Does this class redirect the fetch stream?
+    pub fn is_taken_control(self) -> bool {
+        matches!(
+            self,
+            InstClass::BranchTaken | InstClass::Call | InstClass::Ret
+        )
+    }
+
+    /// Is this a memory instruction?
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstClass::Load | InstClass::Store)
+    }
+}
+
+/// Direction of a data-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    Read,
+    Write,
+}
+
+/// One dynamically executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstRecord {
+    /// Instruction address (the *laid-out* address, after any code
+    /// placement transformation).
+    pub pc: u64,
+    /// Timing class.
+    pub class: InstClass,
+    /// Data address touched, for loads and stores.
+    pub mem: Option<(MemOp, u64)>,
+}
+
+impl InstRecord {
+    pub fn new(pc: u64, class: InstClass) -> Self {
+        InstRecord { pc, class, mem: None }
+    }
+
+    /// Simple ALU instruction at `pc`.
+    pub fn alu(pc: u64) -> Self {
+        InstRecord::new(pc, InstClass::Alu)
+    }
+
+    /// Integer multiply at `pc`.
+    pub fn mul(pc: u64) -> Self {
+        InstRecord::new(pc, InstClass::Mul)
+    }
+
+    /// Load from `addr`.
+    pub fn load(pc: u64, addr: u64) -> Self {
+        InstRecord {
+            pc,
+            class: InstClass::Load,
+            mem: Some((MemOp::Read, addr)),
+        }
+    }
+
+    /// Store to `addr`.
+    pub fn store(pc: u64, addr: u64) -> Self {
+        InstRecord {
+            pc,
+            class: InstClass::Store,
+            mem: Some((MemOp::Write, addr)),
+        }
+    }
+
+    /// Taken branch at `pc`.
+    pub fn branch_taken(pc: u64) -> Self {
+        InstRecord::new(pc, InstClass::BranchTaken)
+    }
+
+    /// Not-taken branch at `pc`.
+    pub fn branch_not_taken(pc: u64) -> Self {
+        InstRecord::new(pc, InstClass::BranchNotTaken)
+    }
+
+    /// Call at `pc`.
+    pub fn call(pc: u64) -> Self {
+        InstRecord::new(pc, InstClass::Call)
+    }
+
+    /// Return at `pc`.
+    pub fn ret(pc: u64) -> Self {
+        InstRecord::new(pc, InstClass::Ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstClass::BranchTaken.is_taken_control());
+        assert!(InstClass::Call.is_taken_control());
+        assert!(InstClass::Ret.is_taken_control());
+        assert!(!InstClass::BranchNotTaken.is_taken_control());
+        assert!(!InstClass::Alu.is_taken_control());
+        assert!(InstClass::Load.is_mem());
+        assert!(InstClass::Store.is_mem());
+        assert!(!InstClass::Mul.is_mem());
+    }
+
+    #[test]
+    fn constructors_set_mem_field() {
+        assert_eq!(InstRecord::load(4, 0x100).mem, Some((MemOp::Read, 0x100)));
+        assert_eq!(
+            InstRecord::store(8, 0x200).mem,
+            Some((MemOp::Write, 0x200))
+        );
+        assert_eq!(InstRecord::alu(0).mem, None);
+    }
+}

@@ -1,0 +1,131 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! Events carry a caller-defined payload; the harness pops them in time
+//! order and dispatches.  Time never goes backwards.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Ns;
+
+/// The event queue plus the simulation clock.
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: BinaryHeap<Reverse<(Ns, u64, EventSlot<E>)>>,
+    now: Ns,
+    seq: u64,
+}
+
+/// Wrapper so payloads don't need Ord.
+#[derive(Debug)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    pub fn new() -> Self {
+        Engine { queue: BinaryHeap::new(), now: 0, seq: 0 }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at` (clamped to now).
+    pub fn schedule(&mut self, at: Ns, payload: E) {
+        let at = at.max(self.now);
+        self.queue.push(Reverse((at, self.seq, EventSlot(payload))));
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` `delay` after now.
+    pub fn schedule_in(&mut self, delay: Ns, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pop the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Ns, E)> {
+        let Reverse((t, _, EventSlot(e))) = self.queue.pop()?;
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Advance the clock without an event (e.g. processing time).
+    pub fn advance(&mut self, delta: Ns) {
+        self.now += delta;
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_and_advances_clock() {
+        let mut e = Engine::new();
+        e.schedule(300, "c");
+        e.schedule(100, "a");
+        e.schedule(200, "b");
+        assert_eq!(e.pop(), Some((100, "a")));
+        assert_eq!(e.now(), 100);
+        assert_eq!(e.pop(), Some((200, "b")));
+        assert_eq!(e.pop(), Some((300, "c")));
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut e = Engine::new();
+        e.schedule(5, 1);
+        e.schedule(5, 2);
+        assert_eq!(e.pop().unwrap().1, 1);
+        assert_eq!(e.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut e = Engine::new();
+        e.schedule(100, "first");
+        e.pop();
+        e.schedule(50, "late");
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, 100, "no time travel");
+    }
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut e: Engine<()> = Engine::new();
+        e.advance(42);
+        assert_eq!(e.now(), 42);
+    }
+}

@@ -1,0 +1,152 @@
+//! Fault injection: probabilistic drop and corruption with a seeded,
+//! deterministic RNG, in the style of smoltcp's example fault injector.
+//! Used by the loss-recovery example and the TCP retransmission tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What happened to a frame passing through the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    Delivered,
+    Dropped,
+    /// One octet was flipped (the FCS will catch it at the receiver).
+    Corrupted,
+}
+
+/// Fault statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub seen: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+}
+
+/// The injector.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+    /// Probability a frame is dropped, in [0, 1].
+    pub drop_chance: f64,
+    /// Probability one octet of a surviving frame is flipped.
+    pub corrupt_chance: f64,
+    /// Frames larger than this are dropped (None = no limit).
+    pub size_limit: Option<usize>,
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// A transparent injector (no faults).
+    pub fn transparent() -> Self {
+        Self::new(0.0, 0.0, 7)
+    }
+
+    pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_chance));
+        assert!((0.0..=1.0).contains(&corrupt_chance));
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+            drop_chance,
+            corrupt_chance,
+            size_limit: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Pass frame bytes through the injector, mutating them on
+    /// corruption.  Returns the frame's fate.
+    pub fn process(&mut self, bytes: &mut Vec<u8>) -> Fate {
+        self.stats.seen += 1;
+        if let Some(limit) = self.size_limit {
+            if bytes.len() > limit {
+                self.stats.dropped += 1;
+                return Fate::Dropped;
+            }
+        }
+        if self.drop_chance > 0.0 && self.rng.gen_bool(self.drop_chance) {
+            self.stats.dropped += 1;
+            return Fate::Dropped;
+        }
+        if self.corrupt_chance > 0.0 && self.rng.gen_bool(self.corrupt_chance) {
+            let idx = self.rng.gen_range(0..bytes.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            bytes[idx] ^= bit;
+            self.stats.corrupted += 1;
+            return Fate::Corrupted;
+        }
+        Fate::Delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_delivers_everything() {
+        let mut inj = FaultInjector::transparent();
+        for _ in 0..100 {
+            let mut b = vec![0u8; 64];
+            assert_eq!(inj.process(&mut b), Fate::Delivered);
+        }
+        assert_eq!(inj.stats.dropped, 0);
+        assert_eq!(inj.stats.corrupted, 0);
+    }
+
+    #[test]
+    fn always_drop_drops() {
+        let mut inj = FaultInjector::new(1.0, 0.0, 1);
+        let mut b = vec![0u8; 64];
+        assert_eq!(inj.process(&mut b), Fate::Dropped);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut inj = FaultInjector::new(0.0, 1.0, 2);
+        let orig = vec![0u8; 64];
+        let mut b = orig.clone();
+        assert_eq!(inj.process(&mut b), Fate::Corrupted);
+        let diff: u32 = orig
+            .iter()
+            .zip(&b)
+            .map(|(a, c)| (a ^ c).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn seeded_injector_is_deterministic() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(0.3, 0.2, seed);
+            (0..50)
+                .map(|_| {
+                    let mut b = vec![0u8; 64];
+                    inj.process(&mut b)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn drop_rate_is_approximately_honoured() {
+        let mut inj = FaultInjector::new(0.25, 0.0, 9);
+        for _ in 0..4000 {
+            let mut b = vec![0u8; 64];
+            inj.process(&mut b);
+        }
+        let rate = inj.stats.dropped as f64 / inj.stats.seen as f64;
+        assert!((rate - 0.25).abs() < 0.05, "rate={rate}");
+    }
+
+    #[test]
+    fn size_limit_drops_oversize() {
+        let mut inj = FaultInjector::transparent();
+        inj.size_limit = Some(100);
+        let mut small = vec![0u8; 64];
+        let mut big = vec![0u8; 200];
+        assert_eq!(inj.process(&mut small), Fate::Delivered);
+        assert_eq!(inj.process(&mut big), Fate::Dropped);
+    }
+}

@@ -1,0 +1,224 @@
+//! Ethernet II framing.
+//!
+//! Real wire format: destination and source MAC, EtherType, payload
+//! padded to the 46-byte minimum, and a frame check sequence.  The FCS
+//! here is a simple 32-bit sum (we need corruption *detection* for the
+//! fault-injection tests, not IEEE CRC32 compatibility).
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    pub fn new(b: [u8; 6]) -> Self {
+        MacAddr(b)
+    }
+
+    pub fn bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// EtherType values used by the stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    /// The x-kernel RPC suite rides directly on Ethernet in our model.
+    Xrpc,
+    Other(u16),
+}
+
+impl EtherType {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Xrpc => 0x3007,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x3007 => EtherType::Xrpc,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// Minimum frame size on the wire (header + payload + FCS).
+pub const MIN_FRAME: usize = 64;
+/// Maximum payload (MTU).
+pub const MTU: usize = 1500;
+/// Header: 6 + 6 + 2.
+pub const HEADER: usize = 14;
+/// FCS trailer.
+pub const FCS: usize = 4;
+/// Preamble + SFD transmitted before the frame.
+pub const PREAMBLE: usize = 8;
+
+/// An Ethernet frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub dst: MacAddr,
+    pub src: MacAddr,
+    pub ethertype: EtherType,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Self {
+        assert!(payload.len() <= MTU, "payload exceeds MTU");
+        Frame { dst, src, ethertype, payload }
+    }
+
+    /// Bytes occupying the wire (header + padded payload + FCS), i.e.
+    /// at least [`MIN_FRAME`].
+    pub fn wire_len(&self) -> usize {
+        (HEADER + self.payload.len() + FCS).max(MIN_FRAME)
+    }
+
+    fn fcs_of(bytes: &[u8]) -> u32 {
+        bytes
+            .iter()
+            .fold(0xFFFF_FFFFu32, |acc, b| acc.rotate_left(5) ^ (*b as u32))
+    }
+
+    /// Serialize to wire bytes (with padding and FCS).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let padded = self.payload.len().max(MIN_FRAME - HEADER - FCS);
+        let mut out = Vec::with_capacity(HEADER + padded + FCS);
+        out.extend_from_slice(self.dst.bytes());
+        out.extend_from_slice(self.src.bytes());
+        out.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out.resize(HEADER + padded, 0);
+        let fcs = Self::fcs_of(&out);
+        out.extend_from_slice(&fcs.to_be_bytes());
+        out
+    }
+
+    /// Parse wire bytes; verifies the FCS.  The original payload length
+    /// is unrecoverable after padding (like real Ethernet) — upper
+    /// layers carry their own lengths.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < MIN_FRAME {
+            return Err(FrameError::Runt(bytes.len()));
+        }
+        let body = &bytes[..bytes.len() - FCS];
+        let fcs = u32::from_be_bytes(bytes[bytes.len() - FCS..].try_into().unwrap());
+        if Self::fcs_of(body) != fcs {
+            return Err(FrameError::BadFcs);
+        }
+        let dst = MacAddr(body[0..6].try_into().unwrap());
+        let src = MacAddr(body[6..12].try_into().unwrap());
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([body[12], body[13]]));
+        Ok(Frame { dst, src, ethertype, payload: body[HEADER..].to_vec() })
+    }
+}
+
+/// Frame parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the Ethernet minimum.
+    Runt(usize),
+    /// Frame check sequence mismatch (corruption).
+    BadFcs,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Runt(n) => write!(f, "runt frame of {n} bytes"),
+            FrameError::BadFcs => write!(f, "bad frame check sequence"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Frame {
+        Frame::new(
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            MacAddr([2, 0, 0, 0, 0, 2]),
+            EtherType::Ipv4,
+            payload.to_vec(),
+        )
+    }
+
+    #[test]
+    fn min_frame_is_64_bytes() {
+        let f = frame(b"x");
+        assert_eq!(f.wire_len(), 64);
+        assert_eq!(f.to_bytes().len(), 64);
+    }
+
+    #[test]
+    fn large_frame_keeps_length() {
+        let f = frame(&[0u8; 1000]);
+        assert_eq!(f.wire_len(), 14 + 1000 + 4);
+    }
+
+    #[test]
+    fn roundtrip_preserves_payload_prefix() {
+        let f = frame(b"hello world");
+        let parsed = Frame::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(parsed.dst, f.dst);
+        assert_eq!(parsed.src, f.src);
+        assert_eq!(parsed.ethertype, f.ethertype);
+        assert!(parsed.payload.starts_with(b"hello world"));
+        assert_eq!(parsed.payload.len(), 46, "padded to minimum");
+    }
+
+    #[test]
+    fn corruption_detected_by_fcs() {
+        let mut bytes = frame(b"payload").to_bytes();
+        bytes[20] ^= 0x40;
+        assert_eq!(Frame::from_bytes(&bytes), Err(FrameError::BadFcs));
+    }
+
+    #[test]
+    fn runt_rejected() {
+        assert!(matches!(
+            Frame::from_bytes(&[0u8; 10]),
+            Err(FrameError::Runt(10))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MTU")]
+    fn oversize_payload_panics() {
+        frame(&[0u8; 1501]);
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for et in [EtherType::Ipv4, EtherType::Xrpc, EtherType::Other(0x86dd)] {
+            assert_eq!(EtherType::from_u16(et.to_u16()), et);
+        }
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(
+            MacAddr([2, 0, 0, 0, 0, 0x1a]).to_string(),
+            "02:00:00:00:00:1a"
+        );
+    }
+}

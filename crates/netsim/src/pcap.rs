@@ -1,0 +1,115 @@
+//! libpcap-format capture writer (after smoltcp's `--pcap` example
+//! option): record every frame the simulation puts on the wire and
+//! inspect it in Wireshark.
+
+use crate::Ns;
+
+/// Linktype for Ethernet frames.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Classic pcap magic (microsecond timestamps).
+pub const MAGIC: u32 = 0xa1b2_c3d4;
+
+/// An in-memory pcap capture.
+#[derive(Debug, Clone)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    records: usize,
+}
+
+impl Default for PcapWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcapWriter {
+    /// A capture with the global header written.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(1024);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        PcapWriter { buf, records: 0 }
+    }
+
+    /// Append one frame captured at simulated time `at`.
+    pub fn record(&mut self, at: Ns, frame: &[u8]) {
+        let us = at / 1_000;
+        let secs = (us / 1_000_000) as u32;
+        let usecs = (us % 1_000_000) as u32;
+        self.buf.extend_from_slice(&secs.to_le_bytes());
+        self.buf.extend_from_slice(&usecs.to_le_bytes());
+        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(frame);
+        self.records += 1;
+    }
+
+    /// Number of frames recorded.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The complete capture file contents.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write the capture to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_header_is_24_bytes_with_magic() {
+        let w = PcapWriter::new();
+        let b = w.as_bytes();
+        assert_eq!(b.len(), 24);
+        assert_eq!(u32::from_le_bytes(b[0..4].try_into().unwrap()), MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(b[20..24].try_into().unwrap()),
+            LINKTYPE_ETHERNET
+        );
+    }
+
+    #[test]
+    fn records_carry_timestamps_and_lengths() {
+        let mut w = PcapWriter::new();
+        let frame = vec![0xAAu8; 64];
+        w.record(1_500_000, &frame); // 1.5 ms
+        assert_eq!(w.len(), 1);
+        let b = w.as_bytes();
+        let rec = &b[24..];
+        assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 0); // secs
+        assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 1_500); // usecs
+        assert_eq!(u32::from_le_bytes(rec[8..12].try_into().unwrap()), 64);
+        assert_eq!(u32::from_le_bytes(rec[12..16].try_into().unwrap()), 64);
+        assert_eq!(&rec[16..16 + 64], &frame[..]);
+    }
+
+    #[test]
+    fn multiple_records_append() {
+        let mut w = PcapWriter::new();
+        w.record(0, &[1, 2, 3]);
+        w.record(2_000_000_000, &[4, 5]); // 2 s
+        assert_eq!(w.len(), 2);
+        let b = w.as_bytes();
+        assert_eq!(b.len(), 24 + 16 + 3 + 16 + 2);
+        // Second record's seconds field.
+        let second = &b[24 + 16 + 3..];
+        assert_eq!(u32::from_le_bytes(second[0..4].try_into().unwrap()), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! 10 Mb/s Ethernet wire timing.
+//!
+//! "Consider that a minimum-sized Ethernet packet is 64 bytes long, to
+//! which an 8 byte long preamble is added.  At the speed of Ethernet
+//! (10·10⁶ bps), transmitting the frame takes 57.6 µs."  — §4.3
+
+use crate::frame::{Frame, PREAMBLE};
+use crate::Ns;
+
+/// The shared medium.
+#[derive(Debug, Clone)]
+pub struct Wire {
+    /// Bits per second.
+    pub bps: u64,
+    /// Propagation + PHY latency added to every frame.
+    pub propagation_ns: Ns,
+    /// Inter-frame gap (96 bit times on 10 Mb/s Ethernet = 9.6 µs).
+    pub ifg_ns: Ns,
+    /// Time the medium is busy until (for serialization of back-to-back
+    /// sends on the isolated segment).
+    busy_until: Ns,
+}
+
+impl Wire {
+    /// Standard 10 Mb/s Ethernet.
+    pub fn ethernet_10mbps() -> Self {
+        Wire { bps: 10_000_000, propagation_ns: 200, ifg_ns: 9_600, busy_until: 0 }
+    }
+
+    /// Serialization time for a frame (preamble + wire bytes).
+    pub fn tx_time(&self, frame: &Frame) -> Ns {
+        let bits = (frame.wire_len() + PREAMBLE) as u64 * 8;
+        bits * 1_000_000_000 / self.bps
+    }
+
+    /// Transmit starting no earlier than `now`; returns (start, arrival)
+    /// times, honouring medium busy state and the inter-frame gap.
+    pub fn transmit(&mut self, now: Ns, frame: &Frame) -> (Ns, Ns) {
+        let start = now.max(self.busy_until);
+        let done = start + self.tx_time(frame);
+        self.busy_until = done + self.ifg_ns;
+        (start, done + self.propagation_ns)
+    }
+
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{EtherType, MacAddr};
+
+    fn min_frame() -> Frame {
+        Frame::new(
+            MacAddr([0; 6]),
+            MacAddr([1; 6]),
+            EtherType::Ipv4,
+            vec![0u8; 1],
+        )
+    }
+
+    #[test]
+    fn min_frame_takes_57_6_us() {
+        let w = Wire::ethernet_10mbps();
+        assert_eq!(w.tx_time(&min_frame()), 57_600);
+    }
+
+    #[test]
+    fn full_mtu_takes_about_1_2_ms() {
+        let w = Wire::ethernet_10mbps();
+        let f = Frame::new(
+            MacAddr([0; 6]),
+            MacAddr([1; 6]),
+            EtherType::Ipv4,
+            vec![0u8; 1500],
+        );
+        let t = w.tx_time(&f);
+        assert!((1_210_000..1_230_000).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn back_to_back_sends_serialize_with_ifg() {
+        let mut w = Wire::ethernet_10mbps();
+        let f = min_frame();
+        let (s1, a1) = w.transmit(0, &f);
+        let (s2, _) = w.transmit(0, &f);
+        assert_eq!(s1, 0);
+        assert!(s2 >= a1 - w.propagation_ns + w.ifg_ns);
+    }
+
+    #[test]
+    fn idle_medium_sends_immediately() {
+        let mut w = Wire::ethernet_10mbps();
+        let f = min_frame();
+        let (s, a) = w.transmit(1_000_000, &f);
+        assert_eq!(s, 1_000_000);
+        assert_eq!(a, 1_000_000 + 57_600 + w.propagation_ns);
+    }
+}

@@ -1,0 +1,112 @@
+//! The Internet checksum (RFC 1071), used by IP (header) and TCP
+//! (pseudo-header + segment).  This is the real algorithm — corrupted
+//! packets are really rejected.
+
+/// One's-complement sum of 16-bit big-endian words.
+fn sum_words(data: &[u8], mut acc: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        acc += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    acc
+}
+
+fn fold(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Checksum over a byte slice.
+pub fn in_cksum(data: &[u8]) -> u16 {
+    fold(sum_words(data, 0))
+}
+
+/// Checksum with a pseudo-header prefix sum (for TCP/UDP).
+pub fn in_cksum_pseudo(src: u32, dst: u32, proto: u8, data: &[u8]) -> u16 {
+    let mut acc = 0u32;
+    acc += src >> 16;
+    acc += src & 0xffff;
+    acc += dst >> 16;
+    acc += dst & 0xffff;
+    acc += proto as u32;
+    acc += data.len() as u32;
+    fold(sum_words(data, acc))
+}
+
+/// Verify: a correct packet checksums to zero when the stored checksum
+/// is included in the summed range.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_words(data, 0)) == 0
+}
+
+/// Verify with pseudo-header.
+pub fn verify_pseudo(src: u32, dst: u32, proto: u8, data: &[u8]) -> bool {
+    in_cksum_pseudo(src, dst, proto, data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(in_cksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn verify_accepts_correct_packet() {
+        let mut pkt = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06];
+        pkt.extend_from_slice(&[0, 0]); // checksum slot
+        pkt.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let ck = in_cksum(&pkt);
+        pkt[10] = (ck >> 8) as u8;
+        pkt[11] = (ck & 0xff) as u8;
+        assert!(verify(&pkt));
+    }
+
+    #[test]
+    fn verify_rejects_flipped_bit() {
+        let mut pkt = vec![1u8, 2, 3, 4, 5, 6];
+        let ck = in_cksum(&pkt);
+        pkt.push((ck >> 8) as u8);
+        pkt.push((ck & 0xff) as u8);
+        assert!(verify(&pkt));
+        pkt[3] ^= 0x10;
+        assert!(!verify(&pkt));
+    }
+
+    #[test]
+    fn odd_length_handled() {
+        let data = [0xab];
+        assert_eq!(in_cksum(&data), !0xab00);
+    }
+
+    #[test]
+    fn pseudo_header_binds_addresses() {
+        let data = b"segment";
+        let a = in_cksum_pseudo(0x0a000001, 0x0a000002, 6, data);
+        let b = in_cksum_pseudo(0x0a000001, 0x0a000003, 6, data);
+        assert_ne!(a, b, "different dst must change the checksum");
+    }
+
+    #[test]
+    fn pseudo_verify_roundtrip() {
+        let src = 0x0a000001;
+        let dst = 0x0a000002;
+        // Build a fake segment with a checksum field at offset 16.
+        let mut seg = vec![0u8; 24];
+        seg[0] = 0x13;
+        seg[23] = 0x77;
+        let ck = in_cksum_pseudo(src, dst, 6, &seg);
+        seg[16] = (ck >> 8) as u8;
+        seg[17] = (ck & 0xff) as u8;
+        assert!(verify_pseudo(src, dst, 6, &seg));
+    }
+}

@@ -1,0 +1,40 @@
+//! # protocols — the paper's two test stacks
+//!
+//! Both protocol stacks of Figure 1, functional end to end over the
+//! `netsim` wire, each function carrying a KIR code model so layout
+//! techniques apply to it:
+//!
+//! ```text
+//!   TCPTEST            XRPCTEST
+//!   TCP                MSELECT
+//!   IP                 VCHAN
+//!   VNET               CHAN
+//!   ETH                BID
+//!   LANCE              BLAST
+//!                      ETH
+//!                      LANCE
+//! ```
+//!
+//! * [`tcpip`] — BSD-derived TCP (sequence/ack state machine,
+//!   retransmission, congestion and receive windows, optional header
+//!   prediction, real Internet checksum), IPv4 with fragmentation, the
+//!   VNET virtual protocol, Ethernet framing and the LANCE driver.
+//! * [`rpc`] — the Sprite-style RPC decomposition: MSELECT dispatch,
+//!   VCHAN virtual channels, CHAN request-reply with blocking calls,
+//!   BID boot-id validation, BLAST fragmentation.
+//! * [`options`] — the Section-2 optimization toggles (Table 1) — each
+//!   switches both the functional code path and the code model.
+//! * [`checksum`] — the real Internet checksum.
+//! * [`libmodel`] — KIR models of the shared library routines
+//!   (checksum, bcopy, software divide, allocator, map and message
+//!   operations).
+//! * [`driver`] — the LANCE driver shared by both stacks.
+
+pub mod checksum;
+pub mod driver;
+pub mod libmodel;
+pub mod options;
+pub mod rpc;
+pub mod tcpip;
+
+pub use options::StackOptions;

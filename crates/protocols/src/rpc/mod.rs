@@ -1,0 +1,32 @@
+//! The RPC test stack (the right column of Figure 1).
+
+pub mod host;
+pub mod model;
+pub mod wire;
+
+pub use host::{RpcHost, RpcTimer, CHAN_RTO_NS, FRAG_SIZE};
+pub use model::RpcModel;
+pub use wire::{BidHdr, BlastHdr, ChanHdr};
+
+use xkernel::graph::StackGraph;
+
+/// The paper's Figure 1 (right): the RPC protocol graph.
+pub fn stack_graph() -> StackGraph {
+    let mut g = StackGraph::new("RPC stack");
+    let test = g.node("XRPCTEST");
+    let msel = g.node("MSELECT");
+    let vchan = g.node("VCHAN");
+    let chan = g.node("CHAN");
+    let bid = g.node("BID");
+    let blast = g.node("BLAST");
+    let eth = g.node("ETH");
+    let lance = g.node("LANCE");
+    g.edge(test, msel);
+    g.edge(msel, vchan);
+    g.edge(vchan, chan);
+    g.edge(chan, bid);
+    g.edge(bid, blast);
+    g.edge(blast, eth);
+    g.edge(eth, lance);
+    g
+}

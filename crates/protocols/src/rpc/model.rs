@@ -1,0 +1,569 @@
+//! KIR code models for the RPC stack.
+//!
+//! The RPC stack is the paper's exemplar of the x-kernel decomposition
+//! style: "many small protocols", hence many small functions with deep
+//! call chains — the structure that makes cloning and path-inlining
+//! shine (lots of call overhead to remove, lots of inter-function
+//! conflict-miss opportunities for the layouts to win or lose).
+
+use kcode::classifier::{Check, Classifier, ClassifierProgram};
+use kcode::func::{FrameSpec, FuncKind};
+use kcode::program::ProgramBuilder;
+use kcode::{Body, FuncId, Predict, RegionId, SegId};
+
+use crate::libmodel::LibModels;
+use crate::options::StackOptions;
+
+/// Body-size calibration: straight-line instruction counts and data
+/// reference counts are scaled so the dynamic client-side roundtrip
+/// trace matches the paper's measured lengths (≈4750 instructions for
+/// TCP/IP, ≈4291 for RPC, ≈39% memory references).
+const ALU_SCALE: u16 = 6;
+const MEM_SCALE: u16 = 10;
+
+#[inline]
+fn o(n: u16) -> u16 {
+    n * ALU_SCALE
+}
+
+#[inline]
+fn m(n: u16) -> u16 {
+    n * MEM_SCALE
+}
+
+
+/// Function/segment ids for the RPC stack.
+#[derive(Debug, Clone)]
+pub struct RpcModel {
+    pub opts: StackOptions,
+    pub chan_region: RegionId,
+    pub vchan_region: RegionId,
+    pub blast_region: RegionId,
+    pub route_region: RegionId,
+
+    // XRPCTEST
+    pub f_xtest_call: FuncId,
+    pub s_xc_marshal: SegId,
+    pub s_xc_call: SegId,
+    pub s_xc_unmarshal: SegId,
+    pub f_xtest_serve: FuncId,
+    pub s_xs_dispatch: SegId,
+    pub s_xs_reply_call: SegId,
+
+    // MSELECT
+    pub f_msel_call: FuncId,
+    pub s_msel_pick: SegId,
+    pub s_msel_call: SegId,
+    pub f_msel_demux: FuncId,
+    pub s_mseld_find: SegId,
+    pub s_mseld_call: SegId,
+
+    // VCHAN
+    pub f_vchan_call: FuncId,
+    pub s_vch_alloc: SegId,
+    pub s_vch_wait: SegId,
+    pub s_vch_call: SegId,
+    pub f_vchan_demux: FuncId,
+    pub s_vchd_find: SegId,
+    pub s_vchd_free: SegId,
+    pub s_vchd_call: SegId,
+
+    // CHAN
+    pub f_chan_call: FuncId,
+    pub s_ch_hdr: SegId,
+    pub s_ch_push_site: SegId,
+    pub s_ch_timer_site: SegId,
+    pub s_ch_block_site: SegId,
+    pub s_ch_call: SegId,
+
+    /// The awakened client thread: context switch, unwind through
+    /// VCHAN/MSELECT, result unmarshalling.
+    pub f_chan_resume: FuncId,
+    pub s_res_switch_site: SegId,
+    pub s_res_unwind: SegId,
+    pub s_res_vchan_free: SegId,
+    pub s_res_unmarshal: SegId,
+    pub f_chan_demux: FuncId,
+    pub s_chd_parse: SegId,
+    pub s_chd_map_hit: SegId,
+    pub s_chd_map_site: SegId,
+    pub s_chd_dup: SegId,
+    pub s_chd_is_reply: SegId,
+    pub s_chd_timer_site: SegId,
+    pub s_chd_signal_site: SegId,
+    pub s_chd_call_up: SegId,
+    pub f_chan_reply: FuncId,
+    pub s_chr_hdr: SegId,
+    pub s_chr_push_site: SegId,
+    pub s_chr_call: SegId,
+    pub f_chan_timeout: FuncId,
+    pub s_cht_checks: SegId,
+    pub s_cht_call: SegId,
+
+    // BID
+    pub f_bid_push: FuncId,
+    pub s_bid_hdr: SegId,
+    pub s_bid_push_site: SegId,
+    pub s_bid_call: SegId,
+    pub f_bid_pop: FuncId,
+    pub s_bidp_check: SegId,
+    pub s_bidp_stale: SegId,
+    pub s_bidp_pop_site: SegId,
+    pub s_bidp_call: SegId,
+
+    // BLAST
+    pub f_blast_push: FuncId,
+    pub s_bl_hdr: SegId,
+    pub s_bl_push_site: SegId,
+    pub s_bl_single: SegId,
+    pub s_bl_frag_loop: SegId,
+    pub s_bl_call: SegId,
+    pub f_blast_pop: FuncId,
+    pub s_blp_parse: SegId,
+    pub s_blp_single: SegId,
+    pub s_blp_nack: SegId,
+    pub s_blp_resend_call: SegId,
+    pub s_blp_reass: SegId,
+    pub s_blp_complete: SegId,
+    pub s_blp_pop_site: SegId,
+    pub s_blp_call: SegId,
+
+    /// Receiver-side NACK generation (selective-retransmission timer).
+    pub f_blast_nack: FuncId,
+    pub s_nk_build: SegId,
+    pub s_nk_call: SegId,
+
+    // ETH (the RPC program has its own instance)
+    pub f_eth_output: FuncId,
+    pub s_etho_hdr: SegId,
+    pub s_etho_arp: SegId,
+    pub s_etho_call_drv: SegId,
+    pub f_eth_demux: FuncId,
+    pub s_ethd_parse: SegId,
+    pub s_ethd_type: SegId,
+    pub s_ethd_pop_site: SegId,
+    pub s_ethd_call_up: SegId,
+
+    // Interrupt dispatch
+    pub f_intr: FuncId,
+    pub s_intr_dispatch: SegId,
+    pub s_intr_call_rx: SegId,
+    pub s_intr_call_demux: SegId,
+    pub s_intr_refresh: SegId,
+    pub s_intr_destroy_site: SegId,
+    pub s_intr_alloc_site: SegId,
+
+    pub classifier: Classifier,
+}
+
+impl RpcModel {
+    pub fn register(pb: &mut ProgramBuilder, lib: &LibModels, opts: StackOptions) -> Self {
+        let chan_region = pb.region("chan_state", 4096);
+        let vchan_region = pb.region("vchan_state", 2048);
+        let blast_region = pb.region("blast_state", 4096);
+        let route_region = pb.region("rpc_routes", 2048);
+        let ch = chan_region;
+        let vc = vchan_region;
+        let bl = blast_region;
+
+        // --- output chain (client call) -----------------------------------
+
+        let (f_eth_output, eo) =
+            pb.function("rpc_eth_output", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let hdr = fb.straight_checked("hdr", Body::ops(o(16)).store_operand(0, 0, m(4), 4));
+                let arp = fb.straight_checked("resolve", Body::ops(o(8)).load_struct(route_region, 0, m(2), 8));
+                let call_drv = fb.call_indirect("drv_tx", Body::ops(o(3)));
+                (hdr, arp, call_drv)
+            });
+
+        let (f_blast_push, blo) =
+            pb.function("blast_push", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let hdr = fb.straight_checked(
+                    "hdr",
+                    Body::ops(o(22)).load_struct(bl, 0, m(3), 8).store_operand(0, 0, m(4), 4),
+                );
+                let push_site = fb.call("hdr_push", lib.msg.f_push, Body::ops(o(2)));
+                let single = fb.cond(
+                    "single_frag",
+                    Body::ops(o(6)),
+                    Body::ops(o(10)).store_struct(bl, 64, m(2), 8),
+                    Predict::True,
+                );
+                let frag_loop = fb.loop_seg("frag_emit", Body::ops(o(26)), false);
+                let call = fb.call("xpush_eth", f_eth_output, Body::ops(o(3)));
+                (hdr, push_site, single, frag_loop, call)
+            });
+
+        let (f_bid_push, bio) =
+            pb.function("bid_push", FuncKind::Path, FrameSpec::standard(), |fb| {
+                let hdr = fb.straight_checked(
+                    "hdr",
+                    Body::ops(o(10)).load_struct(ch, 0, m(1), 8).store_operand(0, 0, m(2), 4),
+                );
+                let push_site = fb.call("hdr_push", lib.msg.f_push, Body::ops(o(2)));
+                let call = fb.call("xpush_blast", f_blast_push, Body::ops(o(3)));
+                (hdr, push_site, call)
+            });
+
+        let (f_chan_call, cho) =
+            pb.function("chan_call", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let hdr = fb.straight_checked(
+                    "hdr",
+                    Body::ops(o(30))
+                        .load_struct(ch, 0, m(4), 8)
+                        .store_struct(ch, 32, m(3), 8)
+                        .store_operand(0, 0, m(4), 4),
+                );
+                let push_site = fb.call("hdr_push", lib.msg.f_push, Body::ops(o(2)));
+                let timer_site = fb.call("timeout_arm", lib.event.f_schedule, Body::ops(o(2)));
+                let call = fb.call("xpush_bid", f_bid_push, Body::ops(o(3)));
+                let block_site = fb.call("await_reply", lib.thread.f_sem_wait, Body::ops(o(2)));
+                (hdr, push_site, timer_site, block_site, call)
+            });
+
+        let (f_vchan_call, vco) =
+            pb.function("vchan_call", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let alloc = fb.straight_checked(
+                    "alloc",
+                    Body::ops(o(16)).load_struct(vc, 0, m(3), 8).store_struct(vc, 0, m(2), 8),
+                );
+                let wait = fb.cond(
+                    "none_free",
+                    Body::ops(o(4)),
+                    Body::ops(o(20)),
+                    Predict::False,
+                );
+                let call = fb.call("xcall_chan", f_chan_call, Body::ops(o(3)));
+                (alloc, wait, call)
+            });
+
+        let (f_msel_call, mso) =
+            pb.function("mselect_call", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let pick = fb.straight_checked(
+                    "pick",
+                    Body::ops(o(12)).load_struct(ch, 128, m(2), 8),
+                );
+                let call = fb.call("xcall_vchan", f_vchan_call, Body::ops(o(3)));
+                (pick, call)
+            });
+
+        let (f_xtest_call, xco) =
+            pb.function("xrpctest_call", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let marshal = fb.straight_checked("marshal", Body::ops(o(14)));
+                let call = fb.call("xcall_msel", f_msel_call, Body::ops(o(3)));
+                let unmarshal = fb.straight_checked("unmarshal", Body::ops(o(10)));
+                (marshal, call, unmarshal)
+            });
+
+        // --- input chain ---------------------------------------------------
+
+        let (f_xtest_serve, xs) =
+            pb.function("xrpctest_serve", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let dispatch = fb.straight_checked("dispatch", Body::ops(o(16)).load_operand(0, 0, m(2), 8));
+                let reply_call = fb.call_indirect("reply", Body::ops(o(3)));
+                (dispatch, reply_call)
+            });
+
+        let (f_msel_demux, msd) =
+            pb.function("mselect_demux", FuncKind::Path, FrameSpec::standard(), |fb| {
+                let find = fb.straight_checked("find", Body::ops(o(10)).load_struct(ch, 128, m(1), 8));
+                let call = fb.call_indirect("xdemux_up", Body::ops(o(3)));
+                (find, call)
+            });
+
+        let (f_vchan_demux, vcd) =
+            pb.function("vchan_demux", FuncKind::Path, FrameSpec::standard(), |fb| {
+                let find = fb.straight_checked("find", Body::ops(o(10)).load_struct(vc, 0, m(2), 8));
+                let free = fb.cond(
+                    "free_chan",
+                    Body::ops(o(4)),
+                    Body::ops(o(8)).store_struct(vc, 0, m(1), 8),
+                    Predict::None,
+                );
+                let call = fb.call_indirect("xdemux_msel", Body::ops(o(3)));
+                (find, free, call)
+            });
+
+        let (f_chan_reply, chr) =
+            pb.function("chan_reply", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let hdr = fb.straight_checked(
+                    "hdr",
+                    Body::ops(o(22)).load_struct(ch, 0, m(3), 8).store_operand(0, 0, m(4), 4),
+                );
+                let push_site = fb.call("hdr_push", lib.msg.f_push, Body::ops(o(2)));
+                let call = fb.call("xpush_bid", f_bid_push, Body::ops(o(3)));
+                (hdr, push_site, call)
+            });
+
+        let (f_chan_demux, chd) =
+            pb.function("chan_demux", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let parse = fb.straight_checked(
+                    "parse",
+                    Body::ops(o(20)).load_operand(0, 0, m(4), 4).load_struct(ch, 0, m(2), 8),
+                );
+                let map_hit = fb.cond(
+                    "map_cache",
+                    Body::ops(4).load_struct(lib.map_region, 0, 1, 8),
+                    Body::ops(2),
+                    Predict::True,
+                );
+                let map_site = fb.call("map_resolve", lib.map.f_lookup, Body::ops(o(3)));
+                let dup = fb.cond(
+                    "dup_seq",
+                    Body::ops(o(6)).load_struct(ch, 32, m(1), 8),
+                    Body::ops(o(24)),
+                    Predict::False,
+                );
+                let is_reply = fb.cond_else(
+                    "req_or_rep",
+                    Body::ops(o(4)),
+                    Body::ops(o(10)).store_struct(ch, 40, m(2), 8),
+                    Body::ops(o(12)).store_struct(ch, 48, m(2), 8),
+                    Predict::None,
+                );
+                let timer_site = fb.call("timeout_cancel", lib.event.f_cancel, Body::ops(o(2)));
+                let signal_site = fb.call("wake_caller", lib.thread.f_sem_signal, Body::ops(o(2)));
+                let call_up = fb.call_indirect("xdemux_up", Body::ops(o(3)));
+                (parse, map_hit, map_site, dup, is_reply, timer_site, signal_site, call_up)
+            });
+
+        let (f_chan_resume, res) =
+            pb.function("chan_resume", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let switch_site = fb.call("ctx_switch", lib.thread.f_switch, Body::ops(o(2)));
+                let unwind = fb.straight_checked("unwind", Body::ops(o(18)).load_struct(ch, 32, m(2), 8));
+                let vfree = fb.straight_checked(
+                    "vchan_free",
+                    Body::ops(o(8)).store_struct(vc, 0, m(2), 8),
+                );
+                let unmarshal = fb.straight_checked("unmarshal", Body::ops(o(10)));
+                (switch_site, unwind, vfree, unmarshal)
+            });
+
+        let (f_chan_timeout, cht) =
+            pb.function("chan_timeout", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let checks = fb.straight_checked(
+                    "checks",
+                    Body::ops(o(18)).load_struct(ch, 32, m(3), 8).store_struct(ch, 32, m(1), 8),
+                );
+                let call = fb.call("rexmit", f_bid_push, Body::ops(o(3)));
+                (checks, call)
+            });
+
+        let (f_bid_pop, bip) =
+            pb.function("bid_pop", FuncKind::Path, FrameSpec::standard(), |fb| {
+                let check = fb.straight_checked(
+                    "check",
+                    Body::ops(o(8)).load_operand(0, 0, m(2), 4).load_struct(ch, 0, m(1), 8),
+                );
+                let stale = fb.cond(
+                    "stale_bootid",
+                    Body::ops(o(4)),
+                    Body::ops(o(16)),
+                    Predict::False,
+                );
+                let pop_site = fb.call("hdr_pop", lib.msg.f_pop, Body::ops(o(2)));
+                let call = fb.call("xdemux_chan", f_chan_demux, Body::ops(o(3)));
+                (check, stale, pop_site, call)
+            });
+
+        let (f_blast_pop, blp) =
+            pb.function("blast_pop", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let parse = fb.straight_checked(
+                    "parse",
+                    Body::ops(o(18)).load_operand(0, 0, m(4), 4).load_struct(bl, 0, m(2), 8),
+                );
+                let nack = fb.cond(
+                    "is_nack",
+                    Body::ops(4),
+                    Body::ops(24).load_struct(bl, 128, 2, 8),
+                    Predict::False,
+                );
+                let resend_call = fb.call("resend", f_eth_output, Body::ops(o(3)));
+                let single = fb.cond(
+                    "single_frag",
+                    Body::ops(o(6)),
+                    Body::ops(o(8)),
+                    Predict::True,
+                );
+                let reass = fb.loop_seg("reass", Body::ops(o(24)), false);
+                let complete = fb.cond(
+                    "complete",
+                    Body::ops(o(4)),
+                    Body::ops(o(12)).store_struct(bl, 64, m(2), 8),
+                    Predict::False,
+                );
+                let pop_site = fb.call("hdr_pop", lib.msg.f_pop, Body::ops(o(2)));
+                let call = fb.call("xdemux_bid", f_bid_pop, Body::ops(o(3)));
+                (parse, nack, resend_call, single, reass, complete, pop_site, call)
+            });
+
+        let (f_blast_nack, nk) =
+            pb.function("blast_nack", FuncKind::Path, FrameSpec::standard(), |fb| {
+                let build = fb.straight_checked(
+                    "build",
+                    Body::ops(o(14)).load_struct(bl, 64, m(2), 8).store_operand(0, 0, m(3), 4),
+                );
+                let call = fb.call("xpush_eth", f_eth_output, Body::ops(o(3)));
+                (build, call)
+            });
+
+        let (f_eth_demux, ed) =
+            pb.function("rpc_eth_demux", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let parse = fb.straight_checked("parse", Body::ops(o(12)).load_operand(0, 0, m(3), 4));
+                let ty = fb.cond("ethertype", Body::ops(o(4)), Body::ops(o(8)), Predict::True);
+                let pop_site = fb.call("hdr_pop", lib.msg.f_pop, Body::ops(o(2)));
+                let call_up = fb.call("xdemux_blast", f_blast_pop, Body::ops(o(3)));
+                (parse, ty, pop_site, call_up)
+            });
+
+        let (f_intr, intr) =
+            pb.function("rpc_netintr", FuncKind::Path, FrameSpec::heavy(), |fb| {
+                let dispatch = fb.straight_checked("dispatch", Body::ops(o(16)).load_struct(ch, 200, m(2), 8));
+                let call_rx = fb.call_indirect("drv_rx", Body::ops(o(3)));
+                let call_demux = fb.call("demux", f_eth_demux, Body::ops(o(3)));
+                let refresh = fb.cond(
+                    "refresh_fast",
+                    Body::ops(o(6)).load_struct(lib.pool_region, 0, m(1), 8),
+                    Body::ops(o(4)).store_struct(lib.pool_region, 0, m(1), 8),
+                    Predict::True,
+                );
+                let destroy_site = fb.call("msg_destroy", lib.msg.f_destroy, Body::ops(o(2)));
+                let alloc_site = fb.call("msg_alloc", lib.alloc.f_malloc, Body::ops(o(2)));
+                (dispatch, call_rx, call_demux, refresh, destroy_site, alloc_site)
+            });
+
+        let classifier = Classifier::register(
+            pb,
+            "rpc_classifier",
+            ClassifierProgram::new(vec![
+                Check::half(12, 0x3007), // EtherType XRPC
+                Check::half(14, 1),      // BLAST version
+            ]),
+        );
+
+        RpcModel {
+            opts,
+            chan_region,
+            vchan_region,
+            blast_region,
+            route_region,
+            f_xtest_call,
+            s_xc_marshal: xco.0,
+            s_xc_call: xco.1,
+            s_xc_unmarshal: xco.2,
+            f_xtest_serve,
+            s_xs_dispatch: xs.0,
+            s_xs_reply_call: xs.1,
+            f_msel_call,
+            s_msel_pick: mso.0,
+            s_msel_call: mso.1,
+            f_msel_demux,
+            s_mseld_find: msd.0,
+            s_mseld_call: msd.1,
+            f_vchan_call,
+            s_vch_alloc: vco.0,
+            s_vch_wait: vco.1,
+            s_vch_call: vco.2,
+            f_vchan_demux,
+            s_vchd_find: vcd.0,
+            s_vchd_free: vcd.1,
+            s_vchd_call: vcd.2,
+            f_chan_call,
+            s_ch_hdr: cho.0,
+            s_ch_push_site: cho.1,
+            s_ch_timer_site: cho.2,
+            s_ch_block_site: cho.3,
+            s_ch_call: cho.4,
+            f_chan_resume,
+            s_res_switch_site: res.0,
+            s_res_unwind: res.1,
+            s_res_vchan_free: res.2,
+            s_res_unmarshal: res.3,
+            f_chan_demux,
+            s_chd_parse: chd.0,
+            s_chd_map_hit: chd.1,
+            s_chd_map_site: chd.2,
+            s_chd_dup: chd.3,
+            s_chd_is_reply: chd.4,
+            s_chd_timer_site: chd.5,
+            s_chd_signal_site: chd.6,
+            s_chd_call_up: chd.7,
+            f_chan_reply,
+            s_chr_hdr: chr.0,
+            s_chr_push_site: chr.1,
+            s_chr_call: chr.2,
+            f_chan_timeout,
+            s_cht_checks: cht.0,
+            s_cht_call: cht.1,
+            f_bid_push,
+            s_bid_hdr: bio.0,
+            s_bid_push_site: bio.1,
+            s_bid_call: bio.2,
+            f_bid_pop,
+            s_bidp_check: bip.0,
+            s_bidp_stale: bip.1,
+            s_bidp_pop_site: bip.2,
+            s_bidp_call: bip.3,
+            f_blast_push,
+            s_bl_hdr: blo.0,
+            s_bl_push_site: blo.1,
+            s_bl_single: blo.2,
+            s_bl_frag_loop: blo.3,
+            s_bl_call: blo.4,
+            f_blast_pop,
+            s_blp_parse: blp.0,
+            s_blp_nack: blp.1,
+            s_blp_resend_call: blp.2,
+            s_blp_single: blp.3,
+            s_blp_reass: blp.4,
+            s_blp_complete: blp.5,
+            s_blp_pop_site: blp.6,
+            s_blp_call: blp.7,
+            f_blast_nack,
+            s_nk_build: nk.0,
+            s_nk_call: nk.1,
+            f_eth_output,
+            s_etho_hdr: eo.0,
+            s_etho_arp: eo.1,
+            s_etho_call_drv: eo.2,
+            f_eth_demux,
+            s_ethd_parse: ed.0,
+            s_ethd_type: ed.1,
+            s_ethd_pop_site: ed.2,
+            s_ethd_call_up: ed.3,
+            f_intr,
+            s_intr_dispatch: intr.0,
+            s_intr_call_rx: intr.1,
+            s_intr_call_demux: intr.2,
+            s_intr_refresh: intr.3,
+            s_intr_destroy_site: intr.4,
+            s_intr_alloc_site: intr.5,
+            classifier,
+        }
+    }
+
+    /// Output-side path-inlining group: XRPCTEST/MSELECT/VCHAN call
+    /// processing plus CHAN-and-below output processing (the paper's
+    /// split).
+    pub fn output_path_funcs(&self) -> Vec<FuncId> {
+        vec![
+            self.f_xtest_call,
+            self.f_msel_call,
+            self.f_vchan_call,
+            self.f_chan_call,
+            self.f_bid_push,
+            self.f_blast_push,
+            self.f_eth_output,
+        ]
+    }
+
+    /// Input-side group: everything up to CHAN.
+    pub fn input_path_funcs(&self) -> Vec<FuncId> {
+        vec![
+            self.f_eth_demux,
+            self.f_blast_pop,
+            self.f_bid_pop,
+            self.f_chan_demux,
+        ]
+    }
+}

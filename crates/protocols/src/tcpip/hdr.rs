@@ -1,0 +1,293 @@
+//! IPv4 and TCP header codecs — real byte-level wire formats.
+
+use crate::checksum;
+
+/// Protocol numbers.
+pub const IPPROTO_TCP: u8 = 6;
+
+/// An IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpHdr {
+    pub total_len: u16,
+    pub ident: u16,
+    /// Fragment flags+offset field: bit 13 = MF, low 13 bits = offset/8.
+    pub frag: u16,
+    pub ttl: u8,
+    pub proto: u8,
+    pub src: u32,
+    pub dst: u32,
+}
+
+impl IpHdr {
+    pub const LEN: usize = 20;
+    pub const MF: u16 = 0x2000;
+    pub const DF: u16 = 0x4000;
+
+    pub fn more_fragments(&self) -> bool {
+        self.frag & Self::MF != 0
+    }
+
+    pub fn frag_offset_bytes(&self) -> usize {
+        ((self.frag & 0x1fff) as usize) * 8
+    }
+
+    /// Serialize with a correct header checksum.
+    pub fn to_bytes(&self) -> [u8; Self::LEN] {
+        let mut b = [0u8; Self::LEN];
+        b[0] = 0x45; // v4, ihl=5
+        b[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        b[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        b[6..8].copy_from_slice(&self.frag.to_be_bytes());
+        b[8] = self.ttl;
+        b[9] = self.proto;
+        b[12..16].copy_from_slice(&self.src.to_be_bytes());
+        b[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let ck = checksum::in_cksum(&b);
+        b[10..12].copy_from_slice(&ck.to_be_bytes());
+        b
+    }
+
+    /// Parse and verify (version, IHL, checksum).
+    pub fn from_bytes(b: &[u8]) -> Result<IpHdr, IpError> {
+        if b.len() < Self::LEN {
+            return Err(IpError::Truncated);
+        }
+        if b[0] != 0x45 {
+            return Err(IpError::BadVersionOrOptions(b[0]));
+        }
+        if !checksum::verify(&b[..Self::LEN]) {
+            return Err(IpError::BadChecksum);
+        }
+        Ok(IpHdr {
+            total_len: u16::from_be_bytes([b[2], b[3]]),
+            ident: u16::from_be_bytes([b[4], b[5]]),
+            frag: u16::from_be_bytes([b[6], b[7]]),
+            ttl: b[8],
+            proto: b[9],
+            src: u32::from_be_bytes([b[12], b[13], b[14], b[15]]),
+            dst: u32::from_be_bytes([b[16], b[17], b[18], b[19]]),
+        })
+    }
+}
+
+/// IP parse/validate errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpError {
+    Truncated,
+    BadVersionOrOptions(u8),
+    BadChecksum,
+    TtlExpired,
+}
+
+/// TCP flags.
+pub mod flags {
+    pub const FIN: u8 = 0x01;
+    pub const SYN: u8 = 0x02;
+    pub const RST: u8 = 0x04;
+    pub const PSH: u8 = 0x08;
+    pub const ACK: u8 = 0x10;
+}
+
+/// A TCP header (no options beyond MSS on SYN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHdr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: u8,
+    pub window: u16,
+    pub urgent: u16,
+}
+
+impl TcpHdr {
+    pub const LEN: usize = 20;
+
+    /// Serialize with checksum over pseudo-header + header + payload.
+    pub fn to_bytes(&self, src_ip: u32, dst_ip: u32, payload: &[u8]) -> Vec<u8> {
+        let mut seg = vec![0u8; Self::LEN + payload.len()];
+        seg[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        seg[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        seg[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        seg[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        seg[12] = 5 << 4; // data offset
+        seg[13] = self.flags;
+        seg[14..16].copy_from_slice(&self.window.to_be_bytes());
+        seg[18..20].copy_from_slice(&self.urgent.to_be_bytes());
+        seg[Self::LEN..].copy_from_slice(payload);
+        let ck = checksum::in_cksum_pseudo(src_ip, dst_ip, IPPROTO_TCP, &seg);
+        seg[16..18].copy_from_slice(&ck.to_be_bytes());
+        seg
+    }
+
+    /// Parse and verify the checksum over the whole segment.
+    pub fn from_bytes(src_ip: u32, dst_ip: u32, seg: &[u8]) -> Result<(TcpHdr, usize), TcpError> {
+        if seg.len() < Self::LEN {
+            return Err(TcpError::Truncated);
+        }
+        if !checksum::verify_pseudo(src_ip, dst_ip, IPPROTO_TCP, seg) {
+            return Err(TcpError::BadChecksum);
+        }
+        let doff = ((seg[12] >> 4) as usize) * 4;
+        if doff < Self::LEN || doff > seg.len() {
+            return Err(TcpError::BadOffset);
+        }
+        Ok((
+            TcpHdr {
+                src_port: u16::from_be_bytes([seg[0], seg[1]]),
+                dst_port: u16::from_be_bytes([seg[2], seg[3]]),
+                seq: u32::from_be_bytes([seg[4], seg[5], seg[6], seg[7]]),
+                ack: u32::from_be_bytes([seg[8], seg[9], seg[10], seg[11]]),
+                flags: seg[13],
+                window: u16::from_be_bytes([seg[14], seg[15]]),
+                urgent: u16::from_be_bytes([seg[18], seg[19]]),
+            },
+            doff,
+        ))
+    }
+}
+
+/// TCP parse/validate errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpError {
+    Truncated,
+    BadChecksum,
+    BadOffset,
+}
+
+/// Sequence-space comparisons (RFC 793 modular arithmetic).
+pub mod seq {
+    /// a < b in sequence space.
+    pub fn lt(a: u32, b: u32) -> bool {
+        (a.wrapping_sub(b) as i32) < 0
+    }
+
+    /// a <= b.
+    pub fn leq(a: u32, b: u32) -> bool {
+        a == b || lt(a, b)
+    }
+
+    /// a > b.
+    pub fn gt(a: u32, b: u32) -> bool {
+        lt(b, a)
+    }
+
+    /// a >= b.
+    pub fn geq(a: u32, b: u32) -> bool {
+        a == b || gt(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_roundtrip_with_checksum() {
+        let h = IpHdr {
+            total_len: 41,
+            ident: 0x1234,
+            frag: 0,
+            ttl: 64,
+            proto: IPPROTO_TCP,
+            src: 0x0a000001,
+            dst: 0x0a000002,
+        };
+        let bytes = h.to_bytes();
+        assert_eq!(IpHdr::from_bytes(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn ip_rejects_corruption() {
+        let h = IpHdr {
+            total_len: 40,
+            ident: 1,
+            frag: 0,
+            ttl: 64,
+            proto: 6,
+            src: 1,
+            dst: 2,
+        };
+        let mut bytes = h.to_bytes();
+        bytes[8] ^= 0x01;
+        assert_eq!(IpHdr::from_bytes(&bytes), Err(IpError::BadChecksum));
+    }
+
+    #[test]
+    fn ip_frag_fields() {
+        let h = IpHdr {
+            total_len: 100,
+            ident: 7,
+            frag: IpHdr::MF | (64 / 8),
+            ttl: 64,
+            proto: 6,
+            src: 1,
+            dst: 2,
+        };
+        assert!(h.more_fragments());
+        assert_eq!(h.frag_offset_bytes(), 64);
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_payload() {
+        let h = TcpHdr {
+            src_port: 5000,
+            dst_port: 5001,
+            seq: 1000,
+            ack: 2000,
+            flags: flags::ACK | flags::PSH,
+            window: 8760,
+            urgent: 0,
+        };
+        let seg = h.to_bytes(0x0a000001, 0x0a000002, b"x");
+        let (parsed, doff) = TcpHdr::from_bytes(0x0a000001, 0x0a000002, &seg).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(doff, 20);
+        assert_eq!(&seg[doff..], b"x");
+    }
+
+    #[test]
+    fn tcp_rejects_wrong_pseudo_header() {
+        let h = TcpHdr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            flags: flags::SYN,
+            window: 100,
+            urgent: 0,
+        };
+        let seg = h.to_bytes(0x0a000001, 0x0a000002, b"");
+        // Claiming different IPs must fail the checksum.
+        assert_eq!(
+            TcpHdr::from_bytes(0x0a000001, 0x0a000003, &seg),
+            Err(TcpError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn tcp_rejects_payload_corruption() {
+        let h = TcpHdr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 10,
+            ack: 0,
+            flags: flags::ACK,
+            window: 100,
+            urgent: 0,
+        };
+        let mut seg = h.to_bytes(1, 2, b"payload");
+        let last = seg.len() - 1;
+        seg[last] ^= 0x80;
+        assert_eq!(TcpHdr::from_bytes(1, 2, &seg), Err(TcpError::BadChecksum));
+    }
+
+    #[test]
+    fn seq_arith_wraps() {
+        use seq::*;
+        assert!(lt(0xffff_fff0, 0x10));
+        assert!(gt(0x10, 0xffff_fff0));
+        assert!(leq(5, 5));
+        assert!(geq(0, 0xffff_ff00));
+    }
+}

@@ -1,0 +1,29 @@
+//! The TCP/IP test stack (the left column of Figure 1).
+
+pub mod hdr;
+pub mod host;
+pub mod model;
+pub mod tcb;
+
+pub use host::{TcpIpHost, TimerKind};
+pub use model::TcpIpModel;
+pub use tcb::{Tcb, TcpState};
+
+use xkernel::graph::StackGraph;
+
+/// The paper's Figure 1 (left): the TCP/IP protocol graph.
+pub fn stack_graph() -> StackGraph {
+    let mut g = StackGraph::new("TCP/IP stack");
+    let test = g.node("TCPTEST");
+    let tcp = g.node("TCP");
+    let ip = g.node("IP");
+    let vnet = g.node("VNET");
+    let eth = g.node("ETH");
+    let lance = g.node("LANCE");
+    g.edge(test, tcp);
+    g.edge(tcp, ip);
+    g.edge(ip, vnet);
+    g.edge(vnet, eth);
+    g.edge(eth, lance);
+    g
+}

@@ -1,0 +1,259 @@
+//! The TCP control block and connection state machine data.
+
+use super::hdr::seq;
+
+/// TCP connection states (the subset a data-path study needs, plus
+/// enough of the handshake/teardown to open and close real
+/// connections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    Closed,
+    Listen,
+    SynSent,
+    SynReceived,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    LastAck,
+    TimeWait,
+}
+
+/// A retransmission-queue entry: an unacknowledged segment.
+#[derive(Debug, Clone)]
+pub struct RexmitEntry {
+    pub seq: u32,
+    pub flags: u8,
+    pub payload: Vec<u8>,
+}
+
+/// The TCP control block.
+///
+/// §2.2.4: on the Alpha, declaring these fields as bytes/shorts costs
+/// extract/insert instruction sequences on every access; the improved
+/// kernel widens them to words.  Here all fields are word-sized — the
+/// *cost model* charges the narrow-field penalty when
+/// `StackOptions::wide_types` is off.
+#[derive(Debug, Clone)]
+pub struct Tcb {
+    pub state: TcpState,
+    pub local_port: u16,
+    pub remote_port: u16,
+
+    // Send sequence space.
+    pub iss: u32,
+    pub snd_una: u32,
+    pub snd_nxt: u32,
+    pub snd_wnd: u32,
+    pub snd_max_wnd: u32,
+
+    // Congestion control.
+    pub snd_cwnd: u32,
+    pub ssthresh: u32,
+    pub t_dupacks: u32,
+
+    // Receive sequence space.
+    pub irs: u32,
+    pub rcv_nxt: u32,
+    pub rcv_wnd: u32,
+    /// Highest advertised window edge (rcv_nxt + window we last sent).
+    pub rcv_adv: u32,
+    pub last_ack_sent: u32,
+
+    pub mss: u32,
+    /// Segments awaiting acknowledgement.
+    pub rexmit_q: Vec<RexmitEntry>,
+    /// Out-of-order segments awaiting the gap to fill: (seq, payload).
+    pub reass_q: Vec<(u32, Vec<u8>)>,
+    /// Retransmission timer handle, if armed.
+    pub rexmit_timer: Option<xkernel::event::EventId>,
+    /// Data the application queued while the peer's window was closed
+    /// (drained by the persist-probe machinery).
+    pub pending_send: Vec<u8>,
+    /// Persist (window-probe) timer handle, if armed.
+    pub persist_timer: Option<xkernel::event::EventId>,
+    /// A window-probe byte is in flight (first byte of `pending_send`
+    /// already moved to the retransmission queue).
+    pub probe_outstanding: bool,
+    /// Need to emit a window update / ACK.
+    pub ack_pending: bool,
+
+    // Counters (for tests and reports).
+    pub segs_sent: u64,
+    pub segs_received: u64,
+    pub rexmits: u64,
+    pub pred_hits: u64,
+    pub pred_misses: u64,
+}
+
+impl Tcb {
+    pub const DEFAULT_MSS: u32 = 1460;
+    pub const DEFAULT_WND: u32 = 16 * 1024;
+
+    pub fn new(local_port: u16, remote_port: u16) -> Self {
+        Tcb {
+            state: TcpState::Closed,
+            local_port,
+            remote_port,
+            iss: 0,
+            snd_una: 0,
+            snd_nxt: 0,
+            snd_wnd: Self::DEFAULT_WND,
+            snd_max_wnd: Self::DEFAULT_WND,
+            snd_cwnd: Self::DEFAULT_WND,
+            ssthresh: Self::DEFAULT_WND,
+            t_dupacks: 0,
+            irs: 0,
+            rcv_nxt: 0,
+            rcv_wnd: Self::DEFAULT_WND,
+            rcv_adv: 0,
+            last_ack_sent: 0,
+            mss: Self::DEFAULT_MSS,
+            rexmit_q: Vec::new(),
+            reass_q: Vec::new(),
+            rexmit_timer: None,
+            pending_send: Vec::new(),
+            persist_timer: None,
+            probe_outstanding: false,
+            ack_pending: false,
+            segs_sent: 0,
+            segs_received: 0,
+            rexmits: 0,
+            pred_hits: 0,
+            pred_misses: 0,
+        }
+    }
+
+    /// Unacknowledged bytes in flight.
+    pub fn inflight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Usable send window (min of peer window and congestion window,
+    /// minus in-flight data).
+    pub fn usable_window(&self) -> u32 {
+        let w = self.snd_wnd.min(self.snd_cwnd);
+        w.saturating_sub(self.inflight())
+    }
+
+    /// Is the congestion window fully open?  The latency fast path: no
+    /// multiply/divide needed to update it.
+    pub fn cwnd_fully_open(&self) -> bool {
+        self.snd_cwnd >= self.snd_max_wnd
+    }
+
+    /// Acknowledge data up to `ack`: drop covered retransmission
+    /// entries.  Returns the number of newly acked bytes.
+    pub fn process_ack(&mut self, ack: u32) -> u32 {
+        if !seq::gt(ack, self.snd_una) {
+            return 0;
+        }
+        let acked = ack.wrapping_sub(self.snd_una);
+        self.snd_una = ack;
+        self.rexmit_q.retain(|e| {
+            let end = e.seq.wrapping_add(e.payload.len() as u32
+                + (e.flags & super::hdr::flags::SYN != 0) as u32
+                + (e.flags & super::hdr::flags::FIN != 0) as u32);
+            seq::gt(end, ack)
+        });
+        self.t_dupacks = 0;
+        acked
+    }
+
+    /// Grow the congestion window after new data was acked (slow start
+    /// or congestion avoidance).  Returns true if the update needed the
+    /// multiply/divide path (i.e. the window was not fully open).
+    pub fn grow_cwnd(&mut self, acked: u32) -> bool {
+        if self.cwnd_fully_open() {
+            return false; // common fast path
+        }
+        if self.snd_cwnd < self.ssthresh {
+            // Slow start: exponential.
+            self.snd_cwnd = (self.snd_cwnd + acked).min(self.snd_max_wnd);
+        } else {
+            // Congestion avoidance: cwnd += mss*mss/cwnd (the divide!).
+            let incr = (self.mss * self.mss / self.snd_cwnd.max(1)).max(1);
+            self.snd_cwnd = (self.snd_cwnd + incr).min(self.snd_max_wnd);
+        }
+        true
+    }
+
+    /// Enter loss recovery: halve the window.
+    pub fn on_loss(&mut self) {
+        self.ssthresh = (self.snd_cwnd / 2).max(2 * self.mss);
+        self.snd_cwnd = self.mss;
+        self.rexmits += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcpip::hdr::flags;
+
+    #[test]
+    fn ack_trims_rexmit_queue() {
+        let mut t = Tcb::new(1, 2);
+        t.snd_una = 100;
+        t.snd_nxt = 130;
+        t.rexmit_q.push(RexmitEntry { seq: 100, flags: flags::ACK, payload: vec![0; 10] });
+        t.rexmit_q.push(RexmitEntry { seq: 110, flags: flags::ACK, payload: vec![0; 20] });
+        let acked = t.process_ack(110);
+        assert_eq!(acked, 10);
+        assert_eq!(t.rexmit_q.len(), 1);
+        assert_eq!(t.snd_una, 110);
+        // Duplicate/old ACK is a no-op.
+        assert_eq!(t.process_ack(110), 0);
+        assert_eq!(t.process_ack(105), 0);
+    }
+
+    #[test]
+    fn cwnd_fast_path_when_fully_open() {
+        let mut t = Tcb::new(1, 2);
+        assert!(t.cwnd_fully_open());
+        assert!(!t.grow_cwnd(100), "fully open: no div needed");
+    }
+
+    #[test]
+    fn slow_start_doubles_then_avoidance_divides() {
+        let mut t = Tcb::new(1, 2);
+        t.snd_cwnd = t.mss;
+        t.ssthresh = 4 * t.mss;
+        assert!(t.grow_cwnd(t.mss));
+        assert_eq!(t.snd_cwnd, 2 * t.mss);
+        t.snd_cwnd = t.ssthresh; // reach avoidance
+        let before = t.snd_cwnd;
+        assert!(t.grow_cwnd(t.mss));
+        assert!(t.snd_cwnd > before);
+        assert!(t.snd_cwnd < before + t.mss, "linear, not exponential");
+    }
+
+    #[test]
+    fn loss_halves_window() {
+        let mut t = Tcb::new(1, 2);
+        t.snd_cwnd = 8 * t.mss;
+        t.on_loss();
+        assert_eq!(t.ssthresh, 4 * t.mss);
+        assert_eq!(t.snd_cwnd, t.mss);
+        assert_eq!(t.rexmits, 1);
+    }
+
+    #[test]
+    fn usable_window_accounts_for_inflight() {
+        let mut t = Tcb::new(1, 2);
+        t.snd_una = 0;
+        t.snd_nxt = 1000;
+        t.snd_wnd = 5000;
+        t.snd_cwnd = 3000;
+        assert_eq!(t.usable_window(), 2000);
+    }
+
+    #[test]
+    fn syn_fin_consume_sequence_space_in_ack_processing() {
+        let mut t = Tcb::new(1, 2);
+        t.snd_una = 50;
+        t.rexmit_q.push(RexmitEntry { seq: 50, flags: flags::SYN, payload: vec![] });
+        t.process_ack(51);
+        assert!(t.rexmit_q.is_empty(), "SYN occupies one sequence number");
+    }
+}

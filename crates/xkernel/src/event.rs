@@ -1,0 +1,157 @@
+//! Timer events on the simulated clock.
+//!
+//! Protocols schedule retransmission and timeout events against simulated
+//! time (cycles or microseconds — the manager is unit-agnostic).  Events
+//! carry a caller-defined payload and can be cancelled by id, which is
+//! how TCP's timer management behaves; the traversal-heavy "walk all
+//! connections" pattern the paper optimizes lives in `map`, not here.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Handle for cancelling a scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A deadline-ordered event set.
+#[derive(Debug)]
+pub struct EventSet<E> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    payloads: std::collections::HashMap<u64, E>,
+    cancelled: HashSet<u64>,
+    next_id: u64,
+}
+
+impl<E> Default for EventSet<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventSet<E> {
+    pub fn new() -> Self {
+        EventSet {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `when`.
+    pub fn schedule(&mut self, when: u64, payload: E) -> EventId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(Reverse((when, id)));
+        self.payloads.insert(id, payload);
+        EventId(id)
+    }
+
+    /// Cancel a scheduled event.  Returns true if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.payloads.remove(&id.0).is_some() {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time of the earliest pending event.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        self.skim();
+        self.heap.peek().map(|Reverse((t, _))| *t)
+    }
+
+    fn skim(&mut self) {
+        while let Some(Reverse((_, id))) = self.heap.peek() {
+            if self.cancelled.remove(id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Pop every event due at or before `now`.
+    pub fn expire(&mut self, now: u64) -> Vec<(u64, E)> {
+        let mut fired = Vec::new();
+        loop {
+            self.skim();
+            match self.heap.peek() {
+                Some(Reverse((t, _))) if *t <= now => {
+                    let Reverse((t, id)) = self.heap.pop().unwrap();
+                    if let Some(p) = self.payloads.remove(&id) {
+                        fired.push((t, p));
+                    }
+                }
+                _ => break,
+            }
+        }
+        fired
+    }
+
+    /// Number of live (scheduled, uncancelled) events.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut ev = EventSet::new();
+        ev.schedule(30, "c");
+        ev.schedule(10, "a");
+        ev.schedule(20, "b");
+        let fired = ev.expire(25);
+        assert_eq!(fired, vec![(10, "a"), (20, "b")]);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev.next_deadline(), Some(30));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut ev = EventSet::new();
+        let id = ev.schedule(10, 1);
+        ev.schedule(20, 2);
+        assert!(ev.cancel(id));
+        assert!(!ev.cancel(id), "double cancel");
+        let fired = ev.expire(100);
+        assert_eq!(fired, vec![(20, 2)]);
+    }
+
+    #[test]
+    fn same_deadline_fires_in_schedule_order() {
+        let mut ev = EventSet::new();
+        ev.schedule(10, "first");
+        ev.schedule(10, "second");
+        let fired = ev.expire(10);
+        assert_eq!(fired, vec![(10, "first"), (10, "second")]);
+    }
+
+    #[test]
+    fn next_deadline_skips_cancelled() {
+        let mut ev = EventSet::new();
+        let id = ev.schedule(5, ());
+        ev.schedule(15, ());
+        ev.cancel(id);
+        assert_eq!(ev.next_deadline(), Some(15));
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let mut ev: EventSet<()> = EventSet::new();
+        assert!(ev.is_empty());
+        assert_eq!(ev.next_deadline(), None);
+        assert!(ev.expire(1000).is_empty());
+    }
+}

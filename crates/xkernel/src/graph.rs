@@ -1,0 +1,136 @@
+//! Protocol-stack graphs, and the renderer for the paper's Figure 1.
+
+/// A protocol graph: nodes are protocol names, edges point from a
+/// protocol to the protocol below it.
+#[derive(Debug, Clone, Default)]
+pub struct StackGraph {
+    pub name: String,
+    nodes: Vec<String>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl StackGraph {
+    pub fn new(name: &str) -> Self {
+        StackGraph { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Add a protocol; returns its node index.
+    pub fn node(&mut self, name: &str) -> usize {
+        self.nodes.push(name.to_string());
+        self.nodes.len() - 1
+    }
+
+    /// Declare that `upper` sits on top of `lower`.
+    pub fn edge(&mut self, upper: usize, lower: usize) {
+        assert!(upper < self.nodes.len() && lower < self.nodes.len());
+        self.edges.push((upper, lower));
+    }
+
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Topological depth of each node (0 = top).
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.nodes.len()];
+        // Relax edges repeatedly (graphs are tiny DAGs).
+        for _ in 0..self.nodes.len() {
+            for &(u, l) in &self.edges {
+                if depth[l] < depth[u] + 1 {
+                    depth[l] = depth[u] + 1;
+                }
+            }
+        }
+        depth
+    }
+
+    /// Render as ASCII art, one layer per line, top protocol first —
+    /// the textual equivalent of the paper's Figure 1.
+    pub fn render(&self) -> String {
+        let depths = self.depths();
+        let max_depth = depths.iter().copied().max().unwrap_or(0);
+        let mut out = format!("{}\n", self.name);
+        let width = self
+            .nodes
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(self.name.len());
+        for d in 0..=max_depth {
+            let layer: Vec<&str> = self
+                .nodes
+                .iter()
+                .zip(&depths)
+                .filter(|(_, dd)| **dd == d)
+                .map(|(n, _)| n.as_str())
+                .collect();
+            if layer.is_empty() {
+                continue;
+            }
+            let label = layer.join(" | ");
+            out.push_str(&format!("  +{}+\n", "-".repeat(width + 2)));
+            out.push_str(&format!("  | {label:^width$} |\n"));
+        }
+        out.push_str(&format!("  +{}+\n", "-".repeat(width + 2)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_stack() -> StackGraph {
+        let mut g = StackGraph::new("TCP/IP stack");
+        let test = g.node("TCPTEST");
+        let tcp = g.node("TCP");
+        let ip = g.node("IP");
+        let vnet = g.node("VNET");
+        let eth = g.node("ETH");
+        let lance = g.node("LANCE");
+        g.edge(test, tcp);
+        g.edge(tcp, ip);
+        g.edge(ip, vnet);
+        g.edge(vnet, eth);
+        g.edge(eth, lance);
+        g
+    }
+
+    #[test]
+    fn depths_follow_edges() {
+        let g = tcp_stack();
+        assert_eq!(g.depths(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn render_lists_top_first() {
+        let g = tcp_stack();
+        let s = g.render();
+        let tcptest = s.find("TCPTEST").unwrap();
+        let lance = s.find("LANCE").unwrap();
+        assert!(tcptest < lance);
+        assert!(s.contains("TCP/IP stack"));
+    }
+
+    #[test]
+    fn parallel_protocols_share_a_layer() {
+        let mut g = StackGraph::new("x");
+        let a = g.node("A");
+        let b1 = g.node("B1");
+        let b2 = g.node("B2");
+        let c = g.node("C");
+        g.edge(a, b1);
+        g.edge(a, b2);
+        g.edge(b1, c);
+        g.edge(b2, c);
+        let depths = g.depths();
+        assert_eq!(depths[b1], depths[b2]);
+        let s = g.render();
+        assert!(s.contains("B1 | B2"));
+    }
+}

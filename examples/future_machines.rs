@@ -1,0 +1,17 @@
+//! The paper's §5 concluding remarks, quantified: the memory wall
+//! (266 MHz core on a 66 MB/s memory system) and modern low-latency
+//! network adaptors both magnify the value of the mCPI-reducing
+//! techniques.
+//!
+//! ```text
+//! cargo run --release --example future_machines
+//! ```
+
+fn main() {
+    println!("{}", protolat::core::experiments::future::run().render());
+    println!(
+        "The paper, 1996: \"the impact of mCPI reducing techniques is\n\
+         becoming increasingly important as the gap between processor and\n\
+         memory speeds widens\" — thirty years of the memory wall agree."
+    );
+}

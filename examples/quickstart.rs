@@ -1,0 +1,44 @@
+//! Quickstart: measure one TCP/IP roundtrip on the simulated DEC
+//! 3000/600 and print the latency breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use protolat::core::config::{StackKind, Version};
+use protolat::core::experiments::latency::measure;
+use protolat::protocols::StackOptions;
+
+fn main() {
+    println!("protolat quickstart — one TCP/IP ping-pong roundtrip\n");
+
+    for version in [Version::Std, Version::All] {
+        let r = measure(StackKind::TcpIp, version, StackOptions::improved());
+        let t = &r.timing;
+        println!("version {} ({}):", version.name(), match version {
+            Version::Std => "improved kernel, no layout techniques",
+            _ => "outlining + cloning + path-inlining",
+        });
+        println!("  end-to-end roundtrip : {:>7.1} us", r.end_to_end_us);
+        println!("  client processing    : {:>7.1} us (traced code)", t.tp_us());
+        println!("  trace length         : {:>7} instructions", t.client.instructions);
+        println!("  iCPI                 : {:>7.2}", t.client.icpi());
+        println!("  mCPI                 : {:>7.2}  <- the paper's key metric", t.client.mcpi());
+        println!(
+            "  i-cache miss rate    : {:>6.1} %",
+            t.client.icache.miss_rate() * 100.0
+        );
+        println!();
+    }
+
+    let std = measure(StackKind::TcpIp, Version::Std, StackOptions::improved());
+    let all = measure(StackKind::TcpIp, Version::All, StackOptions::improved());
+    println!(
+        "The three techniques cut client processing time by {:.1} us ({:.0}%)\n\
+         and mCPI by a factor of {:.2} — run `cargo run --release -p\n\
+         protolat-core --bin repro` for every table and figure of the paper.",
+        std.timing.tp_us() - all.timing.tp_us(),
+        (1.0 - all.timing.tp_us() / std.timing.tp_us()) * 100.0,
+        std.timing.client.mcpi() / all.timing.client.mcpi(),
+    );
+}

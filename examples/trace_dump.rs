@@ -1,0 +1,75 @@
+//! Dump an annotated execution trace (the paper published its raw
+//! TCP/IP traces via anonymous FTP; this is our equivalent) and a pcap
+//! capture of the wire exchange.
+//!
+//! ```text
+//! cargo run --release --example trace_dump
+//! ```
+//!
+//! Writes `tcpip_roundtrip.pcap` to the working directory — open it in
+//! Wireshark to see the SYN handshake and the ping-pong segments.
+
+use protolat::core::config::Version;
+use protolat::core::harness::run_tcpip;
+use protolat::core::timing::replay_trace;
+use protolat::core::world::TcpIpWorld;
+use protolat::kcode::Symbolizer;
+use protolat::netsim::lance::LanceTiming;
+use protolat::netsim::PcapWriter;
+use protolat::protocols::StackOptions;
+
+fn main() {
+    // 1. Annotated instruction trace of the client's input path.
+    let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
+    let canonical = run.episodes.client_trace();
+    let img = Version::Std.build_tcpip(&run.world, &canonical);
+    let trace = replay_trace(&img, &run.episodes.client_in);
+    let sym = Symbolizer::new(&img);
+
+    println!(
+        "client input path, STD layout ({} instructions), by function:\n",
+        trace.len()
+    );
+    print!("{}", sym.annotate(&trace));
+
+    // 2. A pcap capture of a fresh exchange (handshake + 3 pings).
+    let world = TcpIpWorld::build(StackOptions::improved());
+    let timing = LanceTiming::dec3000_600();
+    let mut client = world.client(timing);
+    let mut server = world.server(timing);
+    let mut pcap = PcapWriter::new();
+    let mut now = 0u64;
+
+    server.listen();
+    client.connect(now);
+    for _ in 0..12 {
+        for b in client.take_tx() {
+            pcap.record(now, &b);
+            now += 105_000;
+            server.deliver_wire(&b, now);
+        }
+        for b in server.take_tx() {
+            pcap.record(now, &b);
+            now += 105_000;
+            client.deliver_wire(&b, now);
+        }
+        if client.is_established() && client.delivered.len() < 3 {
+            client.app_send(b"ping", now);
+        }
+        client.take_episode();
+        server.take_episode();
+        if client.delivered.len() >= 3 {
+            break;
+        }
+    }
+
+    let path = std::path::Path::new("tcpip_roundtrip.pcap");
+    pcap.save(path).expect("write pcap");
+    println!(
+        "\nwrote {} frames ({} bytes) to {} — handshake plus {} echoed pings",
+        pcap.len(),
+        pcap.as_bytes().len(),
+        path.display(),
+        client.delivered.len(),
+    );
+}

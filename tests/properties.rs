@@ -1,0 +1,237 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use protolat::kcode::{Body, DataRef, RegionId};
+use protolat::machine::{Cache, InstRecord, Machine};
+use protolat::netsim::frame::{EtherType, Frame, MacAddr};
+use protolat::protocols::checksum;
+use protolat::protocols::tcpip::hdr::{flags, seq, IpHdr, TcpHdr};
+use protolat::xkernel::map::Map;
+use protolat::xkernel::msg::{Msg, HEADROOM};
+
+proptest! {
+    // ---- checksum ------------------------------------------------------
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip(
+        data in proptest::collection::vec(any::<u8>(), 4..256),
+        bit in 0usize..8,
+        idx_seed in any::<usize>(),
+    ) {
+        // The checksum field must sit 16-bit aligned in the summed range.
+        prop_assume!(data.len() % 2 == 0);
+        let mut pkt = data.clone();
+        let ck = checksum::in_cksum(&pkt);
+        pkt.extend_from_slice(&ck.to_be_bytes());
+        prop_assert!(checksum::verify(&pkt));
+        let idx = idx_seed % pkt.len();
+        pkt[idx] ^= 1 << bit;
+        prop_assert!(!checksum::verify(&pkt), "flip at {idx} bit {bit} undetected");
+    }
+
+    #[test]
+    fn pseudo_checksum_binds_endpoints(
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        delta in 1u32..,
+    ) {
+        let a = checksum::in_cksum_pseudo(src, dst, 6, &data);
+        let b = checksum::in_cksum_pseudo(src.wrapping_add(delta), dst, 6, &data);
+        // A different source address must change the checksum unless the
+        // one's-complement fold happens to collide; require inequality
+        // for deltas that touch distinct half-words.
+        if delta % 0x1_0000 != 0 && (delta >> 16) == 0 {
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    // ---- wire formats ----------------------------------------------------
+
+    #[test]
+    fn ethernet_frame_roundtrips(
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+        d in any::<[u8; 6]>(),
+        s in any::<[u8; 6]>(),
+    ) {
+        let f = Frame::new(MacAddr(d), MacAddr(s), EtherType::Ipv4, payload.clone());
+        let parsed = Frame::from_bytes(&f.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.dst, f.dst);
+        prop_assert_eq!(parsed.src, f.src);
+        prop_assert!(parsed.payload.len() >= payload.len());
+        prop_assert_eq!(&parsed.payload[..payload.len()], &payload[..]);
+    }
+
+    #[test]
+    fn ip_header_roundtrips(
+        len in 20u16..1500,
+        ident in any::<u16>(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+    ) {
+        let h = IpHdr { total_len: len, ident, frag: 0, ttl: 64, proto: 6, src, dst };
+        prop_assert_eq!(IpHdr::from_bytes(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn tcp_header_roundtrips_with_payload(
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        sq in any::<u32>(),
+        ack in any::<u32>(),
+        win in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let h = TcpHdr {
+            src_port: sp, dst_port: dp, seq: sq, ack,
+            flags: flags::ACK, window: win, urgent: 0,
+        };
+        let bytes = h.to_bytes(1, 2, &payload);
+        let (parsed, off) = TcpHdr::from_bytes(1, 2, &bytes).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert_eq!(&bytes[off..], &payload[..]);
+    }
+
+    #[test]
+    fn seq_comparisons_are_antisymmetric(a in any::<u32>(), b in any::<u32>()) {
+        if a != b {
+            prop_assert_ne!(seq::lt(a, b), seq::lt(b, a));
+            prop_assert_eq!(seq::lt(a, b), seq::gt(b, a));
+        }
+        prop_assert!(seq::leq(a, a));
+        prop_assert!(seq::geq(a, a));
+    }
+
+    // ---- xkernel map vs model ---------------------------------------------
+
+    #[test]
+    fn map_behaves_like_hashmap(ops in proptest::collection::vec(
+        (0u8..3, any::<u16>(), any::<u32>()), 1..200)
+    ) {
+        let mut m: Map<u16, u32> = Map::new(32);
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for (op, k, v) in ops {
+            let h = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            match op {
+                0 => {
+                    m.bind(h, k, v);
+                    model.insert(k, v);
+                }
+                1 => {
+                    let (got, _) = m.lookup(h, &k);
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                _ => {
+                    let got = m.unbind(h, &k);
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+        // Traversal visits exactly the model's bindings.
+        let mut seen = Vec::new();
+        m.for_each(|k, v| seen.push((*k, *v)));
+        let mut want: Vec<(u16, u32)> = model.into_iter().collect();
+        seen.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(seen, want);
+    }
+
+    // ---- message tool ------------------------------------------------------
+
+    #[test]
+    fn msg_push_pop_are_inverse(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        hdrs in proptest::collection::vec(1usize..24, 0..5),
+    ) {
+        prop_assume!(hdrs.iter().sum::<usize>() <= HEADROOM);
+        let mut msg = Msg::with_payload(&payload, 0x1000);
+        let mut pushed: Vec<Vec<u8>> = Vec::new();
+        for (i, h) in hdrs.iter().enumerate() {
+            let hdr: Vec<u8> = (0..*h).map(|j| (i * 31 + j) as u8).collect();
+            msg.push(*h).copy_from_slice(&hdr);
+            pushed.push(hdr);
+        }
+        for hdr in pushed.iter().rev() {
+            let got = msg.pop(hdr.len()).unwrap().to_vec();
+            prop_assert_eq!(&got, hdr);
+        }
+        prop_assert_eq!(msg.bytes(), &payload[..]);
+    }
+
+    // ---- body model ---------------------------------------------------------
+
+    #[test]
+    fn body_split_conserves_instructions(
+        alu in 0u16..200,
+        mul in 0u16..4,
+        nloads in 0usize..20,
+        nstores in 0usize..20,
+        n in 1usize..12,
+    ) {
+        let mut b = Body::ops(alu).with_mul(mul);
+        for i in 0..nloads {
+            b.loads.push(DataRef::Region(RegionId(1), i as u32 * 8));
+        }
+        for i in 0..nstores {
+            b.stores.push(DataRef::Stack(i as u32 * 8));
+        }
+        let parts = b.split(n);
+        prop_assert_eq!(parts.len(), n);
+        let total: u32 = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, b.len());
+        let loads: usize = parts.iter().map(|p| p.loads.len()).sum();
+        prop_assert_eq!(loads, b.loads.len());
+        // Order preserved across the concatenation.
+        let cat: Vec<DataRef> = parts.iter().flat_map(|p| p.loads.clone()).collect();
+        prop_assert_eq!(cat, b.loads);
+    }
+
+    #[test]
+    fn body_expand_matches_len(
+        alu in 0u16..100,
+        mul in 0u16..4,
+        nloads in 0usize..16,
+    ) {
+        let mut b = Body::ops(alu).with_mul(mul);
+        for i in 0..nloads {
+            b.loads.push(DataRef::Stack(i as u32 * 8));
+        }
+        prop_assert_eq!(b.expand().len() as u32, b.len());
+    }
+
+    // ---- cache model ----------------------------------------------------------
+
+    #[test]
+    fn cache_stats_invariants(addrs in proptest::collection::vec(0u64..0x10000, 1..500)) {
+        let mut c = Cache::new(protolat::machine::config::CacheConfig::new(1024, 32));
+        for a in &addrs {
+            c.access(*a);
+        }
+        let s = c.stats;
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(s.replacement_misses <= s.misses);
+        // Cold misses equal the number of distinct blocks touched.
+        let distinct: std::collections::HashSet<u64> =
+            addrs.iter().map(|a| a & !31).collect();
+        prop_assert_eq!(s.cold_misses(), distinct.len() as u64);
+    }
+
+    #[test]
+    fn machine_timing_is_deterministic_and_positive(
+        pcs in proptest::collection::vec(0u64..0x4000, 1..300)
+    ) {
+        let trace: Vec<InstRecord> =
+            pcs.iter().map(|p| InstRecord::alu(p & !3)).collect();
+        let mut m1 = Machine::dec3000_600();
+        let mut m2 = Machine::dec3000_600();
+        let r1 = m1.run(&trace);
+        let r2 = m2.run(&trace);
+        prop_assert_eq!(r1.cycles(), r2.cycles());
+        prop_assert!(r1.cycles() >= trace.len() as u64 / 2, "dual issue bound");
+        prop_assert!(r1.cpi() >= 0.5);
+    }
+}
