@@ -14,7 +14,7 @@
 //!   problem that hardware associativity cannot.
 
 use alpha_machine::{Machine, MachineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protolat_bench::harness::{BenchmarkId, Criterion};
 use protolat_bench::TcpCtx;
 use protolat_core::config::Version;
 use protolat_core::timing::replay_trace;
@@ -66,5 +66,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("ablation_associativity");
+    bench(&mut c);
+    c.report();
+}

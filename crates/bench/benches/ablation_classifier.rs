@@ -2,7 +2,7 @@
 //! The paper reports PIN/ALL numbers for a zero-overhead classifier and
 //! notes real classifiers cost 1-4 us per packet on this hardware.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_core::config::Version;
 use protolat_core::harness::run_tcpip;
 use protolat_core::timing::time_roundtrip;
@@ -35,5 +35,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("ablation_classifier");
+    bench(&mut c);
+    c.report();
+}

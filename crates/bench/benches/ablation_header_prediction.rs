@@ -4,7 +4,7 @@
 //! with less than a dozen additional instructions executed, the
 //! slow down is not very large."
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_core::config::Version;
 use protolat_core::harness::run_tcpip;
 use protolat_core::timing::replay_trace;
@@ -41,5 +41,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("ablation_header_prediction");
+    bench(&mut c);
+    c.report();
+}

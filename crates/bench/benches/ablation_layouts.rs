@@ -1,7 +1,7 @@
 //! Ablation: the five placement strategies head to head (the §3.2
 //! micro-positioning vs bipartite comparison).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use kcode::layout::{build_image, LayoutRequest, LayoutStrategy};
 use kcode::ImageConfig;
 use protolat_bench::TcpCtx;
@@ -58,5 +58,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("ablation_layouts");
+    bench(&mut c);
+    c.report();
+}

@@ -2,7 +2,7 @@
 //! cache test only pays off because packet trains make successive
 //! lookups hit (Mogul's locality observation, §2.2.3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protolat_bench::harness::{BenchmarkId, Criterion};
 use xkernel::map::{LookupKind, Map};
 
 fn bench(c: &mut Criterion) {
@@ -44,5 +44,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("ablation_map_cache");
+    bench(&mut c);
+    c.report();
+}

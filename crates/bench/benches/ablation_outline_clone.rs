@@ -3,7 +3,7 @@
 //! outlining a useful technique ... primarily as a means to greatly
 //! improve cloning").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use kcode::layout::{build_image, LayoutRequest, LayoutStrategy};
 use kcode::ImageConfig;
 use protolat_bench::TcpCtx;
@@ -47,5 +47,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("ablation_outline_clone");
+    bench(&mut c);
+    c.report();
+}

@@ -3,7 +3,7 @@
 //! stream; shrinking it exposes store stalls.
 
 use alpha_machine::{InstRecord, Machine, MachineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protolat_bench::harness::{BenchmarkId, Criterion};
 
 fn store_burst(n: usize) -> Vec<InstRecord> {
     // Alternating compute/store with poor merge locality: each store
@@ -44,5 +44,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("ablation_write_buffer");
+    bench(&mut c);
+    c.report();
+}

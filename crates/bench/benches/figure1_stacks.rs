@@ -1,6 +1,6 @@
 //! Figure 1: the protocol graphs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_core::experiments::figure1;
 
 fn bench(c: &mut Criterion) {
@@ -10,5 +10,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("figure1_stacks");
+    bench(&mut c);
+    c.report();
+}

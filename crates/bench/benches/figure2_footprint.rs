@@ -1,6 +1,6 @@
 //! Figure 2: i-cache footprint maps under outlining/cloning.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_core::experiments::figure2;
 
 fn bench(c: &mut Criterion) {
@@ -11,5 +11,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("figure2_footprint");
+    bench(&mut c);
+    c.report();
+}

@@ -3,7 +3,7 @@
 //! fraction of non-empty buckets" — traversing a 10%-populated table is
 //! about an order of magnitude faster than a full scan.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protolat_bench::harness::{BenchmarkId, Criterion};
 use xkernel::map::Map;
 
 fn populate(n_buckets: usize, occupied: usize) -> Map<u64, u64> {
@@ -70,5 +70,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("map_traversal");
+    bench(&mut c);
+    c.report();
+}

@@ -2,7 +2,7 @@
 //! Prints the reproduced table, then benchmarks the end-to-end
 //! measurement kernel (functional run + replay).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_core::experiments::table1;
 
 fn bench(c: &mut Criterion) {
@@ -13,5 +13,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("table1_instruction_savings");
+    bench(&mut c);
+    c.report();
+}

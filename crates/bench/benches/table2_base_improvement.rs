@@ -1,6 +1,6 @@
 //! Table 2: original vs improved x-kernel TCP/IP.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_core::experiments::table2;
 
 fn bench(c: &mut Criterion) {
@@ -11,5 +11,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("table2_base_improvement");
+    bench(&mut c);
+    c.report();
+}

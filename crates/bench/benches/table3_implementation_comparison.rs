@@ -1,6 +1,6 @@
 //! Table 3: TCP/IP implementation comparison (demux-boundary counts).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_core::experiments::table3;
 
 fn bench(c: &mut Criterion) {
@@ -11,5 +11,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("table3_implementation_comparison");
+    bench(&mut c);
+    c.report();
+}

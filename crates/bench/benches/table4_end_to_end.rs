@@ -3,7 +3,7 @@
 //! benchmarked kernel is one full roundtrip timing (replay + warm
 //! machine simulation) per version.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_bench::TcpCtx;
 use protolat_core::config::Version;
 use protolat_core::experiments::table4;
@@ -26,5 +26,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("table4_end_to_end");
+    bench(&mut c);
+    c.report();
+}

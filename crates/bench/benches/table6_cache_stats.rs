@@ -1,6 +1,6 @@
 //! Table 6: trace-driven cache simulation, cold caches, per version.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_bench::TcpCtx;
 use protolat_core::config::Version;
 use protolat_core::experiments::table6;
@@ -20,5 +20,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("table6_cache_stats");
+    bench(&mut c);
+    c.report();
+}

@@ -1,6 +1,6 @@
 //! Table 7: Tp / trace length / mCPI / iCPI per version.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use protolat_bench::harness::Criterion;
 use protolat_bench::{RpcCtx, TcpCtx};
 use protolat_core::config::Version;
 use protolat_core::experiments::table7;
@@ -25,5 +25,8 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new("table7_cpi");
+    bench(&mut c);
+    c.report();
+}

@@ -1,6 +1,9 @@
 //! Shared setup for the benchmark suite: prepared worlds, episodes and
 //! images so the benchmarked closures measure replay/simulation work,
-//! not world construction.
+//! not world construction — plus the in-tree [`harness`] the bench
+//! binaries time themselves with.
+
+pub mod harness;
 
 use kcode::events::EventStream;
 use kcode::Image;

@@ -7,7 +7,7 @@ use kcode::{Image, ImageConfig};
 use crate::world::{RpcWorld, TcpIpWorld};
 
 /// Which protocol stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StackKind {
     TcpIp,
     Rpc,

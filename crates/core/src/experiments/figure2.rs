@@ -7,9 +7,8 @@
 //! small gaps of cold code everywhere; OUT compresses the mainline;
 //! CLO/ALL pack the clones contiguously.
 
-use crate::config::Version;
-use crate::harness::run_tcpip;
-use crate::world::TcpIpWorld;
+use crate::config::{StackKind, Version};
+use crate::sweep::SweepEngine;
 use kcode::{FuncId, Image};
 use protocols::StackOptions;
 
@@ -73,12 +72,12 @@ fn occupancy(image: &Image, base: u64, len: u64) -> Map {
 }
 
 pub fn run() -> Figure2 {
-    let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
-    let canonical = run.episodes.client_trace();
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
     let maps = [Version::Std, Version::Out, Version::Clo, Version::All]
         .into_iter()
         .map(|v| {
-            let img = v.build_tcpip(&run.world, &canonical);
+            let img = eng.image(StackKind::TcpIp, opts, 2, v);
             let mut m = occupancy(&img, Image::CODE_BASE, 40 * 1024);
             m.version = v;
             m
@@ -139,18 +138,15 @@ mod tests {
     fn cloning_packs_hot_code_densely() {
         // Compare density over the first 12 KB — the window the clones
         // are packed into (STD scatters functions with link-order gaps).
-        let run = crate::harness::run_tcpip(
-            crate::world::TcpIpWorld::build(protocols::StackOptions::improved()),
-            2,
-        );
-        let canonical = run.episodes.client_trace();
+        let eng = SweepEngine::global();
+        let opts = protocols::StackOptions::improved();
         let std = occupancy(
-            &Version::Std.build_tcpip(&run.world, &canonical),
+            &eng.image(StackKind::TcpIp, opts, 2, Version::Std),
             Image::CODE_BASE,
             12 * 1024,
         );
         let clo = occupancy(
-            &Version::Clo.build_tcpip(&run.world, &canonical),
+            &eng.image(StackKind::TcpIp, opts, 2, Version::Clo),
             Image::CODE_BASE,
             12 * 1024,
         );

@@ -15,14 +15,14 @@
 //!    the techniques) dominate end-to-end latency.
 
 use alpha_machine::{Machine, MachineConfig};
+use kcode::Replayer;
 use netsim::lance::LanceTiming;
 use netsim::frame::PREAMBLE;
 
-use crate::config::Version;
-use crate::harness::run_tcpip;
+use crate::config::{StackKind, Version};
 use crate::report::{f1, f2, Table};
-use crate::timing::{replay_trace, UNTRACED_PER_HOP_US};
-use crate::world::TcpIpWorld;
+use crate::sweep::SweepEngine;
+use crate::timing::UNTRACED_PER_HOP_US;
 use protocols::StackOptions;
 
 /// The "low-cost" machine of the closing remark: 266 MHz core, but a
@@ -64,22 +64,25 @@ pub struct Future {
 }
 
 pub fn run() -> Future {
-    let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
-    let canonical = run.episodes.client_trace();
-    let std_img = Version::Std.build_tcpip(&run.world, &canonical);
-    let all_img = Version::All.build_tcpip(&run.world, &canonical);
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let sh = eng.tcpip(opts, 2);
+    let episodes = &sh.run.episodes;
+    let std_img = eng.image(StackKind::TcpIp, opts, 2, Version::Std);
+    let all_img = eng.image(StackKind::TcpIp, opts, 2, Version::All);
 
     // --- machine sweep -------------------------------------------------
+    // Custom machine configs are unique to this experiment, so they are
+    // not memoized — but the replay streams straight into the machine.
     let measure_on = |cfg: MachineConfig, img: &kcode::Image| {
-        let out = replay_trace(img, &run.episodes.client_out);
-        let inn = replay_trace(img, &run.episodes.client_in);
+        let rep = Replayer::new(img);
         let mut m = Machine::new(cfg);
-        m.run_accumulate(&out);
-        m.run_accumulate(&inn);
+        rep.replay_into(&episodes.client_out, &mut m).expect("episode must replay cleanly");
+        rep.replay_into(&episodes.client_in, &mut m).expect("episode must replay cleanly");
         m.reset_stats();
-        m.run_accumulate(&out);
-        m.run_accumulate(&inn);
-        m.report((out.len() + inn.len()) as u64)
+        let out = rep.replay_into(&episodes.client_out, &mut m).expect("episode must replay cleanly");
+        let inn = rep.replay_into(&episodes.client_in, &mut m).expect("episode must replay cleanly");
+        m.report(out.instructions + inn.instructions)
     };
     let machines = vec![
         {
@@ -119,13 +122,8 @@ pub fn run() -> Future {
     for (name, timing, mbps) in adaptors {
         let wire_us = ((64 + PREAMBLE) * 8) as f64 / mbps;
         let hop_us = timing.tx_overhead_ns as f64 / 1000.0 + wire_us;
-        for (v, img) in [(Version::Std, &std_img), (Version::All, &all_img)] {
-            let t = crate::timing::time_roundtrip(
-                &run.episodes,
-                img,
-                img,
-                run.world.lance_model.f_tx,
-            );
+        for v in [Version::Std, Version::All] {
+            let t = eng.timing(StackKind::TcpIp, opts, 2, v);
             // Recompose end-to-end with this adaptor's hop cost.
             let processing = t.e2e_us
                 - 2.0 * crate::timing::CONTROLLER_WIRE_US

@@ -2,11 +2,8 @@
 //! the simple entry point the README quickstart shows.
 
 use crate::config::{StackKind, Version};
-use crate::harness::{run_rpc, run_tcpip};
-use crate::timing::{
-    time_roundtrip_with, RoundtripTiming, RPC_UNTRACED_PER_HOP_US, UNTRACED_PER_HOP_US,
-};
-use crate::world::{RpcWorld, TcpIpWorld};
+use crate::sweep::SweepEngine;
+use crate::timing::RoundtripTiming;
 use protocols::StackOptions;
 
 /// Convenience alias: the paper's "improved x-kernel" options.
@@ -21,46 +18,16 @@ pub struct LatencyReport {
     pub timing: RoundtripTiming,
 }
 
-/// Measure one configuration of one stack (fresh functional run).
+/// Measure one configuration of one stack.  Goes through the global
+/// [`SweepEngine`], so repeated calls (and the experiment drivers)
+/// share one memoized functional run and image per key.
 pub fn measure(stack: StackKind, version: Version, opts: StackOptions) -> LatencyReport {
-    match stack {
-        StackKind::TcpIp => {
-            let run = run_tcpip(TcpIpWorld::build(opts), 2);
-            let canonical = run.episodes.client_trace();
-            let img = version.build_tcpip(&run.world, &canonical);
-            let timing = time_roundtrip_with(
-                &run.episodes,
-                &img,
-                &img,
-                run.world.lance_model.f_tx,
-                UNTRACED_PER_HOP_US,
-            );
-            LatencyReport {
-                stack,
-                version,
-                end_to_end_us: timing.e2e_us,
-                timing,
-            }
-        }
-        StackKind::Rpc => {
-            let run = run_rpc(RpcWorld::build(opts), 2);
-            let canonical = run.episodes.client_trace();
-            let img = version.build_rpc(&run.world, &canonical);
-            let server = Version::All.build_rpc(&run.world, &canonical);
-            let timing = time_roundtrip_with(
-                &run.episodes,
-                &img,
-                &server,
-                run.world.lance_model.f_tx,
-                RPC_UNTRACED_PER_HOP_US,
-            );
-            LatencyReport {
-                stack,
-                version,
-                end_to_end_us: timing.e2e_us,
-                timing,
-            }
-        }
+    let timing = SweepEngine::global().timing(stack, opts, 2, version);
+    LatencyReport {
+        stack,
+        version,
+        end_to_end_us: timing.e2e_us,
+        timing: (*timing).clone(),
     }
 }
 

@@ -6,11 +6,9 @@
 //! trace length is the dynamic saving.  Paper: 324 / 208 / 171 / 120 /
 //! 119 / 90 / 39, total 1071.
 
-use crate::config::Version;
-use crate::harness::run_tcpip;
+use crate::config::{StackKind, Version};
 use crate::report::Table;
-use crate::timing::replay_trace;
-use crate::world::TcpIpWorld;
+use crate::sweep::SweepEngine;
 use protocols::StackOptions;
 
 /// One row: the change and its measured saving.
@@ -29,21 +27,16 @@ pub struct Table1 {
     pub original_len: u64,
 }
 
-/// Client-side dynamic trace length for an option set.
+/// Client-side dynamic trace length for an option set (memoized: the
+/// engine replays each option set's roundtrip at most once).
 fn trace_len(opts: StackOptions) -> u64 {
-    let run = run_tcpip(TcpIpWorld::build(opts), 2);
-    let canonical = run.episodes.client_trace();
-    let img = Version::Std.build_tcpip(&run.world, &canonical);
-    let out = replay_trace(&img, &run.episodes.client_out).len();
-    let inn = replay_trace(&img, &run.episodes.client_in).len();
-    (out + inn) as u64
+    SweepEngine::global()
+        .client_replay_stats(StackKind::TcpIp, opts, 2, Version::Std)
+        .instructions
 }
 
-pub fn run() -> Table1 {
-    let improved_len = trace_len(StackOptions::improved());
-    let original_len = trace_len(StackOptions::original());
-
-    let toggles: Vec<(&'static str, i64, fn(&mut StackOptions))> = vec![
+fn toggles() -> Vec<(&'static str, i64, fn(&mut StackOptions))> {
+    vec![
         ("Change bytes and shorts to words in TCP state", 324, |o| {
             o.wide_types = false
         }),
@@ -59,9 +52,28 @@ pub fn run() -> Table1 {
         ("Various inlining", 119, |o| o.misc_inlining = false),
         ("Avoid integer division", 90, |o| o.avoid_division = false),
         ("Other minor changes", 39, |o| o.minor_changes = false),
-    ];
+    ]
+}
 
-    let rows = toggles
+/// The seven single-toggle option sets (each Section-2 change turned
+/// back off), in table order — exposed so the sweep prefetch can warm
+/// their replay statistics in parallel.
+pub fn single_toggle_options() -> Vec<StackOptions> {
+    toggles()
+        .iter()
+        .map(|(_, _, off)| {
+            let mut opts = StackOptions::improved();
+            off(&mut opts);
+            opts
+        })
+        .collect()
+}
+
+pub fn run() -> Table1 {
+    let improved_len = trace_len(StackOptions::improved());
+    let original_len = trace_len(StackOptions::original());
+
+    let rows = toggles()
         .into_iter()
         .map(|(name, paper, off)| {
             let mut opts = StackOptions::improved();

@@ -4,11 +4,9 @@
 //! Paper: RTT 377.7 → 351.0 µs, instructions 5821 → 4750, cycles
 //! 18941 → 15688, CPI 3.26 → 3.30.
 
-use crate::config::Version;
-use crate::harness::run_tcpip;
+use crate::config::{StackKind, Version};
 use crate::report::{f1, f2, Table};
-use crate::timing::{time_roundtrip, RoundtripTiming};
-use crate::world::TcpIpWorld;
+use crate::sweep::SweepEngine;
 use protocols::StackOptions;
 
 /// One measured kernel.
@@ -27,11 +25,7 @@ pub struct Table2 {
 }
 
 fn measure(opts: StackOptions) -> Kernel {
-    let run = run_tcpip(TcpIpWorld::build(opts), 2);
-    let canonical = run.episodes.client_trace();
-    let img = Version::Std.build_tcpip(&run.world, &canonical);
-    let t: RoundtripTiming =
-        time_roundtrip(&run.episodes, &img, &img, run.world.lance_model.f_tx);
+    let t = SweepEngine::global().timing(StackKind::TcpIp, opts, 2, Version::Std);
     Kernel {
         rtt_us: t.e2e_us,
         instructions: t.client.instructions,

@@ -7,11 +7,10 @@
 //! within a named function: IP-input-to-TCP-input and
 //! TCP-input-to-socket-delivery.
 
-use crate::config::Version;
-use crate::harness::run_tcpip;
+use crate::config::{StackKind, Version};
 use crate::report::{f2, Table};
-use crate::timing::{replay_trace, time_roundtrip};
-use crate::world::TcpIpWorld;
+use crate::sweep::SweepEngine;
+use crate::timing::replay_trace;
 use alpha_machine::InstRecord;
 use kcode::{FuncId, Image};
 use protocols::StackOptions;
@@ -52,11 +51,14 @@ fn first_index_in(trace: &[InstRecord], image: &Image, func: FuncId) -> Option<u
 }
 
 pub fn run() -> Table3 {
-    let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
-    let canonical = run.episodes.client_trace();
-    let img = Version::Std.build_tcpip(&run.world, &canonical);
-    let in_trace = replay_trace(&img, &run.episodes.client_in);
-    let m = &run.world.model;
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let sh = eng.tcpip(opts, 2);
+    let img = eng.image(StackKind::TcpIp, opts, 2, Version::Std);
+    // The demux boundaries are positions *within* the trace, so this
+    // analysis genuinely needs the materialized Vec mode.
+    let in_trace = replay_trace(&img, &sh.run.episodes.client_in);
+    let m = &sh.run.world.model;
 
     let ip_start = first_index_in(&in_trace, &img, m.f_ip_demux).expect("ip demux runs");
     let tcp_start =
@@ -65,7 +67,7 @@ pub fn run() -> Table3 {
         first_index_in(&in_trace, &img, m.f_test_deliver).expect("delivery runs");
     assert!(ip_start < tcp_start && tcp_start < deliver_start);
 
-    let t = time_roundtrip(&run.episodes, &img, &img, run.world.lance_model.f_tx);
+    let t = eng.timing(StackKind::TcpIp, opts, 2, Version::Std);
 
     Table3 {
         ip_to_tcp: (tcp_start - ip_start) as u64,

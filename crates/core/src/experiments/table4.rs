@@ -6,11 +6,9 @@
 //! different warm-up depths (which perturb map caches and window
 //! state exactly the way repeated real runs would).
 
-use crate::config::Version;
-use crate::harness::{run_rpc, run_tcpip};
+use crate::config::{StackKind, Version};
 use crate::report::{f1, Table};
-use crate::timing::{time_roundtrip_with, RPC_UNTRACED_PER_HOP_US, UNTRACED_PER_HOP_US};
-use crate::world::{RpcWorld, TcpIpWorld};
+use crate::sweep::{SweepEngine, SweepJob};
 use protocols::StackOptions;
 
 /// Paper values for the Δ% comparison column.
@@ -52,64 +50,35 @@ fn stats(samples: &[f64]) -> (f64, f64) {
 }
 
 pub fn run() -> Table4 {
-    // TCP/IP: ten samples in the paper; we take five warm-up depths.
-    let mut tcpip = Vec::new();
-    let tcp_samples: Vec<_> = (1..=5)
-        .map(|w| {
-            let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), w);
-            let canonical = run.episodes.client_trace();
-            (run, canonical)
+    // Ten samples in the paper; we take five warm-up depths.  All
+    // sixty (stack, warmup, version) timings are memoized — the
+    // warmup-2 ones are shared with Tables 2, 3, 7 and 8 — and the
+    // prefetch fans the cache misses out across worker threads.
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let jobs: Vec<SweepJob> = [StackKind::TcpIp, StackKind::Rpc]
+        .into_iter()
+        .flat_map(|stack| {
+            (1..=5).flat_map(move |w| {
+                Version::all().map(move |v| SweepJob::Timing(stack, opts, w, v))
+            })
         })
         .collect();
-    for v in Version::all() {
-        let samples: Vec<f64> = tcp_samples
-            .iter()
-            .map(|(run, canonical)| {
-                let img = v.build_tcpip(&run.world, canonical);
-                time_roundtrip_with(
-                    &run.episodes,
-                    &img,
-                    &img,
-                    run.world.lance_model.f_tx,
-                    UNTRACED_PER_HOP_US,
-                )
-                .e2e_us
-            })
-            .collect();
-        let (mean_us, sigma_us) = stats(&samples);
-        tcpip.push(VersionRow { version: v, mean_us, sigma_us });
-    }
+    eng.prefetch(&jobs);
 
-    // RPC: five samples; the server always runs the ALL version.
-    let mut rpc = Vec::new();
-    let rpc_samples: Vec<_> = (1..=5)
-        .map(|w| {
-            let run = run_rpc(RpcWorld::build(StackOptions::improved()), w);
-            let canonical = run.episodes.client_trace();
-            (run, canonical)
-        })
-        .collect();
-    for v in Version::all() {
-        let samples: Vec<f64> = rpc_samples
+    let collect = |stack: StackKind| -> Vec<VersionRow> {
+        Version::all()
             .iter()
-            .map(|(run, canonical)| {
-                let img = v.build_rpc(&run.world, canonical);
-                let server = Version::All.build_rpc(&run.world, canonical);
-                time_roundtrip_with(
-                    &run.episodes,
-                    &img,
-                    &server,
-                    run.world.lance_model.f_tx,
-                    RPC_UNTRACED_PER_HOP_US,
-                )
-                .e2e_us
+            .map(|&v| {
+                let samples: Vec<f64> =
+                    (1..=5).map(|w| eng.timing(stack, opts, w, v).e2e_us).collect();
+                let (mean_us, sigma_us) = stats(&samples);
+                VersionRow { version: v, mean_us, sigma_us }
             })
-            .collect();
-        let (mean_us, sigma_us) = stats(&samples);
-        rpc.push(VersionRow { version: v, mean_us, sigma_us });
-    }
+            .collect()
+    };
 
-    Table4 { tcpip, rpc }
+    Table4 { tcpip: collect(StackKind::TcpIp), rpc: collect(StackKind::Rpc) }
 }
 
 impl Table4 {

@@ -1,11 +1,9 @@
 //! Table 6 — cache performance: trace-driven simulation of one
 //! client-side roundtrip through cold caches, per version, per stack.
 
-use crate::config::Version;
-use crate::harness::{run_rpc, run_tcpip};
+use crate::config::{StackKind, Version};
 use crate::report::Table;
-use crate::timing::cold_client_stats;
-use crate::world::{RpcWorld, TcpIpWorld};
+use crate::sweep::SweepEngine;
 use alpha_machine::RunReport;
 use protocols::StackOptions;
 
@@ -22,27 +20,15 @@ pub struct Table6 {
 }
 
 pub fn run() -> Table6 {
-    let tcp_run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
-    let tcp_canonical = tcp_run.episodes.client_trace();
-    let tcpip = Version::all()
-        .into_iter()
-        .map(|v| {
-            let img = v.build_tcpip(&tcp_run.world, &tcp_canonical);
-            Row { version: v, report: cold_client_stats(&tcp_run.episodes, &img) }
-        })
-        .collect();
-
-    let rpc_run = run_rpc(RpcWorld::build(StackOptions::improved()), 2);
-    let rpc_canonical = rpc_run.episodes.client_trace();
-    let rpc = Version::all()
-        .into_iter()
-        .map(|v| {
-            let img = v.build_rpc(&rpc_run.world, &rpc_canonical);
-            Row { version: v, report: cold_client_stats(&rpc_run.episodes, &img) }
-        })
-        .collect();
-
-    Table6 { tcpip, rpc }
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let collect = |stack: StackKind| -> Vec<Row> {
+        Version::all()
+            .into_iter()
+            .map(|v| Row { version: v, report: *eng.cold_stats(stack, opts, 2, v) })
+            .collect()
+    };
+    Table6 { tcpip: collect(StackKind::TcpIp), rpc: collect(StackKind::Rpc) }
 }
 
 impl Table6 {

@@ -1,11 +1,9 @@
 //! Table 7 — processing time of the traced (client-side) code: Tp,
 //! trace length, mCPI and iCPI per version per stack.
 
-use crate::config::Version;
-use crate::harness::{run_rpc, run_tcpip};
+use crate::config::{StackKind, Version};
 use crate::report::{f1, f2, Table};
-use crate::timing::{time_roundtrip_with, RPC_UNTRACED_PER_HOP_US, UNTRACED_PER_HOP_US};
-use crate::world::{RpcWorld, TcpIpWorld};
+use crate::sweep::SweepEngine;
 use protocols::StackOptions;
 
 #[derive(Debug, Clone)]
@@ -24,54 +22,24 @@ pub struct Table7 {
 }
 
 pub fn run() -> Table7 {
-    let tcp_run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
-    let tcp_canonical = tcp_run.episodes.client_trace();
-    let tcpip = Version::all()
-        .into_iter()
-        .map(|v| {
-            let img = v.build_tcpip(&tcp_run.world, &tcp_canonical);
-            let t = time_roundtrip_with(
-                &tcp_run.episodes,
-                &img,
-                &img,
-                tcp_run.world.lance_model.f_tx,
-                UNTRACED_PER_HOP_US,
-            );
-            Row {
-                version: v,
-                tp_us: t.tp_us(),
-                length: t.client.instructions,
-                mcpi: t.client.mcpi(),
-                icpi: t.client.icpi(),
-            }
-        })
-        .collect();
-
-    let rpc_run = run_rpc(RpcWorld::build(StackOptions::improved()), 2);
-    let rpc_canonical = rpc_run.episodes.client_trace();
-    let rpc = Version::all()
-        .into_iter()
-        .map(|v| {
-            let img = v.build_rpc(&rpc_run.world, &rpc_canonical);
-            let server = Version::All.build_rpc(&rpc_run.world, &rpc_canonical);
-            let t = time_roundtrip_with(
-                &rpc_run.episodes,
-                &img,
-                &server,
-                rpc_run.world.lance_model.f_tx,
-                RPC_UNTRACED_PER_HOP_US,
-            );
-            Row {
-                version: v,
-                tp_us: t.tp_us(),
-                length: t.client.instructions,
-                mcpi: t.client.mcpi(),
-                icpi: t.client.icpi(),
-            }
-        })
-        .collect();
-
-    Table7 { tcpip, rpc }
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let collect = |stack: StackKind| -> Vec<Row> {
+        Version::all()
+            .into_iter()
+            .map(|v| {
+                let t = eng.timing(stack, opts, 2, v);
+                Row {
+                    version: v,
+                    tp_us: t.tp_us(),
+                    length: t.client.instructions,
+                    mcpi: t.client.mcpi(),
+                    icpi: t.client.icpi(),
+                }
+            })
+            .collect()
+    };
+    Table7 { tcpip: collect(StackKind::TcpIp), rpc: collect(StackKind::Rpc) }
 }
 
 impl Table7 {

@@ -3,13 +3,9 @@
 //! (I%), end-to-end and processing-time deltas, and the b-cache
 //! access/miss deltas.
 
-use crate::config::Version;
-use crate::harness::{run_rpc, run_tcpip};
+use crate::config::{StackKind, Version};
 use crate::report::{f1, Table};
-use crate::timing::{
-    cold_client_stats, time_roundtrip_with, RPC_UNTRACED_PER_HOP_US, UNTRACED_PER_HOP_US,
-};
-use crate::world::{RpcWorld, TcpIpWorld};
+use crate::sweep::SweepEngine;
 use protocols::StackOptions;
 
 /// The five transitions of the paper's Table 8.
@@ -51,60 +47,29 @@ struct VersionData {
 }
 
 pub fn run() -> Table8 {
-    let tcp_run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
-    let tcp_canonical = tcp_run.episodes.client_trace();
-    let tcp_data: Vec<(Version, VersionData)> = Version::all()
-        .into_iter()
-        .map(|v| {
-            let img = v.build_tcpip(&tcp_run.world, &tcp_canonical);
-            let t = time_roundtrip_with(
-                &tcp_run.episodes,
-                &img,
-                &img,
-                tcp_run.world.lance_model.f_tx,
-                UNTRACED_PER_HOP_US,
-            );
-            let cold = cold_client_stats(&tcp_run.episodes, &img);
-            (
-                v,
-                VersionData {
-                    e2e: t.e2e_us,
-                    tp: t.tp_us(),
-                    b_acc: cold.bcache.accesses,
-                    b_repl: cold.bcache.replacement_misses,
-                    d_miss: cold.dcache.misses,
-                },
-            )
-        })
-        .collect();
-
-    let rpc_run = run_rpc(RpcWorld::build(StackOptions::improved()), 2);
-    let rpc_canonical = rpc_run.episodes.client_trace();
-    let rpc_data: Vec<(Version, VersionData)> = Version::all()
-        .into_iter()
-        .map(|v| {
-            let img = v.build_rpc(&rpc_run.world, &rpc_canonical);
-            let server = Version::All.build_rpc(&rpc_run.world, &rpc_canonical);
-            let t = time_roundtrip_with(
-                &rpc_run.episodes,
-                &img,
-                &server,
-                rpc_run.world.lance_model.f_tx,
-                RPC_UNTRACED_PER_HOP_US,
-            );
-            let cold = cold_client_stats(&rpc_run.episodes, &img);
-            (
-                v,
-                VersionData {
-                    e2e: t.e2e_us,
-                    tp: t.tp_us(),
-                    b_acc: cold.bcache.accesses,
-                    b_repl: cold.bcache.replacement_misses,
-                    d_miss: cold.dcache.misses,
-                },
-            )
-        })
-        .collect();
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let collect = |stack: StackKind| -> Vec<(Version, VersionData)> {
+        Version::all()
+            .into_iter()
+            .map(|v| {
+                let t = eng.timing(stack, opts, 2, v);
+                let cold = eng.cold_stats(stack, opts, 2, v);
+                (
+                    v,
+                    VersionData {
+                        e2e: t.e2e_us,
+                        tp: t.tp_us(),
+                        b_acc: cold.bcache.accesses,
+                        b_repl: cold.bcache.replacement_misses,
+                        d_miss: cold.dcache.misses,
+                    },
+                )
+            })
+            .collect()
+    };
+    let tcp_data = collect(StackKind::TcpIp);
+    let rpc_data = collect(StackKind::Rpc);
 
     let rows = |data: &[(Version, VersionData)]| -> Vec<Row> {
         let get = |v: Version| data.iter().find(|(dv, _)| *dv == v).map(|(_, d)| d).unwrap();

@@ -7,13 +7,12 @@
 
 use std::collections::HashSet;
 
-use crate::config::Version;
-use crate::harness::{run_rpc, run_tcpip};
+use crate::config::{StackKind, Version};
 use crate::report::Table;
-use crate::world::{RpcWorld, TcpIpWorld};
+use crate::sweep::SweepEngine;
 use kcode::events::Ev;
 use kcode::transform::outline::{hot_laid_size, laid_size};
-use kcode::{FuncId, Replayer};
+use kcode::FuncId;
 use protocols::StackOptions;
 
 #[derive(Debug, Clone)]
@@ -42,22 +41,18 @@ fn funcs_on_path(canonical: &kcode::EventStream) -> HashSet<FuncId> {
 }
 
 fn measure(
-    stack: &'static str,
+    stack: StackKind,
+    name: &'static str,
     program: &std::sync::Arc<kcode::Program>,
-    episodes: &crate::harness::RoundtripEpisodes,
-    build: impl Fn(Version) -> kcode::Image,
+    canonical: &kcode::EventStream,
 ) -> StackRow {
-    let canonical = episodes.client_trace();
-    let path = funcs_on_path(&canonical);
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let path = funcs_on_path(canonical);
 
-    let unused = |img: &kcode::Image| -> f64 {
-        let replayer = Replayer::new(img);
-        let mut out = replayer.replay(&episodes.client_out).unwrap();
-        let inn = replayer.replay(&episodes.client_in).unwrap();
-        out.fetched_blocks.extend(inn.fetched_blocks.iter());
-        out.executed_pcs.extend(inn.executed_pcs.iter());
-        out.unused_fraction(32)
-    };
+    // The replayed out+in fetch/execute sets (merged bitmaps) come
+    // memoized from the engine — Table 1 shares the same artifacts.
+    let unused = |v: Version| eng.client_replay_stats(stack, opts, 2, v).unused_fraction(32);
 
     let size_without: u64 = path
         .iter()
@@ -69,32 +64,27 @@ fn measure(
         .sum();
 
     StackRow {
-        stack,
-        unused_without: unused(&build(Version::Std)),
+        stack: name,
+        unused_without: unused(Version::Std),
         size_without,
-        unused_with: unused(&build(Version::Out)),
+        unused_with: unused(Version::Out),
         size_with,
     }
 }
 
 pub fn run() -> Table9 {
-    let tcp_run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
-    let tcp_canonical = tcp_run.episodes.client_trace();
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let tcp_sh = eng.tcpip(opts, 2);
     let tcp = measure(
+        StackKind::TcpIp,
         "TCP/IP",
-        &tcp_run.world.program,
-        &tcp_run.episodes,
-        |v| v.build_tcpip(&tcp_run.world, &tcp_canonical),
+        &tcp_sh.run.world.program,
+        &tcp_sh.canonical,
     );
 
-    let rpc_run = run_rpc(RpcWorld::build(StackOptions::improved()), 2);
-    let rpc_canonical = rpc_run.episodes.client_trace();
-    let rpc = measure(
-        "RPC",
-        &rpc_run.world.program,
-        &rpc_run.episodes,
-        |v| v.build_rpc(&rpc_run.world, &rpc_canonical),
-    );
+    let rpc_sh = eng.rpc(opts, 2);
+    let rpc = measure(StackKind::Rpc, "RPC", &rpc_sh.run.world.program, &rpc_sh.canonical);
 
     Table9 { rows: vec![tcp, rpc] }
 }

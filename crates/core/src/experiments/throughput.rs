@@ -7,12 +7,11 @@
 //! per-packet processing time (and hence CPU utilization) drops with the
 //! techniques.
 
-use crate::config::Version;
-use crate::harness::run_tcpip;
+use crate::config::{StackKind, Version};
 use crate::report::{f1, Table};
-use crate::timing::replay_trace;
-use crate::world::TcpIpWorld;
+use crate::sweep::SweepEngine;
 use alpha_machine::Machine;
+use kcode::Replayer;
 use protocols::StackOptions;
 
 #[derive(Debug, Clone)]
@@ -35,8 +34,13 @@ pub struct Throughput {
 
 pub fn run() -> Throughput {
     // Record a bulk send (1 KB payload — a big segment, no
-    // fragmentation) on the functional stack.
-    let world = TcpIpWorld::build(StackOptions::improved());
+    // fragmentation) on the functional stack.  The world, canonical
+    // trace and per-version images all come memoized from the sweep
+    // engine; only the bulk episode itself is recorded here.
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let sh = eng.tcpip(opts, 2);
+    let world = &sh.run.world;
     let timing = netsim::lance::LanceTiming::dec3000_600();
     let mut client = world.client(timing);
     let mut server = world.server(timing);
@@ -73,19 +77,17 @@ pub fn run() -> Throughput {
     );
     let wire_us = wire.tx_time(&frame) as f64 / 1000.0;
 
-    let canonical = {
-        let run = run_tcpip(TcpIpWorld::build(StackOptions::improved()), 2);
-        run.episodes.client_trace()
-    };
-
     let rows = Version::all()
         .into_iter()
         .map(|v| {
-            let img = v.build_tcpip(&world, &canonical);
-            let trace = replay_trace(&img, &ep);
+            let img = eng.image(StackKind::TcpIp, opts, 2, v);
+            // Fused streaming: warm pass, then a measured pass.
+            let rep = Replayer::new(&img);
             let mut m = Machine::dec3000_600();
-            m.run_accumulate(&trace);
-            let warm = m.run(&trace);
+            rep.replay_into(&ep, &mut m).expect("bulk episode must replay cleanly");
+            m.reset_stats();
+            let stats = rep.replay_into(&ep, &mut m).expect("bulk episode must replay cleanly");
+            let warm = m.report(stats.instructions);
             let proc_us = warm.time_us();
             // Pipelined bulk transfer: the slower of CPU and wire paces
             // the stream.

@@ -13,6 +13,10 @@
 //!   machines, splits out the overlap with network I/O, and composes
 //!   end-to-end roundtrip latency exactly as the testbed does:
 //!   `client-out + controller + server-turn + controller + client-in`.
+//! * [`sweep`] — the memoizing sweep engine: every functional run,
+//!   image, timing and statistic computed at most once per process,
+//!   with the canonical 6-version × 2-stack sweep fanned out across
+//!   scoped threads.
 //! * [`experiments`] — one driver per table/figure.
 //! * [`report`] — plain-text table rendering.
 
@@ -20,9 +24,11 @@ pub mod config;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod sweep;
 pub mod timing;
 pub mod world;
 
 pub use config::{StackKind, Version};
 pub use harness::{RoundtripEpisodes, RpcRun, TcpIpRun};
+pub use sweep::{SweepCounters, SweepEngine, SweepJob, SweepRow};
 pub use world::{RpcWorld, TcpIpWorld};

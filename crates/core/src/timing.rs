@@ -21,7 +21,7 @@
 
 use alpha_machine::{InstRecord, Machine, RunReport};
 use kcode::events::EventStream;
-use kcode::{FuncId, Image, Replayer};
+use kcode::{FuncId, Image, InstSink, Replayer};
 
 use crate::harness::RoundtripEpisodes;
 
@@ -112,6 +112,76 @@ fn run_with_boundary(m: &mut Machine, trace: &[InstRecord], boundary: usize) -> 
     (m.report(trace.len() as u64), pre_cycles)
 }
 
+/// The laid-out address ranges of `func`'s blocks — the streaming
+/// equivalent of [`boundary_after_last`]'s membership test.
+fn func_ranges(image: &Image, func: FuncId) -> Vec<(u64, u64)> {
+    let placement = image.placement(func);
+    let fdef = image.program.function(func);
+    (0..fdef.blocks.len())
+        .filter_map(|i| {
+            let a = placement.block_addr[i];
+            let l = placement.block_len[i] as u64 * 4;
+            (l > 0).then_some((a, a + l))
+        })
+        .collect()
+}
+
+/// Streaming sink that simulates each instruction as it is replayed and
+/// snapshots the cycle counter after every instruction belonging to the
+/// transmit function.  When replay finishes, the last snapshot is the
+/// cycle count at [`boundary_after_last`] — without ever materializing
+/// the trace that function indexes into.
+struct BoundaryMachineSink<'m> {
+    m: &'m mut Machine,
+    tx_ranges: &'m [(u64, u64)],
+    /// Envelope of `tx_ranges`: almost every pc falls outside it, so two
+    /// compares reject the common case before the per-range scan.
+    env_lo: u64,
+    env_hi: u64,
+    pre_cycles: Option<u64>,
+}
+
+impl<'m> BoundaryMachineSink<'m> {
+    fn new(m: &'m mut Machine, tx_ranges: &'m [(u64, u64)]) -> Self {
+        let env_lo = tx_ranges.iter().map(|r| r.0).min().unwrap_or(u64::MAX);
+        let env_hi = tx_ranges.iter().map(|r| r.1).max().unwrap_or(0);
+        BoundaryMachineSink { m, tx_ranges, env_lo, env_hi, pre_cycles: None }
+    }
+}
+
+impl InstSink for BoundaryMachineSink<'_> {
+    #[inline]
+    fn emit(&mut self, rec: InstRecord) {
+        self.m.step(&rec);
+        if rec.pc >= self.env_lo
+            && rec.pc < self.env_hi
+            && self.tx_ranges.iter().any(|&(a, b)| rec.pc >= a && rec.pc < b)
+        {
+            self.pre_cycles = Some(self.m.cpu.cycles() + self.m.mem.stall_cycles());
+        }
+    }
+}
+
+/// Measured streaming pass over one episode: reset counters, fuse
+/// replay into the machine, report.  Returns the report and the cycle
+/// count at the transmit boundary (total cycles when the transmit
+/// function never appears, matching `boundary = trace.len()`).
+fn measured_episode(
+    replayer: &Replayer,
+    ep: &EventStream,
+    m: &mut Machine,
+    tx_ranges: &[(u64, u64)],
+) -> (RunReport, u64) {
+    m.reset_stats();
+    let mut sink = BoundaryMachineSink::new(m, tx_ranges);
+    let stats = replayer
+        .replay_into(ep, &mut sink)
+        .expect("episode must replay cleanly");
+    let pre_cycles = sink.pre_cycles;
+    let pre_cycles = pre_cycles.unwrap_or_else(|| m.cpu.cycles() + m.mem.stall_cycles());
+    (m.report(stats.instructions), pre_cycles)
+}
+
 /// Time one roundtrip: client episodes against `client_image`, server
 /// turn against `server_image` (normally the same version for TCP/IP;
 /// always ALL for the RPC server per the paper's methodology).
@@ -126,7 +196,56 @@ pub fn time_roundtrip(
 
 /// [`time_roundtrip`] with an explicit untraced-per-hop constant (the
 /// RPC stack uses [`RPC_UNTRACED_PER_HOP_US`]).
+///
+/// Fused streaming implementation: both the warm-up and the measured
+/// pass feed the replayer's instruction stream straight into the
+/// machine models — no trace vector is ever allocated.  Produces
+/// bit-identical results to [`time_roundtrip_materialized`] (asserted
+/// by the `fused_matches_materialized` test).
 pub fn time_roundtrip_with(
+    episodes: &RoundtripEpisodes,
+    client_image: &Image,
+    server_image: &Image,
+    f_tx: FuncId,
+    untraced_us: f64,
+) -> RoundtripTiming {
+    let client_rep = Replayer::new(client_image);
+    let server_rep = Replayer::new(server_image);
+    let out_ranges = func_ranges(client_image, f_tx);
+    let server_ranges = func_ranges(server_image, f_tx);
+
+    let clock = client_image_clock();
+    let mut client_m = Machine::dec3000_600();
+    let mut server_m = Machine::dec3000_600();
+
+    // Warm-up pass: stream the roundtrip through the machines once so
+    // the measured pass sees steady-state caches.
+    client_rep
+        .replay_into(&episodes.client_out, &mut client_m)
+        .expect("episode must replay cleanly");
+    client_rep
+        .replay_into(&episodes.client_in, &mut client_m)
+        .expect("episode must replay cleanly");
+    server_rep
+        .replay_into(&episodes.server_turn, &mut server_m)
+        .expect("episode must replay cleanly");
+
+    // Measured pass.  The client-in episode needs no transmit boundary
+    // (its pre-transmit time is unused), so no ranges are tracked.
+    let (client_out, out_pre_cycles) =
+        measured_episode(&client_rep, &episodes.client_out, &mut client_m, &out_ranges);
+    let (client_in, _) = measured_episode(&client_rep, &episodes.client_in, &mut client_m, &[]);
+    let (server_turn, server_pre_cycles) =
+        measured_episode(&server_rep, &episodes.server_turn, &mut server_m, &server_ranges);
+
+    compose_roundtrip(client_out, client_in, server_turn, out_pre_cycles, server_pre_cycles, clock, untraced_us)
+}
+
+/// Reference implementation of [`time_roundtrip_with`] over
+/// materialized trace vectors — the pre-fusion pipeline, kept for the
+/// streaming-equivalence test and the bench harness's stage-cost
+/// comparison.
+pub fn time_roundtrip_materialized(
     episodes: &RoundtripEpisodes,
     client_image: &Image,
     server_image: &Image,
@@ -156,6 +275,21 @@ pub fn time_roundtrip_with(
     let (server_turn, server_pre_cycles) =
         run_with_boundary(&mut server_m, &server_trace, server_boundary);
 
+    compose_roundtrip(client_out, client_in, server_turn, out_pre_cycles, server_pre_cycles, clock, untraced_us)
+}
+
+/// Assemble the end-to-end latency from the three episode reports and
+/// the two pre-transmit cycle counts (shared by the fused and
+/// materialized paths so the composition arithmetic cannot drift).
+fn compose_roundtrip(
+    client_out: RunReport,
+    client_in: RunReport,
+    server_turn: RunReport,
+    out_pre_cycles: u64,
+    server_pre_cycles: u64,
+    clock: f64,
+    untraced_us: f64,
+) -> RoundtripTiming {
     let mut client = client_out;
     client.merge(&client_in);
 
@@ -186,8 +320,23 @@ fn client_image_clock() -> f64 {
 
 /// Cold, trace-driven client-side cache statistics — the methodology of
 /// the paper's Table 6 (one traced roundtrip through a cache simulator
-/// with empty caches).
+/// with empty caches).  Streams the replay straight into the machine.
 pub fn cold_client_stats(episodes: &RoundtripEpisodes, image: &Image) -> RunReport {
+    let rep = Replayer::new(image);
+    let mut m = Machine::dec3000_600();
+    m.reset();
+    let out = rep
+        .replay_into(&episodes.client_out, &mut m)
+        .expect("episode must replay cleanly");
+    let inn = rep
+        .replay_into(&episodes.client_in, &mut m)
+        .expect("episode must replay cleanly");
+    m.report(out.instructions + inn.instructions)
+}
+
+/// Materialized-Vec reference for [`cold_client_stats`], kept for the
+/// streaming-equivalence test.
+pub fn cold_client_stats_materialized(episodes: &RoundtripEpisodes, image: &Image) -> RunReport {
     let out_trace = replay_trace(image, &episodes.client_out);
     let in_trace = replay_trace(image, &episodes.client_in);
     let mut m = Machine::dec3000_600();
@@ -288,6 +437,48 @@ mod tests {
         // d-cache accesses are a substantial fraction of instructions.
         let dfrac = r.dcache.accesses as f64 / r.instructions as f64;
         assert!((0.15..0.6).contains(&dfrac), "d-access fraction {dfrac:.2}");
+    }
+
+    #[test]
+    fn fused_matches_materialized() {
+        // Acceptance: the fused streaming replay→simulate path must be
+        // bit-identical to the materialized-Vec pipeline — same mCPI,
+        // iCPI and cache statistics, same pre-transmit split.
+        let (run, canonical) = setup();
+        let f_tx = run.world.lance_model.f_tx;
+        for v in [Version::Bad, Version::Std, Version::All] {
+            let img = v.build_tcpip(&run.world, &canonical);
+            let fused =
+                time_roundtrip_with(&run.episodes, &img, &img, f_tx, UNTRACED_PER_HOP_US);
+            let refr = time_roundtrip_materialized(
+                &run.episodes,
+                &img,
+                &img,
+                f_tx,
+                UNTRACED_PER_HOP_US,
+            );
+            assert_eq!(fused.client_out, refr.client_out, "{} client_out", v.name());
+            assert_eq!(fused.client_in, refr.client_in, "{} client_in", v.name());
+            assert_eq!(fused.server_turn, refr.server_turn, "{} server", v.name());
+            assert_eq!(fused.client, refr.client, "{} merged client", v.name());
+            assert_eq!(
+                fused.client_out_pre_us.to_bits(),
+                refr.client_out_pre_us.to_bits(),
+                "{} out pre-us",
+                v.name()
+            );
+            assert_eq!(
+                fused.server_pre_us.to_bits(),
+                refr.server_pre_us.to_bits(),
+                "{} server pre-us",
+                v.name()
+            );
+            assert_eq!(fused.e2e_us.to_bits(), refr.e2e_us.to_bits(), "{} e2e", v.name());
+
+            let cold = cold_client_stats(&run.episodes, &img);
+            let cold_ref = cold_client_stats_materialized(&run.episodes, &img);
+            assert_eq!(cold, cold_ref, "{} cold stats", v.name());
+        }
     }
 
     #[test]

@@ -8,13 +8,12 @@
 //! operations interleaved among the ALU operations, which is both what
 //! compilers schedule and what the dual-issue model rewards).
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::RegionId;
 
 /// A symbolic data reference, resolved to a concrete address at replay
 /// time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataRef {
     /// A static region (globals, a protocol's state block, a device ring)
     /// plus a byte offset.
@@ -29,7 +28,7 @@ pub enum DataRef {
 }
 
 /// Straight-line contents of a basic block.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Body {
     /// Simple single-cycle integer operations.
     pub alu: u16,

@@ -5,14 +5,13 @@
 //! or more *basic blocks*; blocks are what layout strategies place in
 //! memory and what the replayer turns into instructions.
 
-use serde::{Deserialize, Serialize};
 
 use crate::body::Body;
 use crate::ids::{BlockIdx, FuncId, SegId};
 
 /// Static branch prediction annotation on a conditional segment —
 /// the paper's compiler extension (`PREDICT_TRUE` / `PREDICT_FALSE`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Predict {
     /// No annotation: the compiler lays blocks out in source order and
     /// outlining leaves them alone.
@@ -26,7 +25,7 @@ pub enum Predict {
 }
 
 /// Function classification for the bipartite cloning layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FuncKind {
     /// Executed once per path invocation (protocol input/output
     /// functions).
@@ -38,7 +37,7 @@ pub enum FuncKind {
 
 /// The role of a block, determining how the replayer treats its
 /// terminator and whether outlining may move it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockRole {
     /// Function prologue (entry).  Cloning specialization may skip its
     /// first instructions for near calls.
@@ -62,7 +61,7 @@ pub enum BlockRole {
 }
 
 /// A basic block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     pub name: String,
     pub body: Body,
@@ -94,7 +93,7 @@ impl Block {
 }
 
 /// What kind of segment, and which blocks implement it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SegKind {
     /// Unconditional straight-line code: one block.
     Straight { block: BlockIdx },
@@ -127,14 +126,14 @@ pub enum SegKind {
 }
 
 /// A segment: the run-time reporting unit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Segment {
     pub id: SegId,
     pub kind: SegKind,
 }
 
 /// Prologue/epilogue shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameSpec {
     /// ALU instructions in the prologue (GP reload, SP adjust).
     pub prologue_alu: u16,
@@ -168,7 +167,7 @@ impl FrameSpec {
 
 /// Structural context of a block within its segment — drives the
 /// terminator-slot rules (does this block statically need a jump?).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockCtx {
     /// Entry, exit, straight, test, loop, call — role alone decides.
     Plain,
@@ -181,7 +180,7 @@ pub enum BlockCtx {
 }
 
 /// A function: blocks in source order plus the segment table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     pub id: FuncId,
     pub name: String,

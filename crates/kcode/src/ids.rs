@@ -1,23 +1,22 @@
 //! Typed identifiers for the code model.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifies a function within a [`crate::Program`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct FuncId(pub u32);
 
 /// Identifies a segment.  Segment ids are unique across the whole program
 /// (not per function) so runtime events don't need to carry the function.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct SegId(pub u32);
 
 /// Index of a basic block within its function.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct BlockIdx(pub u32);
 
@@ -29,7 +28,7 @@ impl BlockIdx {
 
 /// Identifies a named data region (globals, protocol state, pools...).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct RegionId(pub u32);
 

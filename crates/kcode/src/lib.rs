@@ -45,6 +45,7 @@
 //! if-statement stops jumping over its error block once the error block
 //! is outlined) without a separate CFG interpreter.
 
+pub mod bitset;
 pub mod body;
 pub mod classifier;
 pub mod datalayout;
@@ -69,5 +70,6 @@ pub use ids::{BlockIdx, FuncId, RegionId, SegId};
 pub use image::{Image, ImageConfig};
 pub use layout::LayoutStrategy;
 pub use program::{Program, ProgramBuilder};
-pub use replay::{ReplayOutput, Replayer};
+pub use bitset::PcBitmap;
+pub use replay::{InstSink, NullSink, ReplayOutput, ReplayStats, Replayer};
 pub use symbolize::Symbolizer;

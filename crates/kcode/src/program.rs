@@ -4,7 +4,6 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::func::{FrameSpec, FuncKind, Function, FunctionBuilder};
 use crate::ids::{FuncId, RegionId, SegId};
@@ -14,7 +13,7 @@ use crate::ids::{FuncId, RegionId, SegId};
 pub const GOT_REGION: RegionId = RegionId(0);
 
 /// A registered data region.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
     pub id: RegionId,
     pub name: String,
@@ -22,7 +21,7 @@ pub struct Region {
 }
 
 /// An immutable, fully built program.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Program {
     functions: Vec<Function>,
     regions: Vec<Region>,

@@ -23,10 +23,9 @@
 //! functions vanish entirely, along with the callee's prologue and
 //! epilogue.
 
-use std::collections::HashSet;
-
 use alpha_machine::{InstClass, InstRecord};
 
+use crate::bitset::PcBitmap;
 use crate::body::SlotClass;
 use crate::datalayout::DataLayout;
 use crate::events::{Ev, EventStream};
@@ -35,22 +34,70 @@ use crate::ids::{BlockIdx, FuncId, SegId};
 use crate::image::Image;
 use crate::program::GOT_REGION;
 
-/// The replayed trace plus fetch-utilization statistics.
+/// Receives each replayed instruction as it is produced.
+///
+/// The streaming mode of [`Replayer::replay_into`] hands every
+/// [`InstRecord`] to a sink instead of materializing a trace vector, so
+/// a simulator can consume the record while it is still in registers.
+pub trait InstSink {
+    fn emit(&mut self, rec: InstRecord);
+}
+
+/// Collecting sink: the classic materialized trace.
+impl InstSink for Vec<InstRecord> {
+    #[inline]
+    fn emit(&mut self, rec: InstRecord) {
+        self.push(rec);
+    }
+}
+
+/// Discarding sink (replay for the side statistics only).
+pub struct NullSink;
+
+impl InstSink for NullSink {
+    #[inline]
+    fn emit(&mut self, _rec: InstRecord) {}
+}
+
+/// Fused replay→simulate: a machine consumes each instruction the
+/// moment the replayer produces it.
+impl InstSink for alpha_machine::Machine {
+    #[inline]
+    fn emit(&mut self, rec: InstRecord) {
+        self.step(&rec);
+    }
+}
+
+/// Fetch-utilization statistics gathered during replay, trace or no
+/// trace.  The address sets are compact bitmaps keyed off the image's
+/// code extent (see [`PcBitmap`]).
 #[derive(Debug, Clone, Default)]
-pub struct ReplayOutput {
-    /// The dynamic instruction trace.
-    pub trace: Vec<InstRecord>,
+pub struct ReplayStats {
     /// Distinct i-cache blocks touched by instruction fetch.
-    pub fetched_blocks: HashSet<u64>,
+    pub fetched_blocks: PcBitmap,
     /// Distinct instruction addresses executed.
-    pub executed_pcs: HashSet<u64>,
+    pub executed_pcs: PcBitmap,
+    /// Dynamic instructions emitted.
+    pub instructions: u64,
     /// Call instructions emitted.
     pub calls: u64,
     /// Taken control transfers emitted.
     pub taken: u64,
 }
 
-impl ReplayOutput {
+impl ReplayStats {
+    fn for_image(image: &Image) -> Self {
+        let base = Image::CODE_BASE;
+        let end = image.code_end;
+        ReplayStats {
+            fetched_blocks: PcBitmap::for_blocks(base, end),
+            executed_pcs: PcBitmap::for_pcs(base, end),
+            instructions: 0,
+            calls: 0,
+            taken: 0,
+        }
+    }
+
     /// Fraction of instruction slots in fetched i-cache blocks that were
     /// never executed — the paper's Table 9 "i-cache unused" metric.
     pub fn unused_fraction(&self, block_bytes: u64) -> f64 {
@@ -59,6 +106,32 @@ impl ReplayOutput {
             return 0.0;
         }
         1.0 - self.executed_pcs.len() as f64 / slots
+    }
+
+    /// Merge another replay's sets and counters in (Table 9 combines
+    /// the out- and in-path of one roundtrip).
+    pub fn merge(&mut self, other: &ReplayStats) {
+        self.fetched_blocks.union_with(&other.fetched_blocks);
+        self.executed_pcs.union_with(&other.executed_pcs);
+        self.instructions += other.instructions;
+        self.calls += other.calls;
+        self.taken += other.taken;
+    }
+}
+
+/// The replayed trace plus fetch-utilization statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOutput {
+    /// The dynamic instruction trace.
+    pub trace: Vec<InstRecord>,
+    /// Side statistics (fetched blocks, executed PCs, call/taken counts).
+    pub stats: ReplayStats,
+}
+
+impl ReplayOutput {
+    /// See [`ReplayStats::unused_fraction`].
+    pub fn unused_fraction(&self, block_bytes: u64) -> f64 {
+        self.stats.unused_fraction(block_bytes)
     }
 
     pub fn len(&self) -> usize {
@@ -112,11 +185,25 @@ impl<'a> Replayer<'a> {
         self.image
     }
 
-    /// Replay one event stream into an instruction trace.
+    /// Replay one event stream into a materialized instruction trace.
     pub fn replay(&self, events: &EventStream) -> Result<ReplayOutput, String> {
+        let mut trace = Vec::new();
+        let stats = self.replay_into(events, &mut trace)?;
+        Ok(ReplayOutput { trace, stats })
+    }
+
+    /// Streaming replay: hand each instruction to `sink` as it is
+    /// produced, returning only the side statistics.  This is the fused
+    /// replay→simulate path — no trace vector is ever allocated.
+    pub fn replay_into<S: InstSink>(
+        &self,
+        events: &EventStream,
+        sink: &mut S,
+    ) -> Result<ReplayStats, String> {
         let mut st = ReplayState {
             image: self.image,
-            out: ReplayOutput::default(),
+            sink,
+            stats: ReplayStats::for_image(self.image),
             stack: Vec::new(),
             sp: self.stack_base,
             prev_end: None,
@@ -129,13 +216,14 @@ impl<'a> Replayer<'a> {
         if !st.stack.is_empty() {
             return Err(format!("stream ended inside {} activations", st.stack.len()));
         }
-        Ok(st.out)
+        Ok(st.stats)
     }
 }
 
-struct ReplayState<'a> {
+struct ReplayState<'a, S: InstSink> {
     image: &'a Image,
-    out: ReplayOutput,
+    sink: &'a mut S,
+    stats: ReplayStats,
     stack: Vec<Activation>,
     sp: u64,
     prev_end: Option<u64>,
@@ -143,14 +231,16 @@ struct ReplayState<'a> {
     pending_call: Option<SegId>,
 }
 
-impl<'a> ReplayState<'a> {
+impl<'a, S: InstSink> ReplayState<'a, S> {
+    #[inline]
     fn emit(&mut self, rec: InstRecord) {
         if rec.class.is_taken_control() {
-            self.out.taken += 1;
+            self.stats.taken += 1;
         }
-        self.out.fetched_blocks.insert(rec.pc & !31);
-        self.out.executed_pcs.insert(rec.pc);
-        self.out.trace.push(rec);
+        self.stats.instructions += 1;
+        self.stats.fetched_blocks.insert(rec.pc & !31);
+        self.stats.executed_pcs.insert(rec.pc);
+        self.sink.emit(rec);
     }
 
     fn cur(&mut self) -> Result<&mut Activation, String> {
@@ -511,7 +601,7 @@ impl<'a> ReplayState<'a> {
             } else {
                 via_real_call = true;
                 let slot = body_end;
-                self.out.calls += 1;
+                self.stats.calls += 1;
                 self.emit(InstRecord::call(slot));
                 self.prev_end = None;
                 self.pending = None;
@@ -691,10 +781,10 @@ mod tests {
         let t_plain = Replayer::new(&plain).replay(&ev).unwrap();
         let t_out = Replayer::new(&outlined).replay(&ev).unwrap();
         assert!(
-            t_out.taken < t_plain.taken,
+            t_out.stats.taken < t_plain.stats.taken,
             "outlined taken={} plain taken={}",
-            t_out.taken,
-            t_plain.taken
+            t_out.stats.taken,
+            t_plain.stats.taken
         );
     }
 
@@ -706,7 +796,7 @@ mod tests {
         let bad = Replayer::new(&outlined).replay(&record(&fxx, true, 0)).unwrap();
         // Error path executes the cold block plus extra jumps.
         assert!(bad.len() > good.len() + 20);
-        assert!(bad.taken > good.taken);
+        assert!(bad.stats.taken > good.stats.taken);
     }
 
     #[test]
@@ -827,7 +917,7 @@ mod tests {
             t_pin.len(),
             t_plain.len()
         );
-        assert!(t_pin.taken < t_plain.taken);
+        assert!(t_pin.stats.taken < t_plain.stats.taken);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Property tests over the code model: randomly generated programs and
 //! event streams must replay cleanly and consistently under every
 //! layout strategy.
+//!
+//! The inputs are drawn from a seeded SplitMix64 stream, so every run
+//! exercises the same 64 cases per property — deterministic, offline,
+//! and reproducible from the seed alone.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
 use alpha_machine::InstClass;
@@ -11,6 +14,9 @@ use kcode::func::{FrameSpec, FuncKind};
 use kcode::layout::{build_image, LayoutRequest, LayoutStrategy};
 use kcode::program::ProgramBuilder;
 use kcode::{Body, EventStream, FuncId, Image, ImageConfig, Predict, Program, Replayer, SegId};
+use netsim::rng::SplitMix64;
+
+const CASES: u64 = 64;
 
 /// A compact description of one generated function.
 #[derive(Debug, Clone)]
@@ -18,6 +24,27 @@ struct GenFunc {
     kind: FuncKind,
     /// (segment shape, size): 0=straight, 1=checked, 2=cond, 3=loop.
     segs: Vec<(u8, u16)>,
+}
+
+/// 1..6 functions, each 1..6 segments of (shape 0..4, size 1..60).
+fn gen_funcs(rng: &mut SplitMix64) -> Vec<GenFunc> {
+    let nfuncs = rng.range(1, 6);
+    (0..nfuncs)
+        .map(|_| {
+            let kind = if rng.bool() { FuncKind::Library } else { FuncKind::Path };
+            let nsegs = rng.range(1, 6);
+            let segs = (0..nsegs)
+                .map(|_| (rng.below(4) as u8, 1 + rng.below(59) as u16))
+                .collect();
+            GenFunc { kind, segs }
+        })
+        .collect()
+}
+
+/// 1..8 branch outcomes.
+fn gen_outcomes(rng: &mut SplitMix64) -> Vec<bool> {
+    let n = rng.range(1, 8);
+    (0..n).map(|_| rng.bool()).collect()
 }
 
 #[derive(Debug, Clone)]
@@ -118,33 +145,18 @@ fn image(b: &Built, strat: LayoutStrategy, canonical: &EventStream, outline: boo
     )
 }
 
-fn gen_funcs() -> impl Strategy<Value = Vec<GenFunc>> {
-    proptest::collection::vec(
-        (
-            any::<bool>(),
-            proptest::collection::vec((0u8..4, 1u16..60), 1..6),
-        )
-            .prop_map(|(lib, segs)| GenFunc {
-                kind: if lib { FuncKind::Library } else { FuncKind::Path },
-                segs,
-            }),
-        1..6,
-    )
-}
+#[test]
+fn replay_succeeds_under_every_layout() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0001 ^ (case << 8));
+        let gen = gen_funcs(&mut rng);
+        let outcomes = gen_outcomes(&mut rng);
+        let iters = rng.below(5) as u32;
+        let outline = rng.bool();
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn replay_succeeds_under_every_layout(
-        gen in gen_funcs(),
-        outcomes in proptest::collection::vec(any::<bool>(), 1..8),
-        iters in 0u32..5,
-        outline in any::<bool>(),
-    ) {
         let b = build(&gen);
         let ev = record(&b, &outcomes, iters);
-        prop_assert!(ev.check_balanced().is_ok());
+        assert!(ev.check_balanced().is_ok(), "case {case}: unbalanced stream");
         for strat in [
             LayoutStrategy::LinkOrder,
             LayoutStrategy::Linear,
@@ -154,21 +166,24 @@ proptest! {
         ] {
             let img = image(&b, strat, &ev, outline);
             let out = Replayer::new(&img).replay(&ev);
-            prop_assert!(out.is_ok(), "{:?}: {:?}", strat, out.err());
+            assert!(out.is_ok(), "case {case} {strat:?}: {:?}", out.err());
             let out = out.unwrap();
-            prop_assert!(!out.is_empty());
+            assert!(!out.is_empty(), "case {case} {strat:?}: empty trace");
             // Replay is deterministic.
             let again = Replayer::new(&img).replay(&ev).unwrap();
-            prop_assert_eq!(&out.trace, &again.trace);
+            assert_eq!(out.trace, again.trace, "case {case} {strat:?}");
         }
     }
+}
 
-    #[test]
-    fn non_control_work_is_layout_invariant(
-        gen in gen_funcs(),
-        outcomes in proptest::collection::vec(any::<bool>(), 1..8),
-        iters in 0u32..5,
-    ) {
+#[test]
+fn non_control_work_is_layout_invariant() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0002 ^ (case << 8));
+        let gen = gen_funcs(&mut rng);
+        let outcomes = gen_outcomes(&mut rng);
+        let iters = rng.below(5) as u32;
+
         let b = build(&gen);
         let ev = record(&b, &outcomes, iters);
         let count_work = |img: &Image| {
@@ -193,15 +208,18 @@ proptest! {
         let a = count_work(&image(&b, LayoutStrategy::LinkOrder, &ev, true));
         let c = count_work(&image(&b, LayoutStrategy::Bipartite, &ev, true));
         let d = count_work(&image(&b, LayoutStrategy::Bad, &ev, true));
-        prop_assert_eq!(a, c);
-        prop_assert_eq!(a, d);
+        assert_eq!(a, c, "case {case}: LinkOrder vs Bipartite");
+        assert_eq!(a, d, "case {case}: LinkOrder vs Bad");
     }
+}
 
-    #[test]
-    fn calls_and_returns_balance(
-        gen in gen_funcs(),
-        outcomes in proptest::collection::vec(any::<bool>(), 1..8),
-    ) {
+#[test]
+fn calls_and_returns_balance() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0003 ^ (case << 8));
+        let gen = gen_funcs(&mut rng);
+        let outcomes = gen_outcomes(&mut rng);
+
         let b = build(&gen);
         let ev = record(&b, &outcomes, 1);
         let img = image(&b, LayoutStrategy::Linear, &ev, true);
@@ -209,14 +227,17 @@ proptest! {
         let calls = out.trace.iter().filter(|r| r.class == InstClass::Call).count();
         let rets = out.trace.iter().filter(|r| r.class == InstClass::Ret).count();
         // Every call returns; the root activation adds one unpaired ret.
-        prop_assert_eq!(calls + 1, rets, "calls {} rets {}", calls, rets);
+        assert_eq!(calls + 1, rets, "case {case}: calls {calls} rets {rets}");
     }
+}
 
-    #[test]
-    fn executed_pcs_lie_within_placed_blocks(
-        gen in gen_funcs(),
-        outcomes in proptest::collection::vec(any::<bool>(), 1..8),
-    ) {
+#[test]
+fn executed_pcs_lie_within_placed_blocks() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0004 ^ (case << 8));
+        let gen = gen_funcs(&mut rng);
+        let outcomes = gen_outcomes(&mut rng);
+
         let b = build(&gen);
         let ev = record(&b, &outcomes, 2);
         let img = image(&b, LayoutStrategy::Bipartite, &ev, true);
@@ -234,9 +255,9 @@ proptest! {
             }
         }
         for rec in &out.trace {
-            prop_assert!(
+            assert!(
                 ranges.iter().any(|(s, e)| rec.pc >= *s && rec.pc < *e),
-                "pc {:#x} outside every placed block",
+                "case {case}: pc {:#x} outside every placed block",
                 rec.pc
             );
         }

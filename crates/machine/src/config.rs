@@ -5,10 +5,9 @@
 //! L1s with 32-byte blocks, 4-deep write buffer, 2 MB direct-mapped
 //! write-back b-cache.
 
-use serde::{Deserialize, Serialize};
 
 /// CPU issue-model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuConfig {
     /// Clock frequency in MHz; used only to convert cycles to time.
     pub clock_mhz: u64,
@@ -52,7 +51,7 @@ impl CpuConfig {
 /// associativity is supported for the "what if" ablation: with a 2-way
 /// LRU i-cache most replacement misses disappear and the layout
 /// techniques matter far less.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.  Must be a power of two.
     pub size_bytes: u64,
@@ -89,7 +88,7 @@ impl CacheConfig {
 }
 
 /// Memory-hierarchy parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemConfig {
     pub icache: CacheConfig,
     pub dcache: CacheConfig,
@@ -151,7 +150,7 @@ impl MemConfig {
 }
 
 /// Full machine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
     pub cpu: CpuConfig,
     pub mem: MemConfig,

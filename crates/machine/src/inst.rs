@@ -1,10 +1,9 @@
 //! Dynamic instruction records — the unit of the trace format shared
 //! between the code model (`kcode`) and this machine model.
 
-use serde::{Deserialize, Serialize};
 
 /// Functional class of an instruction, as far as the timing model cares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstClass {
     /// Simple integer ALU operation (add, logical, shift, compare, cmov).
     Alu,
@@ -42,14 +41,14 @@ impl InstClass {
 }
 
 /// Direction of a data-memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOp {
     Read,
     Write,
 }
 
 /// One dynamically executed instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InstRecord {
     /// Instruction address (the *laid-out* address, after any code
     /// placement transformation).

@@ -78,6 +78,16 @@ impl Machine {
         Machine::new(MachineConfig::dec3000_600())
     }
 
+    /// Process one instruction: issue it on the CPU model and run its
+    /// fetch/data accesses through the memory hierarchy.  This is the
+    /// streaming entry point — a replayer can feed records here as it
+    /// produces them, with no intermediate trace vector.
+    #[inline]
+    pub fn step(&mut self, rec: &InstRecord) {
+        self.cpu.issue(rec);
+        self.mem.access(rec);
+    }
+
     /// Replay a trace and return the timing/statistics report.
     ///
     /// Caches stay warm afterwards; statistics accumulate into the report
@@ -85,10 +95,7 @@ impl Machine {
     pub fn run(&mut self, trace: &[InstRecord]) -> RunReport {
         self.cpu.reset_stats();
         self.mem.reset_stats();
-        for rec in trace {
-            self.cpu.issue(rec);
-            self.mem.access(rec);
-        }
+        self.run_accumulate(trace);
         self.report(trace.len() as u64)
     }
 
@@ -97,8 +104,7 @@ impl Machine {
     /// pieces.
     pub fn run_accumulate(&mut self, trace: &[InstRecord]) {
         for rec in trace {
-            self.cpu.issue(rec);
-            self.mem.access(rec);
+            self.step(rec);
         }
     }
 

@@ -2,8 +2,7 @@
 //! deterministic RNG, in the style of smoltcp's example fault injector.
 //! Used by the loss-recovery example and the TCP retransmission tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// What happened to a frame passing through the injector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +24,7 @@ pub struct FaultStats {
 /// The injector.
 #[derive(Debug)]
 pub struct FaultInjector {
-    rng: StdRng,
+    rng: SplitMix64,
     /// Probability a frame is dropped, in [0, 1].
     pub drop_chance: f64,
     /// Probability one octet of a surviving frame is flipped.
@@ -45,7 +44,7 @@ impl FaultInjector {
         assert!((0.0..=1.0).contains(&drop_chance));
         assert!((0.0..=1.0).contains(&corrupt_chance));
         FaultInjector {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             drop_chance,
             corrupt_chance,
             size_limit: None,
@@ -63,13 +62,13 @@ impl FaultInjector {
                 return Fate::Dropped;
             }
         }
-        if self.drop_chance > 0.0 && self.rng.gen_bool(self.drop_chance) {
+        if self.drop_chance > 0.0 && self.rng.chance(self.drop_chance) {
             self.stats.dropped += 1;
             return Fate::Dropped;
         }
-        if self.corrupt_chance > 0.0 && self.rng.gen_bool(self.corrupt_chance) {
-            let idx = self.rng.gen_range(0..bytes.len());
-            let bit = 1u8 << self.rng.gen_range(0..8);
+        if self.corrupt_chance > 0.0 && self.rng.chance(self.corrupt_chance) {
+            let idx = self.rng.range(0, bytes.len());
+            let bit = 1u8 << self.rng.below(8);
             bytes[idx] ^= bit;
             self.stats.corrupted += 1;
             return Fate::Corrupted;

@@ -24,6 +24,7 @@ pub mod fault;
 pub mod frame;
 pub mod lance;
 pub mod pcap;
+pub mod rng;
 pub mod wire;
 
 pub use engine::Engine;

@@ -15,10 +15,9 @@
 //! | `avoid_division` | shift/add window check | 90 |
 //! | `minor_changes` | other minor changes | 39 |
 
-use serde::{Deserialize, Serialize};
 
 /// Optimization switches for a protocol stack instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StackOptions {
     /// TCP connection state uses word-sized fields instead of
     /// bytes/shorts (the first two Alpha generations have no sub-word

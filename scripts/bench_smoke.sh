@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Smoke-check the pipeline benchmark contract.
+#
+# Runs `pipeline_bench` (which itself asserts the memoized sweep engine
+# beats per-consumer recomputation by >= 2x) and verifies that
+# BENCH_pipeline.json contains every key downstream tooling reads.
+# Pass --reuse to validate an existing BENCH_pipeline.json without
+# re-running the benchmark.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_pipeline.json ]; then
+    cargo run -q --release -p protolat-bench --bin pipeline_bench
+fi
+
+missing=0
+for key in bench timing_consumers cold_consumers fresh_serial_ms \
+           memoized_parallel_ms speedup rows counters runs images timings \
+           cold_stats stages functional_run_ms image_build_ms \
+           replay_materialized_ms replay_fused_ms; do
+    if ! grep -q "\"$key\"" BENCH_pipeline.json; then
+        echo "bench_smoke: BENCH_pipeline.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || exit 1
+
+speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)
+if [ -z "$speedup" ]; then
+    echo "bench_smoke: could not parse speedup" >&2
+    exit 1
+fi
+awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "bench_smoke: speedup ${speedup}x below the 2x floor" >&2
+    exit 1
+}
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x faster, all JSON keys present)"

@@ -1,115 +1,162 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Each property runs 256 deterministic cases drawn from a seeded
+//! SplitMix64 stream — no external fuzzing framework, fully offline,
+//! reproducible from the seed alone.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 use protolat::kcode::{Body, DataRef, RegionId};
 use protolat::machine::{Cache, InstRecord, Machine};
 use protolat::netsim::frame::{EtherType, Frame, MacAddr};
+use protolat::netsim::rng::SplitMix64;
 use protolat::protocols::checksum;
 use protolat::protocols::tcpip::hdr::{flags, seq, IpHdr, TcpHdr};
 use protolat::xkernel::map::Map;
 use protolat::xkernel::msg::{Msg, HEADROOM};
 
-proptest! {
-    // ---- checksum ------------------------------------------------------
+const CASES: u64 = 256;
 
-    #[test]
-    fn checksum_detects_any_single_bit_flip(
-        data in proptest::collection::vec(any::<u8>(), 4..256),
-        bit in 0usize..8,
-        idx_seed in any::<usize>(),
-    ) {
-        // The checksum field must sit 16-bit aligned in the summed range.
-        prop_assume!(data.len() % 2 == 0);
+fn rng_for(test: u64, case: u64) -> SplitMix64 {
+    SplitMix64::new(0x9809_7350_5EED_0000 ^ (test << 32) ^ case)
+}
+
+fn bytes(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<u8> {
+    let n = rng.range(lo, hi);
+    (0..n).map(|_| rng.next_u64() as u8).collect()
+}
+
+// ---- checksum ------------------------------------------------------
+
+#[test]
+fn checksum_detects_any_single_bit_flip() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        // The checksum field must sit 16-bit aligned in the summed
+        // range, so draw an even length in [4, 256).
+        let len = 2 * rng.range(2, 128);
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let bit = rng.below(8) as usize;
+
         let mut pkt = data.clone();
         let ck = checksum::in_cksum(&pkt);
         pkt.extend_from_slice(&ck.to_be_bytes());
-        prop_assert!(checksum::verify(&pkt));
-        let idx = idx_seed % pkt.len();
+        assert!(checksum::verify(&pkt), "case {case}");
+        let idx = rng.range(0, pkt.len());
         pkt[idx] ^= 1 << bit;
-        prop_assert!(!checksum::verify(&pkt), "flip at {idx} bit {bit} undetected");
+        assert!(!checksum::verify(&pkt), "case {case}: flip at {idx} bit {bit} undetected");
     }
+}
 
-    #[test]
-    fn pseudo_checksum_binds_endpoints(
-        data in proptest::collection::vec(any::<u8>(), 0..128),
-        src in any::<u32>(),
-        dst in any::<u32>(),
-        delta in 1u32..,
-    ) {
+#[test]
+fn pseudo_checksum_binds_endpoints() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let data = bytes(&mut rng, 0, 128);
+        let src = rng.next_u64() as u32;
+        let dst = rng.next_u64() as u32;
+        let delta = 1 + rng.below(u32::MAX as u64) as u32;
+
         let a = checksum::in_cksum_pseudo(src, dst, 6, &data);
         let b = checksum::in_cksum_pseudo(src.wrapping_add(delta), dst, 6, &data);
         // A different source address must change the checksum unless the
         // one's-complement fold happens to collide; require inequality
         // for deltas that touch distinct half-words.
         if delta % 0x1_0000 != 0 && (delta >> 16) == 0 {
-            prop_assert_ne!(a, b);
+            assert_ne!(a, b, "case {case}");
         }
     }
+}
 
-    // ---- wire formats ----------------------------------------------------
+// ---- wire formats ----------------------------------------------------
 
-    #[test]
-    fn ethernet_frame_roundtrips(
-        payload in proptest::collection::vec(any::<u8>(), 0..1500),
-        d in any::<[u8; 6]>(),
-        s in any::<[u8; 6]>(),
-    ) {
+#[test]
+fn ethernet_frame_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let payload = bytes(&mut rng, 0, 1500);
+        let mut d = [0u8; 6];
+        let mut s = [0u8; 6];
+        for b in d.iter_mut().chain(s.iter_mut()) {
+            *b = rng.next_u64() as u8;
+        }
+
         let f = Frame::new(MacAddr(d), MacAddr(s), EtherType::Ipv4, payload.clone());
         let parsed = Frame::from_bytes(&f.to_bytes()).unwrap();
-        prop_assert_eq!(parsed.dst, f.dst);
-        prop_assert_eq!(parsed.src, f.src);
-        prop_assert!(parsed.payload.len() >= payload.len());
-        prop_assert_eq!(&parsed.payload[..payload.len()], &payload[..]);
+        assert_eq!(parsed.dst, f.dst, "case {case}");
+        assert_eq!(parsed.src, f.src, "case {case}");
+        assert!(parsed.payload.len() >= payload.len(), "case {case}");
+        assert_eq!(&parsed.payload[..payload.len()], &payload[..], "case {case}");
     }
+}
 
-    #[test]
-    fn ip_header_roundtrips(
-        len in 20u16..1500,
-        ident in any::<u16>(),
-        src in any::<u32>(),
-        dst in any::<u32>(),
-    ) {
+#[test]
+fn ip_header_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let len = 20 + rng.below(1480) as u16;
+        let ident = rng.next_u64() as u16;
+        let src = rng.next_u64() as u32;
+        let dst = rng.next_u64() as u32;
+
         let h = IpHdr { total_len: len, ident, frag: 0, ttl: 64, proto: 6, src, dst };
-        prop_assert_eq!(IpHdr::from_bytes(&h.to_bytes()).unwrap(), h);
+        assert_eq!(IpHdr::from_bytes(&h.to_bytes()).unwrap(), h, "case {case}");
     }
+}
 
-    #[test]
-    fn tcp_header_roundtrips_with_payload(
-        sp in any::<u16>(),
-        dp in any::<u16>(),
-        sq in any::<u32>(),
-        ack in any::<u32>(),
-        win in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+#[test]
+fn tcp_header_roundtrips_with_payload() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
         let h = TcpHdr {
-            src_port: sp, dst_port: dp, seq: sq, ack,
-            flags: flags::ACK, window: win, urgent: 0,
+            src_port: rng.next_u64() as u16,
+            dst_port: rng.next_u64() as u16,
+            seq: rng.next_u64() as u32,
+            ack: rng.next_u64() as u32,
+            flags: flags::ACK,
+            window: rng.next_u64() as u16,
+            urgent: 0,
         };
-        let bytes = h.to_bytes(1, 2, &payload);
-        let (parsed, off) = TcpHdr::from_bytes(1, 2, &bytes).unwrap();
-        prop_assert_eq!(parsed, h);
-        prop_assert_eq!(&bytes[off..], &payload[..]);
+        let payload = bytes(&mut rng, 0, 64);
+        let wire = h.to_bytes(1, 2, &payload);
+        let (parsed, off) = TcpHdr::from_bytes(1, 2, &wire).unwrap();
+        assert_eq!(parsed, h, "case {case}");
+        assert_eq!(&wire[off..], &payload[..], "case {case}");
     }
+}
 
-    #[test]
-    fn seq_comparisons_are_antisymmetric(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn seq_comparisons_are_antisymmetric() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let a = rng.next_u64() as u32;
+        let b = rng.next_u64() as u32;
         if a != b {
-            prop_assert_ne!(seq::lt(a, b), seq::lt(b, a));
-            prop_assert_eq!(seq::lt(a, b), seq::gt(b, a));
+            assert_ne!(seq::lt(a, b), seq::lt(b, a), "case {case}");
+            assert_eq!(seq::lt(a, b), seq::gt(b, a), "case {case}");
         }
-        prop_assert!(seq::leq(a, a));
-        prop_assert!(seq::geq(a, a));
+        assert!(seq::leq(a, a));
+        assert!(seq::geq(a, a));
     }
+}
 
-    // ---- xkernel map vs model ---------------------------------------------
+// ---- xkernel map vs model ---------------------------------------------
 
-    #[test]
-    fn map_behaves_like_hashmap(ops in proptest::collection::vec(
-        (0u8..3, any::<u16>(), any::<u32>()), 1..200)
-    ) {
+#[test]
+fn map_behaves_like_hashmap() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let nops = rng.range(1, 200);
+        let ops: Vec<(u8, u16, u32)> = (0..nops)
+            .map(|_| {
+                (
+                    rng.below(3) as u8,
+                    rng.next_u64() as u16,
+                    rng.next_u64() as u32,
+                )
+            })
+            .collect();
+
         let mut m: Map<u16, u32> = Map::new(32);
         let mut model: HashMap<u16, u32> = HashMap::new();
         for (op, k, v) in ops {
@@ -121,14 +168,14 @@ proptest! {
                 }
                 1 => {
                     let (got, _) = m.lookup(h, &k);
-                    prop_assert_eq!(got, model.get(&k).copied());
+                    assert_eq!(got, model.get(&k).copied(), "case {case}");
                 }
                 _ => {
                     let got = m.unbind(h, &k);
-                    prop_assert_eq!(got, model.remove(&k));
+                    assert_eq!(got, model.remove(&k), "case {case}");
                 }
             }
-            prop_assert_eq!(m.len(), model.len());
+            assert_eq!(m.len(), model.len(), "case {case}");
         }
         // Traversal visits exactly the model's bindings.
         let mut seen = Vec::new();
@@ -136,17 +183,27 @@ proptest! {
         let mut want: Vec<(u16, u32)> = model.into_iter().collect();
         seen.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(seen, want);
+        assert_eq!(seen, want, "case {case}");
     }
+}
 
-    // ---- message tool ------------------------------------------------------
+// ---- message tool ------------------------------------------------------
 
-    #[test]
-    fn msg_push_pop_are_inverse(
-        payload in proptest::collection::vec(any::<u8>(), 0..128),
-        hdrs in proptest::collection::vec(1usize..24, 0..5),
-    ) {
-        prop_assume!(hdrs.iter().sum::<usize>() <= HEADROOM);
+#[test]
+fn msg_push_pop_are_inverse() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let payload = bytes(&mut rng, 0, 128);
+        // Header pushes must fit in the headroom; redraw until they do
+        // (proptest's prop_assume did the same).
+        let hdrs: Vec<usize> = loop {
+            let n = rng.range(0, 5);
+            let h: Vec<usize> = (0..n).map(|_| rng.range(1, 24)).collect();
+            if h.iter().sum::<usize>() <= HEADROOM {
+                break h;
+            }
+        };
+
         let mut msg = Msg::with_payload(&payload, 0x1000);
         let mut pushed: Vec<Vec<u8>> = Vec::new();
         for (i, h) in hdrs.iter().enumerate() {
@@ -156,21 +213,24 @@ proptest! {
         }
         for hdr in pushed.iter().rev() {
             let got = msg.pop(hdr.len()).unwrap().to_vec();
-            prop_assert_eq!(&got, hdr);
+            assert_eq!(&got, hdr, "case {case}");
         }
-        prop_assert_eq!(msg.bytes(), &payload[..]);
+        assert_eq!(msg.bytes(), &payload[..], "case {case}");
     }
+}
 
-    // ---- body model ---------------------------------------------------------
+// ---- body model ---------------------------------------------------------
 
-    #[test]
-    fn body_split_conserves_instructions(
-        alu in 0u16..200,
-        mul in 0u16..4,
-        nloads in 0usize..20,
-        nstores in 0usize..20,
-        n in 1usize..12,
-    ) {
+#[test]
+fn body_split_conserves_instructions() {
+    for case in 0..CASES {
+        let mut rng = rng_for(9, case);
+        let alu = rng.below(200) as u16;
+        let mul = rng.below(4) as u16;
+        let nloads = rng.range(0, 20);
+        let nstores = rng.range(0, 20);
+        let n = rng.range(1, 12);
+
         let mut b = Body::ops(alu).with_mul(mul);
         for i in 0..nloads {
             b.loads.push(DataRef::Region(RegionId(1), i as u32 * 8));
@@ -179,59 +239,72 @@ proptest! {
             b.stores.push(DataRef::Stack(i as u32 * 8));
         }
         let parts = b.split(n);
-        prop_assert_eq!(parts.len(), n);
+        assert_eq!(parts.len(), n, "case {case}");
         let total: u32 = parts.iter().map(|p| p.len()).sum();
-        prop_assert_eq!(total, b.len());
+        assert_eq!(total, b.len(), "case {case}");
         let loads: usize = parts.iter().map(|p| p.loads.len()).sum();
-        prop_assert_eq!(loads, b.loads.len());
+        assert_eq!(loads, b.loads.len(), "case {case}");
         // Order preserved across the concatenation.
         let cat: Vec<DataRef> = parts.iter().flat_map(|p| p.loads.clone()).collect();
-        prop_assert_eq!(cat, b.loads);
+        assert_eq!(cat, b.loads, "case {case}");
     }
+}
 
-    #[test]
-    fn body_expand_matches_len(
-        alu in 0u16..100,
-        mul in 0u16..4,
-        nloads in 0usize..16,
-    ) {
+#[test]
+fn body_expand_matches_len() {
+    for case in 0..CASES {
+        let mut rng = rng_for(10, case);
+        let alu = rng.below(100) as u16;
+        let mul = rng.below(4) as u16;
+        let nloads = rng.range(0, 16);
+
         let mut b = Body::ops(alu).with_mul(mul);
         for i in 0..nloads {
             b.loads.push(DataRef::Stack(i as u32 * 8));
         }
-        prop_assert_eq!(b.expand().len() as u32, b.len());
+        assert_eq!(b.expand().len() as u32, b.len(), "case {case}");
     }
+}
 
-    // ---- cache model ----------------------------------------------------------
+// ---- cache model ----------------------------------------------------------
 
-    #[test]
-    fn cache_stats_invariants(addrs in proptest::collection::vec(0u64..0x10000, 1..500)) {
+#[test]
+fn cache_stats_invariants() {
+    for case in 0..CASES {
+        let mut rng = rng_for(11, case);
+        let n = rng.range(1, 500);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.below(0x10000)).collect();
+
         let mut c = Cache::new(protolat::machine::config::CacheConfig::new(1024, 32));
         for a in &addrs {
             c.access(*a);
         }
         let s = c.stats;
-        prop_assert_eq!(s.accesses, addrs.len() as u64);
-        prop_assert!(s.misses <= s.accesses);
-        prop_assert!(s.replacement_misses <= s.misses);
+        assert_eq!(s.accesses, addrs.len() as u64, "case {case}");
+        assert!(s.misses <= s.accesses, "case {case}");
+        assert!(s.replacement_misses <= s.misses, "case {case}");
         // Cold misses equal the number of distinct blocks touched.
         let distinct: std::collections::HashSet<u64> =
             addrs.iter().map(|a| a & !31).collect();
-        prop_assert_eq!(s.cold_misses(), distinct.len() as u64);
+        assert_eq!(s.cold_misses(), distinct.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn machine_timing_is_deterministic_and_positive(
-        pcs in proptest::collection::vec(0u64..0x4000, 1..300)
-    ) {
+#[test]
+fn machine_timing_is_deterministic_and_positive() {
+    for case in 0..CASES {
+        let mut rng = rng_for(12, case);
+        let n = rng.range(1, 300);
+        let pcs: Vec<u64> = (0..n).map(|_| rng.below(0x4000)).collect();
+
         let trace: Vec<InstRecord> =
             pcs.iter().map(|p| InstRecord::alu(p & !3)).collect();
         let mut m1 = Machine::dec3000_600();
         let mut m2 = Machine::dec3000_600();
         let r1 = m1.run(&trace);
         let r2 = m2.run(&trace);
-        prop_assert_eq!(r1.cycles(), r2.cycles());
-        prop_assert!(r1.cycles() >= trace.len() as u64 / 2, "dual issue bound");
-        prop_assert!(r1.cpi() >= 0.5);
+        assert_eq!(r1.cycles(), r2.cycles(), "case {case}");
+        assert!(r1.cycles() >= trace.len() as u64 / 2, "case {case}: dual issue bound");
+        assert!(r1.cpi() >= 0.5, "case {case}");
     }
 }
