@@ -181,4 +181,9 @@ fn main() {
         speedup >= 2.0,
         "memoized engine must beat per-consumer recomputation at least 2x (got {speedup:.2}x)"
     );
+    assert!(
+        replay_fused_ms <= replay_materialized_ms,
+        "fused streaming replay must not lose to the materialized pipeline \
+         (fused {replay_fused_ms:.3} ms vs materialized {replay_materialized_ms:.3} ms)"
+    );
 }

@@ -77,12 +77,12 @@ pub fn run() -> Future {
     let measure_on = |cfg: MachineConfig, img: &kcode::Image| {
         let rep = Replayer::new(img);
         let mut m = Machine::new(cfg);
-        rep.replay_into(&episodes.client_out, &mut m).expect("episode must replay cleanly");
-        rep.replay_into(&episodes.client_in, &mut m).expect("episode must replay cleanly");
+        rep.replay_into_lean(&episodes.client_out, &mut m).expect("episode must replay cleanly");
+        rep.replay_into_lean(&episodes.client_in, &mut m).expect("episode must replay cleanly");
         m.reset_stats();
-        let out = rep.replay_into(&episodes.client_out, &mut m).expect("episode must replay cleanly");
-        let inn = rep.replay_into(&episodes.client_in, &mut m).expect("episode must replay cleanly");
-        m.report(out.instructions + inn.instructions)
+        let out = rep.replay_into_lean(&episodes.client_out, &mut m).expect("episode must replay cleanly");
+        let inn = rep.replay_into_lean(&episodes.client_in, &mut m).expect("episode must replay cleanly");
+        m.report(out + inn)
     };
     let machines = vec![
         {

@@ -35,7 +35,11 @@ fn trace_len(opts: StackOptions) -> u64 {
         .instructions
 }
 
-fn toggles() -> Vec<(&'static str, i64, fn(&mut StackOptions))> {
+/// A Table-1 row: label, paper-reported saving, and the option toggle
+/// that reverts the improvement.
+type Toggle = (&'static str, i64, fn(&mut StackOptions));
+
+fn toggles() -> Vec<Toggle> {
     vec![
         ("Change bytes and shorts to words in TCP state", 324, |o| {
             o.wide_types = false

@@ -84,10 +84,10 @@ pub fn run() -> Throughput {
             // Fused streaming: warm pass, then a measured pass.
             let rep = Replayer::new(&img);
             let mut m = Machine::dec3000_600();
-            rep.replay_into(&ep, &mut m).expect("bulk episode must replay cleanly");
+            rep.replay_into_lean(&ep, &mut m).expect("bulk episode must replay cleanly");
             m.reset_stats();
-            let stats = rep.replay_into(&ep, &mut m).expect("bulk episode must replay cleanly");
-            let warm = m.report(stats.instructions);
+            let insts = rep.replay_into_lean(&ep, &mut m).expect("bulk episode must replay cleanly");
+            let warm = m.report(insts);
             let proc_us = warm.time_us();
             // Pipelined bulk transfer: the slower of CPU and wire paces
             // the stream.

@@ -164,15 +164,92 @@ struct Activation {
     via_call: bool,
 }
 
+/// Precomputed per-block emission plan: the deterministic slot
+/// expansion with the image's inline-ALU shrink already applied, plus
+/// the layout facts `emit_body` needs.  Built once per [`Replayer`], so
+/// the per-visit work of the original implementation — the expansion
+/// `Vec` allocation, the backward ALU-drop rebuild and the activation
+/// operand-vector clone — happens zero times in the replay loop.
+struct BlockPlan {
+    addr: u64,
+    /// `addr` plus the body's *original* expanded length in bytes — the
+    /// end address the terminator logic keys on (dropped slots do not
+    /// move a block's successors).
+    end: u64,
+    blk_salt: u64,
+    loop_stride: u64,
+    slots: Box<[SlotClass]>,
+    /// Position of the last load in `slots` (the callee-address load a
+    /// specialized or spliced call drops); `usize::MAX` when none.
+    last_load: usize,
+}
+
+fn build_plans(image: &Image) -> Vec<Vec<BlockPlan>> {
+    image
+        .program
+        .functions()
+        .iter()
+        .enumerate()
+        .map(|(fi, func)| {
+            let placement = &image.placements[fi];
+            // Cross-call optimization: shrink ALU work in inlined bodies.
+            let shrink = if placement.inlined {
+                image.config.inline_alu_shrink_permille
+            } else {
+                0
+            };
+            func.blocks
+                .iter()
+                .enumerate()
+                .map(|(bi, block)| {
+                    let mut slots = block.body.expand();
+                    let drop_alu = (block.body.alu as u32 * shrink / 1000) as u16;
+                    if drop_alu > 0 {
+                        let mut kept = Vec::with_capacity(slots.len());
+                        let mut to_drop = drop_alu;
+                        for s in slots.iter().rev() {
+                            if to_drop > 0 && matches!(s, SlotClass::Alu) {
+                                to_drop -= 1;
+                            } else {
+                                kept.push(*s);
+                            }
+                        }
+                        kept.reverse();
+                        slots = kept;
+                    }
+                    let last_load = slots
+                        .iter()
+                        .rposition(|s| matches!(s, SlotClass::Load(_)))
+                        .unwrap_or(usize::MAX);
+                    let addr = placement.block_addr[bi];
+                    BlockPlan {
+                        addr,
+                        end: addr + block.body.len() as u64 * 4,
+                        blk_salt: (fi as u64) << 16 | bi as u64,
+                        loop_stride: block.loop_stride as u64,
+                        slots: slots.into_boxed_slice(),
+                        last_load,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Replays event streams against one image.
 pub struct Replayer<'a> {
     image: &'a Image,
     stack_base: u64,
+    plans: Vec<Vec<BlockPlan>>,
 }
 
 impl<'a> Replayer<'a> {
     pub fn new(image: &'a Image) -> Self {
-        Replayer { image, stack_base: image.data.stack_top() }
+        Replayer {
+            image,
+            stack_base: image.data.stack_top(),
+            plans: build_plans(image),
+        }
     }
 
     /// Use a specific stack base (thread stacks from a pool).
@@ -200,10 +277,40 @@ impl<'a> Replayer<'a> {
         events: &EventStream,
         sink: &mut S,
     ) -> Result<ReplayStats, String> {
+        self.run(events, sink, true)
+    }
+
+    /// [`Self::replay_into`] without the fetch-utilization side sets:
+    /// returns only the dynamic instruction count.  Timing consumers
+    /// that never read `fetched_blocks`/`executed_pcs` (the roundtrip
+    /// timer, throughput loops, benchmarks) skip two bitmap inserts per
+    /// instruction *and* the per-replay bitmap allocation, which for
+    /// sparse layouts spans the whole multi-megabyte code extent.
+    pub fn replay_into_lean<S: InstSink>(
+        &self,
+        events: &EventStream,
+        sink: &mut S,
+    ) -> Result<u64, String> {
+        Ok(self.run(events, sink, false)?.instructions)
+    }
+
+    fn run<S: InstSink>(
+        &self,
+        events: &EventStream,
+        sink: &mut S,
+        track_sets: bool,
+    ) -> Result<ReplayStats, String> {
+        let stats = if track_sets {
+            ReplayStats::for_image(self.image)
+        } else {
+            ReplayStats::default()
+        };
         let mut st = ReplayState {
             image: self.image,
+            plans: &self.plans,
             sink,
-            stats: ReplayStats::for_image(self.image),
+            stats,
+            track_sets,
             stack: Vec::new(),
             sp: self.stack_base,
             prev_end: None,
@@ -222,8 +329,12 @@ impl<'a> Replayer<'a> {
 
 struct ReplayState<'a, S: InstSink> {
     image: &'a Image,
+    plans: &'a [Vec<BlockPlan>],
     sink: &'a mut S,
     stats: ReplayStats,
+    /// Maintain the fetched-block/executed-pc bitmaps (false in the lean
+    /// timing mode).
+    track_sets: bool,
     stack: Vec<Activation>,
     sp: u64,
     prev_end: Option<u64>,
@@ -238,8 +349,10 @@ impl<'a, S: InstSink> ReplayState<'a, S> {
             self.stats.taken += 1;
         }
         self.stats.instructions += 1;
-        self.stats.fetched_blocks.insert(rec.pc & !31);
-        self.stats.executed_pcs.insert(rec.pc);
+        if self.track_sets {
+            self.stats.fetched_blocks.insert(rec.pc & !31);
+            self.stats.executed_pcs.insert(rec.pc);
+        }
         self.sink.emit(rec);
     }
 
@@ -247,8 +360,9 @@ impl<'a, S: InstSink> ReplayState<'a, S> {
         self.stack.last_mut().ok_or_else(|| "segment outside any function".to_string())
     }
 
-    /// Resolve a data reference for the current activation.
-    fn resolve(&self, act: &Activation, blk_salt: u64, r: crate::body::DataRef) -> u64 {
+    /// Resolve a data reference against the current activation's operand
+    /// slots and frame base.
+    fn resolve(&self, ops: &[u64], frame_base: u64, blk_salt: u64, r: crate::body::DataRef) -> u64 {
         use crate::body::DataRef::*;
         match r {
             Region(region, off) if region == GOT_REGION => {
@@ -258,14 +372,13 @@ impl<'a, S: InstSink> ReplayState<'a, S> {
             }
             Region(region, off) => self.image.data.addr(region, off),
             Operand(slot, off) => {
-                let base = act
-                    .ops
+                let base = ops
                     .get(slot as usize)
                     .copied()
                     .unwrap_or(DataLayout::DATA_BASE);
                 base + off as u64
             }
-            Stack(off) => act.frame_base + off as u64,
+            Stack(off) => frame_base + off as u64,
         }
     }
 
@@ -314,73 +427,47 @@ impl<'a, S: InstSink> ReplayState<'a, S> {
         drop_got: bool,
         iter: u32,
     ) -> Result<u64, String> {
-        let func = self.image.program.function(f);
-        let block = func.block(b);
-        let placement = self.image.placement(f);
-        let addr = placement.block_addr[b.idx()];
-        let spliced = placement.inlined;
+        let image = self.image;
+        let block = image.program.function(f).block(b);
+        let plans = self.plans;
+        let plan = &plans[f.0 as usize][b.idx()];
 
-        // Cross-call optimization: shrink ALU work in inlined bodies.
-        let shrink = if spliced {
-            self.image.config.inline_alu_shrink_permille
-        } else {
-            0
-        };
-        let drop_alu = (block.body.alu as u32 * shrink / 1000) as u16;
-
-        let blk_salt = (f.0 as u64) << 16 | b.0 as u64;
-        let mut slots = block.body.expand();
-        if drop_got {
-            // Remove the last load (the callee-address load added by the
-            // call-site builder).
-            if let Some(pos) = slots.iter().rposition(|s| matches!(s, SlotClass::Load(_))) {
-                slots.remove(pos);
-            }
-        }
-        // Drop `drop_alu` ALU slots from the back, and `skip` leading
-        // slots (prologue specialization always skips ALU-ish setup).
-        let mut dropped = 0;
-        if drop_alu > 0 {
-            let mut kept = Vec::with_capacity(slots.len());
-            let mut to_drop = drop_alu;
-            for s in slots.iter().rev() {
-                if to_drop > 0 && matches!(s, SlotClass::Alu) {
-                    to_drop -= 1;
-                    dropped += 1;
-                } else {
-                    kept.push(*s);
-                }
-            }
-            kept.reverse();
-            slots = kept;
-        }
-        let _ = dropped;
-
-        let act_ops;
-        let act_frame;
-        {
+        // Borrow the activation's operand slots for the body walk: take
+        // the vector out, restore it after the loop.  Nothing reads the
+        // activation's `ops` in between (emission only touches the sink
+        // and counters), so this is observationally a borrow without
+        // pinning `self`.
+        let (ops, frame_base) = {
             let act = self.cur()?;
-            act_ops = act.ops.clone();
-            act_frame = act.frame_base;
-        }
-        let act_view = Activation {
-            func: f,
-            ops: act_ops,
-            frame_base: act_frame,
-            resume_end: None,
-            spliced,
-            via_call: false,
+            (std::mem::take(&mut act.ops), act.frame_base)
         };
 
-        let iter_off = iter as u64 * block.loop_stride as u64;
-        let mut pc = addr + skip as u64 * 4;
-        for s in slots.iter().skip(skip as usize) {
+        // `skip` drops leading slots of the post-GOT-drop sequence
+        // (prologue specialization); the GOT drop removes the last load
+        // (call specialization / inlining).  The precomputed plan already
+        // applied the inline-ALU shrink; dropping the last load commutes
+        // with it (the drops target disjoint slot classes and preserve
+        // the order of what remains).
+        let drop_pos = if drop_got { plan.last_load } else { usize::MAX };
+        let iter_off = iter as u64 * plan.loop_stride;
+        let skip = skip as usize;
+        let mut seq = 0usize;
+        let mut pc = plan.addr + skip as u64 * 4;
+        for (idx, s) in plan.slots.iter().enumerate() {
+            if idx == drop_pos {
+                continue;
+            }
+            let i = seq;
+            seq += 1;
+            if i < skip {
+                continue;
+            }
             let rec = match s {
                 SlotClass::Alu => InstRecord::alu(pc),
                 SlotClass::Mul => InstRecord::mul(pc),
                 SlotClass::Load(i) => {
                     let r = block.body.loads[*i as usize];
-                    let mut a = self.resolve(&act_view, blk_salt, r);
+                    let mut a = self.resolve(&ops, frame_base, plan.blk_salt, r);
                     if matches!(r, crate::body::DataRef::Operand(..)) {
                         a += iter_off;
                     }
@@ -388,7 +475,7 @@ impl<'a, S: InstSink> ReplayState<'a, S> {
                 }
                 SlotClass::Store(i) => {
                     let r = block.body.stores[*i as usize];
-                    let mut a = self.resolve(&act_view, blk_salt, r);
+                    let mut a = self.resolve(&ops, frame_base, plan.blk_salt, r);
                     if matches!(r, crate::body::DataRef::Operand(..)) {
                         a += iter_off;
                     }
@@ -398,7 +485,12 @@ impl<'a, S: InstSink> ReplayState<'a, S> {
             self.emit(rec);
             pc += 4;
         }
-        Ok(addr + (block.body.len() as u64) * 4)
+
+        self.stack
+            .last_mut()
+            .expect("activation verified by cur()")
+            .ops = ops;
+        Ok(plan.end)
     }
 
     /// Visit a plain (non-call, non-entry/exit) block.

@@ -1,0 +1,280 @@
+//! Flat block-membership tracking for the miss taxonomy.
+//!
+//! [`crate::cache::Cache`] classifies every miss against two sets: the
+//! blocks referenced *this measurement window* (replacement vs. cold
+//! miss) and the blocks referenced *ever in the machine's lifetime*
+//! (steady-state revisit vs. compulsory first touch, which drives the
+//! b-cache timing exception).  The seed implementation kept both as
+//! `HashSet<u64>` — a hash probe per miss, an O(set) clear per window,
+//! and allocation behaviour at the mercy of the hasher.
+//!
+//! `BlockSet` replaces them with flat dense arrays indexed by block
+//! number, the same move `PcBitmap` ([`crate::bitset`]) made for the
+//! replayer's fetch accounting.  Because the simulated address space has
+//! a handful of widely separated regions (code at 0x0010_0000, data at
+//! 0x0800_0000, stack below 0x0C00_0000), one contiguous array would be
+//! mostly zeros; instead the address space is carved into fixed
+//! power-of-two *chunks* of blocks, allocated on first touch.  Each
+//! chunk stores
+//!
+//! * a `u32` *window epoch* per block — membership in the current window
+//!   is `stamp == current_epoch`, so clearing the window for a new
+//!   measurement interval is one counter increment (O(1) instead of the
+//!   seed's O(footprint) `HashSet::clear` + re-insert);
+//! * a dense *ever-seen* bitmap (one bit per block), cleared only by a
+//!   full machine reset.
+//!
+//! Memory is therefore bounded by the distinct address extent the
+//! machine ever touches (the image footprint), never by how many runs
+//! or windows are replayed — the seed's lifetime `HashSet` rehashed and
+//! reallocated as runs accumulated.
+
+/// Blocks per chunk.  At 32-byte blocks one chunk spans 128 KB of
+/// address space and costs ~16.5 KB (4 B epoch + 1 bit per block); a
+/// protocol image plus its data and stack touches a few dozen chunks.
+/// Kept small enough that a *fresh* machine (the sweep engine builds one
+/// per cell) zeroes tens of KB, not megabytes, on first touch.
+const CHUNK_BLOCKS: u64 = 1 << 12;
+
+/// Outcome of [`BlockSet::mark`]: membership *before* the mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark {
+    /// The block had already been referenced in the current window.
+    pub in_window: bool,
+    /// The block had been referenced at some point in the machine's
+    /// lifetime (since the last full reset).
+    pub ever_seen: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Chunk {
+    /// First block number covered by this chunk.
+    first_block: u64,
+    /// Window-epoch stamp per block (0 = never stamped).
+    window: Box<[u32]>,
+    /// Ever-seen bitmap, one bit per block.
+    ever: Box<[u64]>,
+}
+
+impl Chunk {
+    fn new(first_block: u64) -> Self {
+        Chunk {
+            first_block,
+            window: vec![0u32; CHUNK_BLOCKS as usize].into_boxed_slice(),
+            ever: vec![0u64; (CHUNK_BLOCKS / 64) as usize].into_boxed_slice(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.window.len() * std::mem::size_of::<u32>()
+            + self.ever.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Chunked flat membership over cache-block addresses.
+#[derive(Debug, Clone)]
+pub struct BlockSet {
+    /// log2 of the block size in bytes.
+    block_shift: u32,
+    /// Current window epoch.  Starts at 1 so zero-initialized stamps
+    /// mean "never seen".  Monotone for the life of the set; wrapping
+    /// would take 2^32 window resets on one machine, which no run comes
+    /// near.
+    epoch: u32,
+    /// Distinct blocks marked in the current window.
+    window_len: u64,
+    chunks: Vec<Chunk>,
+    /// Most-recently-hit chunk index: consecutive probes overwhelmingly
+    /// land in the same 1 MB chunk, so this avoids the scan.
+    last: usize,
+}
+
+impl BlockSet {
+    pub fn new(block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two());
+        BlockSet {
+            block_shift: block_bytes.trailing_zeros(),
+            epoch: 1,
+            window_len: 0,
+            chunks: Vec::new(),
+            last: 0,
+        }
+    }
+
+    #[inline]
+    fn chunk_for(&mut self, block: u64) -> usize {
+        let first = block & !(CHUNK_BLOCKS - 1);
+        if let Some(c) = self.chunks.get(self.last) {
+            if c.first_block == first {
+                return self.last;
+            }
+        }
+        match self.chunks.iter().position(|c| c.first_block == first) {
+            Some(i) => {
+                self.last = i;
+                i
+            }
+            None => {
+                self.chunks.push(Chunk::new(first));
+                self.last = self.chunks.len() - 1;
+                self.last
+            }
+        }
+    }
+
+    /// Mark the block containing `addr` as referenced (window and
+    /// lifetime), returning its membership before the mark.
+    #[inline]
+    pub fn mark(&mut self, addr: u64) -> Mark {
+        let block = addr >> self.block_shift;
+        let epoch = self.epoch;
+        let ci = self.chunk_for(block);
+        let chunk = &mut self.chunks[ci];
+        let i = (block - chunk.first_block) as usize;
+        let in_window = chunk.window[i] == epoch;
+        if !in_window {
+            chunk.window[i] = epoch;
+            self.window_len += 1;
+        }
+        let w = i / 64;
+        let bit = 1u64 << (i % 64);
+        let ever_seen = chunk.ever[w] & bit != 0;
+        chunk.ever[w] |= bit;
+        Mark { in_window, ever_seen }
+    }
+
+    /// Mark the block containing `addr` as part of the current window
+    /// only (used to seed a fresh window with the blocks still resident
+    /// in the cache — they were necessarily marked ever-seen when they
+    /// were filled).
+    pub fn mark_window(&mut self, addr: u64) {
+        let block = addr >> self.block_shift;
+        let epoch = self.epoch;
+        let ci = self.chunk_for(block);
+        let chunk = &mut self.chunks[ci];
+        let i = (block - chunk.first_block) as usize;
+        if chunk.window[i] != epoch {
+            chunk.window[i] = epoch;
+            self.window_len += 1;
+        }
+    }
+
+    /// Is the block containing `addr` in the current window?
+    pub fn in_window(&self, addr: u64) -> bool {
+        let block = addr >> self.block_shift;
+        let first = block & !(CHUNK_BLOCKS - 1);
+        self.chunks
+            .iter()
+            .find(|c| c.first_block == first)
+            .is_some_and(|c| c.window[(block - first) as usize] == self.epoch)
+    }
+
+    /// Number of distinct blocks marked in the current window.
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// Start a new measurement window: O(1), no memory is touched.
+    pub fn reset_window(&mut self) {
+        self.epoch += 1;
+        self.window_len = 0;
+    }
+
+    /// Full reset: new window *and* forget lifetime membership.  Keeps
+    /// chunk storage allocated (bounded by the footprint ever touched).
+    pub fn reset_all(&mut self) {
+        self.reset_window();
+        for c in &mut self.chunks {
+            c.ever.fill(0);
+        }
+    }
+
+    /// Heap bytes held by the tracking structures — the quantity the
+    /// memory-bound regression test pins down.
+    pub fn tracking_bytes(&self) -> usize {
+        self.chunks.iter().map(Chunk::heap_bytes).sum::<usize>()
+            + self.chunks.capacity() * std::mem::size_of::<Chunk>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_reports_prior_membership() {
+        let mut s = BlockSet::new(32);
+        let m = s.mark(0x1000);
+        assert!(!m.in_window);
+        assert!(!m.ever_seen);
+        let m = s.mark(0x1004); // same 32-byte block
+        assert!(m.in_window);
+        assert!(m.ever_seen);
+        assert_eq!(s.window_len(), 1);
+    }
+
+    #[test]
+    fn window_reset_is_o1_and_preserves_lifetime() {
+        let mut s = BlockSet::new(32);
+        s.mark(0x2000);
+        s.reset_window();
+        assert_eq!(s.window_len(), 0);
+        assert!(!s.in_window(0x2000));
+        let m = s.mark(0x2000);
+        assert!(!m.in_window, "window membership cleared");
+        assert!(m.ever_seen, "lifetime membership kept");
+    }
+
+    #[test]
+    fn full_reset_forgets_lifetime() {
+        let mut s = BlockSet::new(32);
+        s.mark(0x2000);
+        s.reset_all();
+        let m = s.mark(0x2000);
+        assert!(!m.in_window);
+        assert!(!m.ever_seen);
+    }
+
+    #[test]
+    fn far_apart_regions_get_separate_chunks() {
+        let mut s = BlockSet::new(32);
+        s.mark(0x0010_0000); // code
+        s.mark(0x0800_0000); // data
+        s.mark(0x0BFF_FFE0); // stack
+        assert_eq!(s.chunks.len(), 3);
+        assert_eq!(s.window_len(), 3);
+        // Revisits stay in their chunks.
+        assert!(s.mark(0x0800_0000).in_window);
+        assert_eq!(s.chunks.len(), 3);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_footprint_not_windows() {
+        let mut s = BlockSet::new(32);
+        for _ in 0..1000 {
+            for a in (0x1000u64..0x9000).step_by(32) {
+                s.mark(a);
+            }
+            s.reset_window();
+        }
+        let bytes = s.tracking_bytes();
+        for _ in 0..1000 {
+            for a in (0x1000u64..0x9000).step_by(32) {
+                s.mark(a);
+            }
+            s.reset_window();
+        }
+        assert_eq!(s.tracking_bytes(), bytes, "repeat windows must not grow memory");
+    }
+
+    #[test]
+    fn mark_window_counts_once() {
+        let mut s = BlockSet::new(32);
+        s.mark_window(0x3000);
+        s.mark_window(0x3000);
+        assert_eq!(s.window_len(), 1);
+        assert!(s.in_window(0x3000));
+        // Window-only marks do not claim lifetime membership.
+        assert!(!s.mark(0x3000).ever_seen);
+    }
+}

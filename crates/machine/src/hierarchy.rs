@@ -18,12 +18,43 @@
 //!   replacement (conflict) misses pay the main-memory stall, matching the
 //!   paper's observation that all code executes out of the b-cache except
 //!   in deliberately conflicting layouts.
+//!
+//! ## The warm-window fetch fast path
+//!
+//! The common case on straight-line (and especially inlined) code is an
+//! instruction that (a) fetches from the *same* 32-byte i-cache block as
+//! the previous instruction, (b) has no data access, and (c) arrives
+//! while the write buffer is empty.  For such an instruction the full
+//! walk is provably a no-op beyond counter bumps:
+//!
+//! * the i-cache **must** hit — the previous fetch left the block
+//!   resident, and nothing evicts it in between (prefetch fills the
+//!   *next* block, which maps to a different set; loads fill the
+//!   d-cache; drains touch only the b-cache);
+//! * the ITLB **must** hit — a 32-byte block never straddles an 8 KB
+//!   page, the page was touched by the previous fetch, and no other
+//!   page has been translated since, so it is still resident *and*
+//!   still the most recently used entry (stamp updates are skippable);
+//! * there is no drain to run (empty buffer), no d-cache access, and no
+//!   stall to charge.
+//!
+//! So [`MemorySystem::access`] bumps `instructions`, the i-cache access
+//! count and the ITLB access count, clears the stream buffer on a taken
+//! control transfer (a branch within the block), and returns — without
+//! probing any cache.  The fast path requires a direct-mapped i-cache
+//! (`ways == 1`): with associativity a hit would move LRU stamps, which
+//! the skip would lose.  The paper's machine is direct-mapped, so the
+//! fast path is always armed there.  Bit-exactness against the seed
+//! walk is enforced by `tests/reference_equivalence.rs`.
 
 use crate::cache::{Cache, CacheStats, Probe};
 use crate::config::MemConfig;
 use crate::inst::{InstRecord, MemOp};
 use crate::tlb::Tlb;
 use crate::writebuf::WriteBuffer;
+
+/// Sentinel for "no previous fetch block" (forces the slow path).
+const NO_BLOCK: u64 = u64::MAX;
 
 /// The complete memory system.
 #[derive(Debug, Clone)]
@@ -52,6 +83,13 @@ pub struct MemorySystem {
     stalls: u64,
     /// Instructions seen this window (for the write-buffer drain clock).
     instructions: u64,
+    /// Block-aligned address of the previous instruction fetch
+    /// ([`NO_BLOCK`] after a reset).
+    last_fetch_block: u64,
+    /// Precomputed `!(icache_block_bytes - 1)`.
+    fetch_block_mask: u64,
+    /// Fast path armed: the i-cache is direct-mapped.
+    fetch_fast_ok: bool,
 }
 
 impl MemorySystem {
@@ -73,6 +111,13 @@ impl MemorySystem {
             stream_buffer: None,
             stalls: 0,
             instructions: 0,
+            last_fetch_block: NO_BLOCK,
+            fetch_block_mask: !(config.icache.block_bytes - 1),
+            // Same-block ⇒ same-page needs pages no smaller than blocks
+            // (both are powers of two, so the block then sits inside one
+            // page); associativity would need LRU stamp updates on hits.
+            fetch_fast_ok: config.icache.ways == 1
+                && (config.itlb_entries == 0 || config.page_bytes >= config.icache.block_bytes),
         }
     }
 
@@ -135,13 +180,44 @@ impl MemorySystem {
     }
 
     /// Replay one instruction through the hierarchy.
+    #[inline]
     pub fn access(&mut self, rec: &InstRecord) {
-        self.instructions += 1;
+        let block = rec.pc & self.fetch_block_mask;
+        if self.fetch_fast_ok
+            && block == self.last_fetch_block
+            && rec.mem.is_none()
+            && self.write_buffer.is_empty()
+        {
+            // Warm-window fetch fast path (see module docs): guaranteed
+            // i-cache and ITLB hits, nothing to drain, nothing to stall.
+            self.instructions += 1;
+            self.icache.stats.accesses += 1;
+            if let Some(itlb) = &mut self.itlb {
+                itlb.note_repeat_access();
+            }
+            if rec.class.is_taken_control() {
+                self.stream_buffer = None;
+            }
+            return;
+        }
+        self.access_slow(rec, block);
+    }
 
-        // Retire write-buffer entries that have drained by now.
-        let now = self.now();
-        for block in self.write_buffer.drain_until(now) {
-            self.bcache_access(block, false);
+    /// The full hierarchy walk (seed-identical control flow, with the
+    /// drain loop gated on a non-empty buffer and allocation-free).
+    fn access_slow(&mut self, rec: &InstRecord, block: u64) {
+        self.instructions += 1;
+        self.last_fetch_block = block;
+
+        // Retire write-buffer entries that have drained by now.  Only
+        // consult the drain clock when something is actually pending —
+        // `pending.is_empty() ⇒ next_retire_done == 0` makes the skip
+        // exactly the seed's no-op call.
+        if !self.write_buffer.is_empty() {
+            let now = self.now();
+            while let Some(retired) = self.write_buffer.pop_drained(now) {
+                self.bcache_access(retired, false);
+            }
         }
 
         // Instruction translation.
@@ -153,7 +229,6 @@ impl MemorySystem {
 
         // Instruction fetch.
         if self.icache.access(rec.pc).is_miss() {
-            let block = self.icache.block_addr(rec.pc);
             match self.stream_buffer {
                 Some((b, residual)) if self.config.icache_prefetch && b == block => {
                     // Satisfied by the stream buffer: the b-cache access
@@ -213,8 +288,8 @@ impl MemorySystem {
                         self.store_misses += 1;
                     }
                     self.stalls += outcome.stall;
-                    if let Some(block) = outcome.retired {
-                        self.bcache_access(block, false);
+                    if let Some(retired) = outcome.retired {
+                        self.bcache_access(retired, false);
                     }
                 }
             }
@@ -229,6 +304,15 @@ impl MemorySystem {
             misses: self.dcache.stats.misses + self.store_misses,
             replacement_misses: self.dcache.stats.replacement_misses,
         }
+    }
+
+    /// Heap bytes held by the miss-taxonomy tracking across all caches —
+    /// bounded by the image footprint, not by run count (the regression
+    /// guarded by `tests/tracking_memory.rs`).
+    pub fn tracking_bytes(&self) -> usize {
+        self.icache.tracking_bytes()
+            + self.dcache.tracking_bytes()
+            + self.bcache.tracking_bytes()
     }
 
     /// Cold machine: invalidate all caches, clear all counters.
@@ -260,6 +344,11 @@ impl MemorySystem {
         self.store_misses = 0;
         self.stalls = 0;
         self.instructions = 0;
+        // Force the next fetch through the slow path: after a full
+        // reset the old block is no longer resident, and after a stats
+        // reset the first access must re-probe so counters match the
+        // seed walk exactly.
+        self.last_fetch_block = NO_BLOCK;
     }
 }
 
@@ -281,6 +370,19 @@ mod tests {
         assert!(first > 0, "cold fetch must stall");
         m.access(&InstRecord::alu(0x1004));
         assert_eq!(m.stall_cycles(), first, "same block: no new stall");
+    }
+
+    #[test]
+    fn fast_path_counts_fetches_and_tlb_accesses() {
+        let mut m = mem();
+        for i in 0..8u64 {
+            m.access(&InstRecord::alu(0x1000 + i * 4));
+        }
+        assert_eq!(m.icache.stats.accesses, 8);
+        assert_eq!(m.icache.stats.misses, 1, "one block, one cold miss");
+        let tlb = m.itlb.as_ref().expect("itlb enabled").stats;
+        assert_eq!(tlb.accesses, 8);
+        assert_eq!(tlb.misses, 1);
     }
 
     #[test]

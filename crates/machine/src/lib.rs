@@ -34,15 +34,19 @@
 //! (conflict misses in direct-mapped caches, wasted fetch bandwidth from
 //! i-cache gaps, pipeline bubbles on taken branches).
 
+pub mod bitset;
+pub mod blockset;
 pub mod cache;
 pub mod config;
 pub mod cpu;
 pub mod hierarchy;
 pub mod inst;
+pub mod reference;
 pub mod report;
 pub mod tlb;
 pub mod writebuf;
 
+pub use bitset::PcBitmap;
 pub use cache::{Cache, CacheStats};
 pub use config::MachineConfig;
 pub use cpu::Cpu;

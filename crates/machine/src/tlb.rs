@@ -17,12 +17,18 @@ pub struct TlbStats {
 }
 
 /// A fully associative, LRU translation buffer.
+///
+/// Instruction fetch hits the same page run after run, so the linear
+/// scan keeps a memo of the last-hit slot and checks it first — on
+/// straight-line code the 32-entry scan collapses to one compare.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     entries: usize,
     page_bytes: u64,
     /// (page number, last-use stamp).
     slots: Vec<(u64, u64)>,
+    /// Index of the most recently hit/filled slot.
+    last: usize,
     clock: u64,
     pub stats: TlbStats,
 }
@@ -35,6 +41,7 @@ impl Tlb {
             entries,
             page_bytes,
             slots: Vec::with_capacity(entries),
+            last: 0,
             clock: 0,
             stats: TlbStats::default(),
         }
@@ -45,26 +52,49 @@ impl Tlb {
         self.stats.accesses += 1;
         self.clock += 1;
         let page = addr / self.page_bytes;
-        if let Some(slot) = self.slots.iter_mut().find(|(p, _)| *p == page) {
-            slot.1 = self.clock;
+        if let Some(slot) = self.slots.get_mut(self.last) {
+            if slot.0 == page {
+                slot.1 = self.clock;
+                return true;
+            }
+        }
+        if let Some(i) = self.slots.iter().position(|(p, _)| *p == page) {
+            self.slots[i].1 = self.clock;
+            self.last = i;
             return true;
         }
         self.stats.misses += 1;
         if self.slots.len() < self.entries {
             self.slots.push((page, self.clock));
+            self.last = self.slots.len() - 1;
         } else {
             let victim = self
                 .slots
-                .iter_mut()
-                .min_by_key(|(_, stamp)| *stamp)
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(i, _)| i)
                 .expect("non-empty tlb");
-            *victim = (page, self.clock);
+            self.slots[victim] = (page, self.clock);
+            self.last = victim;
         }
         false
     }
 
+    /// Count an access that is known to hit the most recently used page
+    /// (the hierarchy's warm-window fetch fast path: same i-cache block
+    /// ⇒ same page, and no other page was touched since).  Skips the
+    /// clock and stamp update — the page already holds the newest stamp
+    /// and no other stamp changes, so every future LRU comparison is
+    /// unaffected.
+    #[inline]
+    pub fn note_repeat_access(&mut self) {
+        self.stats.accesses += 1;
+    }
+
     pub fn reset(&mut self) {
         self.slots.clear();
+        self.last = 0;
         self.clock = 0;
         self.reset_stats();
     }

@@ -67,18 +67,43 @@ impl WriteBuffer {
         self.pending.contains(&block)
     }
 
+    /// Nothing pending?  The hierarchy consults the drain clock only
+    /// when this is false — the batched-drain fast path.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Retire the oldest entry if its drain time has passed by cycle
+    /// `now`, returning its block address (one b-cache write).  The
+    /// allocation-free replacement for the per-instruction
+    /// [`WriteBuffer::drain_until`] vector: the hierarchy loops this
+    /// only while it yields.
+    ///
+    /// Maintains the invariant `pending.is_empty() ⇒ next_retire_done
+    /// == 0` (the seed reset the clock after every drain call; here the
+    /// only transition to empty is popping the last entry).
+    #[inline]
+    pub fn pop_drained(&mut self, now: u64) -> Option<u64> {
+        if self.pending.is_empty() || self.next_retire_done > now {
+            return None;
+        }
+        let block = self.pending.remove(0);
+        self.retired_blocks += 1;
+        self.next_retire_done += self.retire_cycles;
+        if self.pending.is_empty() {
+            // Next arrival restarts the drain clock.
+            self.next_retire_done = 0;
+        }
+        Some(block)
+    }
+
     /// Retire any entries whose drain time has passed by cycle `now`.
     /// Returns the block addresses retired (each is one b-cache write).
     pub fn drain_until(&mut self, now: u64) -> Vec<u64> {
         let mut retired = Vec::new();
-        while !self.pending.is_empty() && self.next_retire_done <= now {
-            retired.push(self.pending.remove(0));
-            self.retired_blocks += 1;
-            self.next_retire_done += self.retire_cycles;
-        }
-        if self.pending.is_empty() {
-            // Next arrival restarts the drain clock.
-            self.next_retire_done = 0;
+        while let Some(block) = self.pop_drained(now) {
+            retired.push(block);
         }
         retired
     }

@@ -54,7 +54,7 @@ impl FaultInjector {
 
     /// Pass frame bytes through the injector, mutating them on
     /// corruption.  Returns the frame's fate.
-    pub fn process(&mut self, bytes: &mut Vec<u8>) -> Fate {
+    pub fn process(&mut self, bytes: &mut [u8]) -> Fate {
         self.stats.seen += 1;
         if let Some(limit) = self.size_limit {
             if bytes.len() > limit {

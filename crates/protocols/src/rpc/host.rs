@@ -93,6 +93,7 @@ pub struct RpcHost {
 }
 
 impl RpcHost {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &'static str,
         model: RpcModel,

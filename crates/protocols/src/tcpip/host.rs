@@ -763,11 +763,11 @@ impl TcpIpHost {
                 // Retransmitted FIN while we await the local close.
                 self.send_pure_ack(now);
             }
-            TcpState::LastAck if hdr.flags & flags::ACK != 0 => {
-                if hdr.ack == self.tcb.snd_nxt {
-                    self.tcb.process_ack(hdr.ack);
-                    self.tcb.state = TcpState::Closed;
-                }
+            TcpState::LastAck
+                if hdr.flags & flags::ACK != 0 && hdr.ack == self.tcb.snd_nxt =>
+            {
+                self.tcb.process_ack(hdr.ack);
+                self.tcb.state = TcpState::Closed;
             }
             TcpState::TimeWait if hdr.flags & flags::FIN != 0 => {
                 // Peer retransmitted its FIN: re-acknowledge.

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Smoke-check the pipeline benchmark contract.
+# Smoke-check the benchmark contracts.
 #
 # Runs `pipeline_bench` (which itself asserts the memoized sweep engine
-# beats per-consumer recomputation by >= 2x) and verifies that
-# BENCH_pipeline.json contains every key downstream tooling reads.
-# Pass --reuse to validate an existing BENCH_pipeline.json without
-# re-running the benchmark.
+# beats per-consumer recomputation by >= 2x and that the fused streaming
+# replay does not lose to the materialized pipeline) and `replay_bench`
+# (which asserts the data-oriented replay->simulate hot loop is >= 2x
+# the in-tree reference model), then verifies both JSON artifacts
+# contain every key downstream tooling reads.  Pass --reuse to validate
+# existing JSON files without re-running the benchmarks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_pipeline.json ]; then
     cargo run -q --release -p protolat-bench --bin pipeline_bench
+fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_replay.json ]; then
+    cargo run -q --release -p protolat-bench --bin replay_bench
 fi
 
 missing=0
@@ -20,6 +25,21 @@ for key in bench timing_consumers cold_consumers fresh_serial_ms \
            replay_materialized_ms replay_fused_ms; do
     if ! grep -q "\"$key\"" BENCH_pipeline.json; then
         echo "bench_smoke: BENCH_pipeline.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+for cell in tcpip_std tcpip_all rpc_std rpc_all; do
+    for metric in fused_fresh_ips fused_warm_ips materialized_fresh_ips \
+                  materialized_warm_ips; do
+        if ! grep -q "\"${cell}_${metric}\"" BENCH_replay.json; then
+            echo "bench_smoke: BENCH_replay.json missing key \"${cell}_${metric}\"" >&2
+            missing=1
+        fi
+    done
+done
+for key in min_fresh_speedup min_warm_speedup; do
+    if ! grep -q "\"$key\"" BENCH_replay.json; then
+        echo "bench_smoke: BENCH_replay.json missing key \"$key\"" >&2
         missing=1
     fi
 done
@@ -35,4 +55,25 @@ awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' || {
     exit 1
 }
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x faster, all JSON keys present)"
+fused=$(sed -n 's/.*"replay_fused_ms": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)
+mater=$(sed -n 's/.*"replay_materialized_ms": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)
+if [ -z "$fused" ] || [ -z "$mater" ]; then
+    echo "bench_smoke: could not parse replay stage costs" >&2
+    exit 1
+fi
+awk -v f="$fused" -v m="$mater" 'BEGIN { exit !(f <= m) }' || {
+    echo "bench_smoke: fused replay ${fused}ms slower than materialized ${mater}ms" >&2
+    exit 1
+}
+
+replay_speedup=$(sed -n 's/.*"min_fresh_speedup": \([0-9.]*\).*/\1/p' BENCH_replay.json)
+if [ -z "$replay_speedup" ]; then
+    echo "bench_smoke: could not parse min_fresh_speedup" >&2
+    exit 1
+fi
+awk -v s="$replay_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "bench_smoke: replay fresh speedup ${replay_speedup}x below the 2x floor" >&2
+    exit 1
+}
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x vs reference)"

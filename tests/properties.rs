@@ -62,7 +62,7 @@ fn pseudo_checksum_binds_endpoints() {
         // A different source address must change the checksum unless the
         // one's-complement fold happens to collide; require inequality
         // for deltas that touch distinct half-words.
-        if delta % 0x1_0000 != 0 && (delta >> 16) == 0 {
+        if !delta.is_multiple_of(0x1_0000) && (delta >> 16) == 0 {
             assert_ne!(a, b, "case {case}");
         }
     }
