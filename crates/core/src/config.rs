@@ -1,7 +1,9 @@
 //! The paper's six measured configurations.
 
 use kcode::events::EventStream;
-use kcode::layout::{build_image, InlineSpec, LayoutRequest, LayoutStrategy};
+use kcode::layout::{
+    assemble_image, synthesize_layout, InlineSpec, LayoutPlan, LayoutRequest, LayoutStrategy,
+};
 use kcode::{Image, ImageConfig};
 
 use crate::world::{RpcWorld, TcpIpWorld};
@@ -47,7 +49,8 @@ impl Version {
         }
     }
 
-    fn strategy(&self) -> LayoutStrategy {
+    /// Layout strategy used by this version's clone placement.
+    pub fn strategy(&self) -> LayoutStrategy {
         match self {
             Version::Bad => LayoutStrategy::Bad,
             Version::Std | Version::Out | Version::Pin => LayoutStrategy::LinkOrder,
@@ -55,16 +58,68 @@ impl Version {
         }
     }
 
-    fn outline(&self) -> bool {
+    /// Is outlining applied?
+    pub fn outline(&self) -> bool {
         !matches!(self, Version::Std)
     }
 
-    fn specialize(&self) -> bool {
+    /// Are calls specialized (cloning enabled)?
+    pub fn specialize(&self) -> bool {
         matches!(self, Version::Bad | Version::Clo | Version::All)
     }
 
-    fn inlined(&self) -> bool {
+    /// Is the path inlined?
+    pub fn inlined(&self) -> bool {
         matches!(self, Version::Pin | Version::All)
+    }
+
+    /// The image-level knobs of this version.
+    pub fn image_config(&self) -> ImageConfig {
+        ImageConfig::plain(self.name())
+            .with_outline(self.outline())
+            .with_specialization(self.specialize())
+    }
+
+    /// The full layout request for this version over `canonical`.
+    pub fn request<'a>(
+        &self,
+        canonical: &'a EventStream,
+        out_group: Vec<kcode::FuncId>,
+        in_group: Vec<kcode::FuncId>,
+    ) -> LayoutRequest<'a> {
+        let mut req =
+            LayoutRequest::new(self.strategy(), self.image_config()).with_canonical(canonical);
+        if self.inlined() {
+            req = req.with_inline(vec![
+                InlineSpec { name: "path_out".into(), funcs: out_group },
+                InlineSpec { name: "path_in".into(), funcs: in_group },
+            ]);
+        }
+        req
+    }
+
+    /// Run the trace-driven half of image construction: a reusable
+    /// [`LayoutPlan`] that [`Version::assemble`] turns into an image
+    /// without needing the trace again.
+    pub fn synthesize(
+        &self,
+        program: &std::sync::Arc<kcode::Program>,
+        canonical: &EventStream,
+        out_group: Vec<kcode::FuncId>,
+        in_group: Vec<kcode::FuncId>,
+    ) -> LayoutPlan {
+        synthesize_layout(program, &self.request(canonical, out_group, in_group))
+    }
+
+    /// Assemble an image from a previously synthesized plan (cheap; no
+    /// trace required).
+    pub fn assemble(
+        &self,
+        program: &std::sync::Arc<kcode::Program>,
+        plan: &LayoutPlan,
+    ) -> Image {
+        let req = LayoutRequest::new(self.strategy(), self.image_config());
+        assemble_image(program, &req, plan)
     }
 
     /// Build the image for this version over an arbitrary program,
@@ -76,17 +131,28 @@ impl Version {
         out_group: Vec<kcode::FuncId>,
         in_group: Vec<kcode::FuncId>,
     ) -> Image {
-        let config = ImageConfig::plain(self.name())
-            .with_outline(self.outline())
-            .with_specialization(self.specialize());
-        let mut req = LayoutRequest::new(self.strategy(), config).with_canonical(canonical);
-        if self.inlined() {
-            req = req.with_inline(vec![
-                InlineSpec { name: "path_out".into(), funcs: out_group },
-                InlineSpec { name: "path_in".into(), funcs: in_group },
-            ]);
-        }
-        build_image(program, req)
+        let plan = self.synthesize(program, canonical, out_group, in_group);
+        self.assemble(program, &plan)
+    }
+
+    /// Layout plan for the TCP/IP world.
+    pub fn synthesize_tcpip(&self, world: &TcpIpWorld, canonical: &EventStream) -> LayoutPlan {
+        self.synthesize(
+            &world.program,
+            canonical,
+            world.model.output_path_funcs(),
+            world.model.input_path_funcs(),
+        )
+    }
+
+    /// Layout plan for the RPC world.
+    pub fn synthesize_rpc(&self, world: &RpcWorld, canonical: &EventStream) -> LayoutPlan {
+        self.synthesize(
+            &world.program,
+            canonical,
+            world.model.output_path_funcs(),
+            world.model.input_path_funcs(),
+        )
     }
 
     /// Image for the TCP/IP world.

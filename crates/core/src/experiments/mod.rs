@@ -34,6 +34,9 @@ fn prefetch_all() {
     let mut jobs: Vec<SweepJob> = Vec::new();
     for stack in [StackKind::TcpIp, StackKind::Rpc] {
         for v in Version::all() {
+            // Layout plans first: every image at every warm-up depth
+            // assembles from these 12 synthesized placements.
+            jobs.push(SweepJob::Layout(stack, improved, 2, v));
             for w in 1..=5 {
                 jobs.push(SweepJob::Timing(stack, improved, w, v));
             }

@@ -4,9 +4,9 @@
 //! Every experiment driver needs some subset of the same pipeline:
 //!
 //! ```text
-//! functional run ─→ image per Version ─→ warm roundtrip timing
-//!        │                 │                  cold cache stats
-//!        └─ canonical      └────────────────→ replay statistics
+//! functional run ─→ layout plan ─→ image ─→ warm roundtrip timing
+//!        │           per Version      │         cold cache stats
+//!        └─ canonical                 └───────→ replay statistics
 //! ```
 //!
 //! Before this module, each table re-ran the whole pipeline from
@@ -29,7 +29,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use alpha_machine::RunReport;
 use kcode::events::EventStream;
-use kcode::{Image, NullSink, ReplayStats, Replayer};
+use kcode::layout::LayoutStrategy;
+use kcode::{Image, LayoutPlan, NullSink, ReplayStats, Replayer};
 use protocols::StackOptions;
 
 use crate::config::{StackKind, Version};
@@ -49,14 +50,20 @@ use crate::world::{RpcWorld, TcpIpWorld};
 struct Memo<K, V> {
     map: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
     computed: AtomicU64,
+    requests: AtomicU64,
 }
 
 impl<K: Eq + Hash, V: Clone> Memo<K, V> {
     fn new() -> Self {
-        Memo { map: Mutex::new(HashMap::new()), computed: AtomicU64::new(0) }
+        Memo {
+            map: Mutex::new(HashMap::new()),
+            computed: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        }
     }
 
     fn get_or_compute(&self, key: K, f: impl FnOnce() -> V) -> V {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         let cell = {
             let mut map = self.map.lock().expect("memo map poisoned");
             Arc::clone(map.entry(key).or_default())
@@ -70,6 +77,10 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
 
     fn computed(&self) -> u64 {
         self.computed.load(Ordering::Relaxed)
+    }
+
+    fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
     }
 }
 
@@ -92,6 +103,7 @@ pub struct RpcRunShared {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepCounters {
     pub runs: u64,
+    pub layouts: u64,
     pub images: u64,
     pub timings: u64,
     pub cold_stats: u64,
@@ -100,10 +112,18 @@ pub struct SweepCounters {
 
 type RunKey = (StackOptions, usize);
 type VersionKey = (StackKind, StackOptions, usize, Version);
+/// Layout-plan cache key.  Strategy and outline are derived from the
+/// version, but naming them keeps the key self-describing: two versions
+/// that happened to share `(strategy, outline)` would still synthesize
+/// identical plans only if the trace matches, which `(opts, warmup)`
+/// pins down.
+type LayoutKey = (StackKind, StackOptions, usize, LayoutStrategy, bool, Version);
 
 /// One unit of prefetchable sweep work.
 #[derive(Debug, Clone, Copy)]
 pub enum SweepJob {
+    /// Layout-plan synthesis for `(stack, opts, warmup, version)`.
+    Layout(StackKind, StackOptions, usize, Version),
     /// Warm roundtrip timing for `(stack, opts, warmup, version)`.
     Timing(StackKind, StackOptions, usize, Version),
     /// Cold client cache statistics (Table 6 methodology).
@@ -124,6 +144,7 @@ pub struct SweepRow {
 pub struct SweepEngine {
     tcp_runs: Memo<RunKey, Arc<TcpRunShared>>,
     rpc_runs: Memo<RunKey, Arc<RpcRunShared>>,
+    layouts: Memo<LayoutKey, Arc<LayoutPlan>>,
     images: Memo<VersionKey, Arc<Image>>,
     timings: Memo<VersionKey, Arc<RoundtripTiming>>,
     cold_stats: Memo<VersionKey, Arc<RunReport>>,
@@ -143,6 +164,7 @@ impl SweepEngine {
         SweepEngine {
             tcp_runs: Memo::new(),
             rpc_runs: Memo::new(),
+            layouts: Memo::new(),
             images: Memo::new(),
             timings: Memo::new(),
             cold_stats: Memo::new(),
@@ -174,7 +196,39 @@ impl SweepEngine {
         })
     }
 
-    /// The memoized laid-out image for one version of one stack.
+    /// The memoized layout plan — the expensive trace-driven half of
+    /// image construction (inline-group resolution, interleaving
+    /// weights, partition sizing).  Shared by every driver that needs
+    /// the same `(stack, strategy, outline, version)` placement.
+    pub fn layout(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+    ) -> Arc<LayoutPlan> {
+        let key = (stack, opts, warmup, version.strategy(), version.outline(), version);
+        self.layouts.get_or_compute(key, || match stack {
+            StackKind::TcpIp => {
+                let sh = self.tcpip(opts, warmup);
+                Arc::new(version.synthesize_tcpip(&sh.run.world, &sh.canonical))
+            }
+            StackKind::Rpc => {
+                let sh = self.rpc(opts, warmup);
+                Arc::new(version.synthesize_rpc(&sh.run.world, &sh.canonical))
+            }
+        })
+    }
+
+    /// Layout memo traffic: `(requests, computed)`.  The difference is
+    /// the number of cache hits — reported by `layout_bench` as the
+    /// memoization hit rate of the 12-cell sweep.
+    pub fn layout_stats(&self) -> (u64, u64) {
+        (self.layouts.requests(), self.layouts.computed())
+    }
+
+    /// The memoized laid-out image for one version of one stack,
+    /// assembled from the memoized layout plan.
     pub fn image(
         &self,
         stack: StackKind,
@@ -182,15 +236,13 @@ impl SweepEngine {
         warmup: usize,
         version: Version,
     ) -> Arc<Image> {
-        self.images.get_or_compute((stack, opts, warmup, version), || match stack {
-            StackKind::TcpIp => {
-                let sh = self.tcpip(opts, warmup);
-                Arc::new(version.build_tcpip(&sh.run.world, &sh.canonical))
-            }
-            StackKind::Rpc => {
-                let sh = self.rpc(opts, warmup);
-                Arc::new(version.build_rpc(&sh.run.world, &sh.canonical))
-            }
+        self.images.get_or_compute((stack, opts, warmup, version), || {
+            let plan = self.layout(stack, opts, warmup, version);
+            let program = match stack {
+                StackKind::TcpIp => Arc::clone(&self.tcpip(opts, warmup).run.world.program),
+                StackKind::Rpc => Arc::clone(&self.rpc(opts, warmup).run.world.program),
+            };
+            Arc::new(version.assemble(&program, &plan))
         })
     }
 
@@ -283,6 +335,7 @@ impl SweepEngine {
     pub fn counters(&self) -> SweepCounters {
         SweepCounters {
             runs: self.tcp_runs.computed() + self.rpc_runs.computed(),
+            layouts: self.layouts.computed(),
             images: self.images.computed(),
             timings: self.timings.computed(),
             cold_stats: self.cold_stats.computed(),
@@ -325,6 +378,9 @@ impl SweepEngine {
 
     fn run_job(&self, job: SweepJob) {
         match job {
+            SweepJob::Layout(stack, opts, warmup, v) => {
+                self.layout(stack, opts, warmup, v);
+            }
             SweepJob::Timing(stack, opts, warmup, v) => {
                 self.timing(stack, opts, warmup, v);
             }
@@ -344,6 +400,7 @@ impl SweepEngine {
         let mut jobs = Vec::new();
         for stack in [StackKind::TcpIp, StackKind::Rpc] {
             for v in Version::all() {
+                jobs.push(SweepJob::Layout(stack, opts, warmup, v));
                 jobs.push(SweepJob::Timing(stack, opts, warmup, v));
                 jobs.push(SweepJob::ColdStats(stack, opts, warmup, v));
             }

@@ -1,0 +1,118 @@
+//! Acceptance suite for the data-oriented layout engine on the paper's
+//! actual workloads — all six versions of both protocol stacks.
+//!
+//! Two claims, following the machine-model `reference` pattern:
+//!
+//! 1. The optimized micro-positioner places every function at exactly
+//!    the address the seed greedy (`layout::reference`) would, on each
+//!    cell's canonical trace, outline setting and inlined set.
+//! 2. The SweepEngine's synthesize-once / assemble-on-demand pipeline
+//!    produces images bit-identical to direct `Version::build` — the
+//!    memoized `LayoutPlan` loses no information.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use kcode::layout::{micro_position, reference, LayoutRequest, LayoutStrategy};
+use kcode::FuncId;
+use protolat_core::config::{StackKind, Version};
+use protolat_core::sweep::SweepEngine;
+use protocols::StackOptions;
+
+fn micro_agrees(
+    label: &str,
+    program: &Arc<kcode::Program>,
+    canonical: &kcode::EventStream,
+    version: Version,
+    inlined: &HashSet<FuncId>,
+) {
+    let req = LayoutRequest::new(
+        LayoutStrategy::MicroPosition,
+        version.image_config().with_outline(version.outline()),
+    );
+    let opt = micro_position(program, canonical, &req, inlined);
+    let seed = reference::micro_position(program, canonical, &req, inlined);
+    assert_eq!(opt, seed, "{label}: micro placements diverge from reference");
+    assert!(!opt.is_empty(), "{label}: placements must not be empty");
+}
+
+#[test]
+fn micro_position_matches_reference_on_all_twelve_cells() {
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+
+    let tcp = eng.tcpip(opts, 2);
+    let rpc = eng.rpc(opts, 2);
+    for v in Version::all() {
+        let tcp_inlined: HashSet<FuncId> = if v.inlined() {
+            tcp.run
+                .world
+                .model
+                .output_path_funcs()
+                .into_iter()
+                .chain(tcp.run.world.model.input_path_funcs())
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        micro_agrees(
+            &format!("tcpip/{}", v.name()),
+            &tcp.run.world.program,
+            &tcp.canonical,
+            v,
+            &tcp_inlined,
+        );
+        let rpc_inlined: HashSet<FuncId> = if v.inlined() {
+            rpc.run
+                .world
+                .model
+                .output_path_funcs()
+                .into_iter()
+                .chain(rpc.run.world.model.input_path_funcs())
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        micro_agrees(
+            &format!("rpc/{}", v.name()),
+            &rpc.run.world.program,
+            &rpc.canonical,
+            v,
+            &rpc_inlined,
+        );
+    }
+}
+
+#[test]
+fn engine_images_equal_direct_builds_on_all_twelve_cells() {
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+
+    for stack in [StackKind::TcpIp, StackKind::Rpc] {
+        for v in Version::all() {
+            let from_plan = eng.image(stack, opts, 2, v);
+            let direct = match stack {
+                StackKind::TcpIp => {
+                    let sh = eng.tcpip(opts, 2);
+                    v.build_tcpip(&sh.run.world, &sh.canonical)
+                }
+                StackKind::Rpc => {
+                    let sh = eng.rpc(opts, 2);
+                    v.build_rpc(&sh.run.world, &sh.canonical)
+                }
+            };
+            let label = format!("{stack:?}/{}", v.name());
+            assert_eq!(
+                from_plan.placements, direct.placements,
+                "{label}: engine-assembled image diverges from direct build"
+            );
+            assert_eq!(from_plan.code_end, direct.code_end, "{label}: code_end");
+            assert_eq!(
+                from_plan.config.name, direct.config.name,
+                "{label}: image config"
+            );
+        }
+    }
+    let (_, computed) = eng.layout_stats();
+    assert_eq!(computed, 12, "one synthesized plan per cell");
+}

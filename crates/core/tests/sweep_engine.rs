@@ -75,14 +75,21 @@ fn parallel_sweep_equals_serial() {
 
     // Both engines computed each artifact exactly once: 2 runs,
     // 12 timings, 12 cold stats.  The RPC server image (ALL) is shared,
-    // so 12 images per engine (6 TCP + 6 RPC).
+    // so 12 images per engine (6 TCP + 6 RPC), each assembled from one
+    // of the 12 synthesized layout plans.
     for eng in [&par, &ser] {
         let c = eng.counters();
         assert_eq!(c.runs, 2, "one functional run per stack");
+        assert_eq!(c.layouts, 12, "one layout plan per (stack, version)");
         assert_eq!(c.images, 12);
         assert_eq!(c.timings, 12);
         assert_eq!(c.cold_stats, 12);
     }
+    // The parallel sweep prefetches layouts explicitly and then
+    // assembles 12 images from them: more requests than computes.
+    let (requests, computed) = par.layout_stats();
+    assert_eq!(computed, 12);
+    assert!(requests > computed, "image assembly re-hits the layout memo");
 }
 
 #[test]
@@ -103,6 +110,7 @@ fn prefetch_deduplicates_overlapping_jobs() {
     eng.prefetch(&jobs);
     let c = eng.counters();
     assert_eq!(c.runs, 1);
+    assert_eq!(c.layouts, 1);
     assert_eq!(c.images, 1);
     assert_eq!(c.timings, 1);
     assert_eq!(c.cold_stats, 1);

@@ -47,6 +47,33 @@ impl EventStream {
         self.events.iter().filter(|e| matches!(e, Ev::Enter { .. })).count()
     }
 
+    /// Function-level activity sequence: which function is executing, in
+    /// order, including resumptions after returns.  Drives interleaving
+    /// weights for micro-positioning (`layout::micro`).
+    pub fn activity_sequence(&self) -> Vec<FuncId> {
+        // Every Enter contributes one element, every non-root Leave one
+        // resumption — size the output once instead of growing it.
+        let activations = self.activations();
+        let mut stack: Vec<FuncId> = Vec::with_capacity(16);
+        let mut seq = Vec::with_capacity(2 * activations);
+        for ev in &self.events {
+            match ev {
+                Ev::Enter { func, .. } => {
+                    stack.push(*func);
+                    seq.push(*func);
+                }
+                Ev::Leave => {
+                    stack.pop();
+                    if let Some(&top) = stack.last() {
+                        seq.push(top);
+                    }
+                }
+                _ => {}
+            }
+        }
+        seq
+    }
+
     /// Check bracketing: every Enter has a matching Leave and the stream
     /// ends at depth zero.  Returns the maximum call depth.
     pub fn check_balanced(&self) -> Result<usize, String> {

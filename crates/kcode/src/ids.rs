@@ -7,6 +7,15 @@
 )]
 pub struct FuncId(pub u32);
 
+impl FuncId {
+    /// Dense vector index — function ids are contiguous within a
+    /// [`crate::Program`], so `Vec`s indexed by `idx()` replace hash
+    /// maps on hot paths (layout synthesis, replay).
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Identifies a segment.  Segment ids are unique across the whole program
 /// (not per function) so runtime events don't need to carry the function.
 #[derive(

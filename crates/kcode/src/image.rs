@@ -61,7 +61,7 @@ impl ImageConfig {
 }
 
 /// Where each block of one function lives.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionPlacement {
     /// Address of each block, indexed by `BlockIdx`.
     pub block_addr: Vec<u64>,
@@ -425,8 +425,12 @@ impl ImageAssembler {
         }
 
         // Cold blocks and entry/exit blocks: cold region (entries/exits
-        // are elided at replay but keep a defined address).
-        for &f in &funcs {
+        // are elided at replay but keep a defined address).  Members are
+        // visited in id order so the cold-cursor allocations — and thus
+        // the image — never depend on HashSet iteration order.
+        let mut members: Vec<FuncId> = funcs.iter().copied().collect();
+        members.sort_unstable();
+        for f in members {
             let func = self.program.function(f).clone();
             let ool = |bb: BlockIdx| func.block(bb).cold;
             for (i, blk) in func.blocks.iter().enumerate() {

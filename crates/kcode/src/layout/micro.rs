@@ -19,15 +19,72 @@
 //! non-sequential and full of gaps — which is exactly why the paper found
 //! it loses to the bipartite layout end-to-end (wasted fetch/prefetch
 //! bandwidth, no sequential-stream benefit).
+//!
+//! # Implementation
+//!
+//! This is the data-oriented rewrite of the seed greedy, bit-identical to
+//! [`crate::layout::reference::micro_position`] (proved by the seeded
+//! equivalence suites):
+//!
+//! * Interleaving weights live in a dense `FuncId`-indexed triangular
+//!   matrix filled in one linear pass over the activity sequence using
+//!   last-visit / last-seen index stamps — no per-activation `HashSet`,
+//!   no hashing on the hot path.
+//! * Candidate offsets are scored differentially: `set_cost[s]` (the
+//!   weight `f` pays for landing on set `s`) is built once per function
+//!   from a difference array over the set ring, then the window slides so
+//!   offset `o+1` costs O(1) given offset `o`.
+//! * Placed address ranges are kept in a sorted [`IntervalSet`], so each
+//!   candidate address is an O(log n) overlap probe instead of a linear
+//!   re-scan of every placed interval.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use crate::events::EventStream;
 use crate::ids::FuncId;
 use crate::image::Image;
-use crate::layout::{activity_sequence, ordered_funcs, LayoutRequest};
+use crate::layout::{ordered_funcs, LayoutRequest};
 use crate::program::Program;
 use crate::transform::outline::hot_laid_size;
+
+/// Disjoint `[start, end)` intervals sorted by start address.
+///
+/// Because the intervals are pairwise disjoint, their end points are
+/// sorted too, so an overlap probe only has to inspect the predecessor of
+/// the binary-search position.
+struct IntervalSet {
+    ivs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    fn new() -> Self {
+        IntervalSet { ivs: Vec::new() }
+    }
+
+    /// Does `[start, end)` intersect any stored interval?
+    fn overlaps(&self, start: u64, end: u64) -> bool {
+        // First interval that starts at or past `end` cannot overlap;
+        // only its predecessor — the last interval starting below `end`
+        // — can reach into `[start, end)`.
+        let i = self.ivs.partition_point(|iv| iv.0 < end);
+        i > 0 && self.ivs[i - 1].1 > start
+    }
+
+    /// Insert `[start, end)`; the caller guarantees it is disjoint from
+    /// every stored interval.
+    fn insert(&mut self, start: u64, end: u64) {
+        let i = self.ivs.partition_point(|iv| iv.0 < start);
+        self.ivs.insert(i, (start, end));
+    }
+}
+
+/// Index into the dense triangular weight matrix for the unordered pair
+/// `{a, b}`, `a != b`.
+#[inline]
+fn tri(a: usize, b: usize) -> usize {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    hi * (hi - 1) / 2 + lo
+}
 
 /// Compute pinned start addresses for every non-inlined function.
 pub fn micro_position(
@@ -39,88 +96,135 @@ pub fn micro_position(
     let icache = req.icache_bytes;
     let block = 32u64;
     let sets = (icache / block) as usize;
+    let n = program.functions().len();
 
     // Interleaving weights from the function-level activity sequence:
     // w(f,g) counts the occasions where g executed between two
     // consecutive activations of f — each such occasion is a potential
     // replacement miss if f and g share cache sets.
-    let seq = activity_sequence(canonical);
-    let mut weight: HashMap<(FuncId, FuncId), u64> = HashMap::new();
-    let mut last_visit: HashMap<FuncId, usize> = HashMap::new();
+    //
+    // One linear pass with index stamps: `last_visit[f]` is the previous
+    // activity index of f, `last_seen[g]` the most recent index of g
+    // before the current position.  g appeared in the gap since f's
+    // previous activation iff `last_seen[g] > last_visit[f]` — exactly
+    // the per-gap distinct-function set the seed collected into a
+    // HashSet, without allocating one per activation.
+    let seq = canonical.activity_sequence();
+    let mut weight = vec![0u64; n.saturating_sub(1) * n / 2];
+    let mut last_visit = vec![usize::MAX; n];
+    let mut last_seen = vec![usize::MAX; n];
     for (i, &f) in seq.iter().enumerate() {
-        if let Some(&prev) = last_visit.get(&f) {
-            let mut seen: HashSet<FuncId> = HashSet::new();
-            for &g in &seq[prev + 1..i] {
-                if g != f && seen.insert(g) {
-                    let key = if f < g { (f, g) } else { (g, f) };
-                    *weight.entry(key).or_insert(0) += 1;
+        let fi = f.idx();
+        let prev = last_visit[fi];
+        if prev != usize::MAX && prev + 1 < i {
+            for (g, &ls) in last_seen.iter().enumerate() {
+                // ls == prev for g == fi (f's own previous activation),
+                // so f never counts itself.
+                if ls != usize::MAX && ls > prev {
+                    weight[tri(fi, g)] += 1;
                 }
             }
         }
-        last_visit.insert(f, i);
+        last_visit[fi] = i;
+        last_seen[fi] = i;
     }
-    let w_of = |a: FuncId, b: FuncId| -> u64 {
-        let key = if a < b { (a, b) } else { (b, a) };
-        weight.get(&key).copied().unwrap_or(0)
-    };
 
-    // Hot size (in cache sets) of each function under outlining.
-    let hot_sets = |f: FuncId| -> usize {
-        let insts = hot_laid_size(program.function(f), req.config.outline) as u64;
-        ((insts * 4).div_ceil(block) as usize).max(1)
-    };
+    // Hot size (in cache sets) of each function under outlining, computed
+    // once up front and reused for both offset scoring and address sizing.
+    let hot_sets: Vec<usize> = program
+        .functions()
+        .iter()
+        .map(|func| {
+            let insts = hot_laid_size(func, req.config.outline) as u64;
+            ((insts * 4).div_ceil(block) as usize).max(1)
+        })
+        .collect();
 
-    // occupancy[set] = functions whose hot code maps onto this set.
-    let mut occupancy: Vec<Vec<FuncId>> = vec![Vec::new(); sets];
+    // Already-placed functions as (func index, start set, sets spanned).
+    let mut placed: Vec<(usize, usize, usize)> = Vec::new();
     let mut out: Vec<(FuncId, u64)> = Vec::new();
 
     // The arena is several cache frames tall so functions can avoid each
-    // other; frame chosen per function to also avoid *address* overlap.
+    // other in index space; the concrete frame is then chosen so placed
+    // [start,end) address intervals stay pairwise disjoint.
     let arena_base = Image::CODE_BASE;
-    let mut frame_fill: Vec<u64> = Vec::new(); // bytes used per frame at each offset? simpler: track intervals
-    let mut used: Vec<(u64, u64)> = Vec::new(); // placed [start,end) addresses
+    let mut used = IntervalSet::new();
+
+    // Scratch reused across functions: difference array over the set
+    // ring (+1 slot for non-wrapping range ends) and the per-set cost.
+    let mut diff = vec![0u64; sets + 1];
+    let mut set_cost = vec![0u64; sets];
 
     let order = ordered_funcs(program, canonical);
     for f in order {
         if inlined.contains(&f) {
             continue;
         }
-        let nsets = hot_sets(f);
-        // Evaluate every candidate set offset.
+        let fi = f.idx();
+        let nsets = hot_sets[fi];
+
+        // set_cost[s] = Σ w(f,g) over placed g occupying set s, built by
+        // range-adding each occupant's span into a difference array.
+        // Spans wider than the ring contribute w to every set `full`
+        // times plus a remainder range; transient underflow in the
+        // difference array is fine in wrapping u64 arithmetic because
+        // every prefix sum is a true non-negative count.
+        diff.fill(0);
+        let mut base_cost = 0u64; // paid on every set (full ring wraps)
+        for &(g, gstart, gsets) in &placed {
+            let w = weight[tri(fi, g)];
+            if w == 0 {
+                continue;
+            }
+            base_cost += w * (gsets / sets) as u64;
+            let rem = gsets % sets;
+            let gend = gstart + rem;
+            if gend <= sets {
+                diff[gstart] = diff[gstart].wrapping_add(w);
+                diff[gend] = diff[gend].wrapping_sub(w);
+            } else {
+                diff[gstart] = diff[gstart].wrapping_add(w);
+                diff[sets] = diff[sets].wrapping_sub(w);
+                diff[0] = diff[0].wrapping_add(w);
+                diff[gend % sets] = diff[gend % sets].wrapping_sub(w);
+            }
+        }
+        let mut run = 0u64;
+        for s in 0..sets {
+            run = run.wrapping_add(diff[s]);
+            set_cost[s] = base_cost + run;
+        }
+
+        // Differential scan of candidate offsets: seed cost at offset 0,
+        // then slide the nsets-wide window one set at a time.  Strict `<`
+        // keeps the seed's lowest-offset tie-break.
+        let mut cost: u64 = (0..nsets).map(|k| set_cost[k % sets]).sum();
         let mut best_off = 0usize;
-        let mut best_cost = u64::MAX;
-        for off in 0..sets {
-            let mut cost = 0u64;
-            for k in 0..nsets {
-                let s = (off + k) % sets;
-                for g in &occupancy[s] {
-                    cost += w_of(f, *g);
+        let mut best_cost = cost;
+        if best_cost != 0 {
+            for off in 1..sets {
+                cost = cost - set_cost[off - 1] + set_cost[(off - 1 + nsets) % sets];
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_off = off;
+                    if best_cost == 0 {
+                        break; // cannot do better; lowest offset wins ties
+                    }
                 }
             }
-            if cost < best_cost {
-                best_cost = cost;
-                best_off = off;
-            }
-            if best_cost == 0 {
-                break; // cannot do better; lowest offset wins ties
-            }
         }
-        // Find a concrete non-overlapping address with that cache offset.
+
+        // Find a concrete non-overlapping address with that cache offset:
+        // walk the candidate frames (same index, one i-cache apart) until
+        // the function's address interval is free.
         let size_bytes = nsets as u64 * block + 256; // slack for slots/align
         let mut addr = arena_base + best_off as u64 * block;
-        loop {
-            let end = addr + size_bytes;
-            if used.iter().all(|(s, e)| end <= *s || addr >= *e) {
-                break;
-            }
+        while used.overlaps(addr, addr + size_bytes) {
             addr += icache; // next cache frame, same offset
         }
-        used.push((addr, addr + size_bytes));
-        for k in 0..nsets {
-            occupancy[(best_off + k) % sets].push(f);
-        }
+        used.insert(addr, addr + size_bytes);
+        placed.push((fi, best_off, nsets));
         out.push((f, addr));
-        frame_fill.push(addr); // record for debugging
     }
     out
 }
@@ -134,6 +238,7 @@ mod tests {
     use crate::image::ImageConfig;
     use crate::layout::{LayoutRequest, LayoutStrategy};
     use crate::program::ProgramBuilder;
+    use std::collections::HashMap;
 
     #[test]
     fn interleaved_functions_get_disjoint_cache_sets() {
@@ -185,5 +290,19 @@ mod tests {
         let (b0, b1) = range(fb_);
         // fa and fb_ alternate: they must not overlap in cache index space.
         assert!(a1 <= b0 || b1 <= a0, "fa {a0}..{a1} overlaps fb {b0}..{b1}");
+    }
+
+    #[test]
+    fn interval_set_overlap_probe() {
+        let mut s = IntervalSet::new();
+        s.insert(100, 200);
+        s.insert(300, 400);
+        s.insert(0, 50);
+        assert!(s.overlaps(150, 160));
+        assert!(s.overlaps(199, 301));
+        assert!(s.overlaps(40, 60));
+        assert!(!s.overlaps(50, 100));
+        assert!(!s.overlaps(200, 300));
+        assert!(!s.overlaps(400, 1000));
     }
 }

@@ -25,13 +25,21 @@
 //!   functions aliased onto the same i-cache sets *and* onto b-cache sets
 //!   occupied by hot data.  Used to bound how bad an uncontrolled layout
 //!   can get.
+//!
+//! Image construction is split in two so sweeps can cache the expensive
+//! half: [`synthesize_layout`] does the trace-driven analysis (inline
+//! group resolution, interleaving weights, partition sizing) and returns
+//! a [`LayoutPlan`]; [`assemble_image`] turns a plan into a concrete
+//! [`Image`] with cheap cursor arithmetic and needs no trace at all.
+//! [`build_image`] composes the two for one-shot callers.
 
 mod micro;
+pub mod reference;
 
 use std::collections::HashSet;
 
 use crate::datalayout::DataLayout;
-use crate::events::{Ev, EventStream};
+use crate::events::EventStream;
 use crate::func::FuncKind;
 use crate::ids::FuncId;
 use crate::image::{
@@ -44,7 +52,7 @@ use crate::transform::inline::{merged_block_order, InlinePlan, MergedGroup};
 pub use micro::micro_position;
 
 /// Placement strategy selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayoutStrategy {
     LinkOrder,
     Linear,
@@ -103,7 +111,7 @@ pub fn first_call_order(events: &EventStream) -> Vec<FuncId> {
     let mut seen = HashSet::new();
     let mut order = Vec::new();
     for ev in &events.events {
-        if let Ev::Enter { func, .. } = ev {
+        if let crate::events::Ev::Enter { func, .. } = ev {
             if seen.insert(*func) {
                 order.push(*func);
             }
@@ -116,31 +124,48 @@ pub fn first_call_order(events: &EventStream) -> Vec<FuncId> {
 /// order, including resumptions after returns.  Drives interleaving
 /// weights for micro-positioning.
 pub fn activity_sequence(events: &EventStream) -> Vec<FuncId> {
-    let mut stack: Vec<FuncId> = Vec::new();
-    let mut seq = Vec::new();
-    for ev in &events.events {
-        match ev {
-            Ev::Enter { func, .. } => {
-                stack.push(*func);
-                seq.push(*func);
-            }
-            Ev::Leave => {
-                stack.pop();
-                if let Some(&top) = stack.last() {
-                    seq.push(top);
-                }
-            }
-            _ => {}
-        }
-    }
-    seq
+    events.activity_sequence()
 }
 
-/// Build an image per the request.
-pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) -> Image {
-    let data = DataLayout::for_program(program);
-    let mut asm = ImageAssembler::new(program.clone(), req.config.clone());
+/// The synthesized half of a layout: everything a trace was needed for,
+/// reduced to plain placement directives.  Plans are cheap to keep and
+/// reuse — `protolat-core`'s SweepEngine memoizes one per configuration
+/// and assembles images from it on demand.
+#[derive(Debug, Clone)]
+pub struct LayoutPlan {
+    pub strategy: LayoutStrategy,
+    /// Resolved path-inlined groups (block order already derived from
+    /// the canonical trace).
+    pub groups: Vec<MergedGroup>,
+    pub directive: Directive,
+}
 
+/// Placement directive: how [`assemble_image`] lays the non-inlined
+/// functions.  Every variant is position-explicit — no trace needed.
+#[derive(Debug, Clone)]
+pub enum Directive {
+    /// LinkOrder / Linear: merged groups then functions from one
+    /// sequential cursor; `gaps[i]` bytes are skipped before `order[i]`
+    /// (LinkOrder's pseudo-random scatter; all zero for Linear).
+    Ordered { order: Vec<FuncId>, gaps: Vec<u64> },
+    /// Bipartite: the i-cache index space splits at `split`; functions
+    /// flagged `true` allocate from the library window above it.
+    Bipartite { order: Vec<(FuncId, bool)>, split: u64 },
+    /// MicroPosition: merged groups sequential, each function pinned at
+    /// its conflict-minimizing address.
+    Pinned(Vec<(FuncId, u64)>),
+    /// Bad: merged groups and functions pinned at pairwise-aliasing
+    /// addresses (one b-cache frame apart, i-cache index 0).
+    Aliased { merged_base: u64, placements: Vec<(FuncId, u64)> },
+}
+
+/// Run the trace-driven half of layout: resolve inline groups and decide
+/// where everything goes.  Panics if the strategy requires a canonical
+/// trace and `req.canonical` is `None`.
+pub fn synthesize_layout(
+    program: &std::sync::Arc<Program>,
+    req: &LayoutRequest<'_>,
+) -> LayoutPlan {
     // Resolve inline groups against the canonical trace.
     let plan: InlinePlan = if req.inline.is_empty() {
         InlinePlan::default()
@@ -166,17 +191,7 @@ pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) ->
     };
     let inlined = plan.inlined_funcs();
 
-    let cold_policy = |cloned: bool| -> ColdPolicy {
-        if !asm_outline(&req.config) {
-            ColdPolicy::Inline
-        } else if cloned {
-            ColdPolicy::FarRegion
-        } else {
-            ColdPolicy::EndOfFunction
-        }
-    };
-
-    match req.strategy {
+    let directive = match req.strategy {
         LayoutStrategy::LinkOrder => {
             // The real kernel links dozens of unrelated protocols and
             // subsystems between the functions of the measured path: in
@@ -184,31 +199,24 @@ pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) ->
             // Deterministic pseudo-random gaps model that interleaved
             // unrelated code — the source of the replacement misses that
             // cloning removes.
-            let mut cur = SeqCursor::new(Image::CODE_BASE);
-            for g in &plan.groups {
-                asm.place_merged(g, &mut cur);
-            }
-            let policy = cold_policy(false);
-            for f in all_funcs(program) {
-                if !inlined.contains(&f) {
-                    let gap = (f.0 as u64).wrapping_mul(0x9E37_79B9).rotate_left(11) % 48 * 64;
-                    cur.next += gap;
-                    asm.place_function(f, &mut cur, policy);
-                }
-            }
+            let order: Vec<FuncId> = all_funcs(program)
+                .into_iter()
+                .filter(|f| !inlined.contains(f))
+                .collect();
+            let gaps = order
+                .iter()
+                .map(|f| (f.0 as u64).wrapping_mul(0x9E37_79B9).rotate_left(11) % 48 * 64)
+                .collect();
+            Directive::Ordered { order, gaps }
         }
         LayoutStrategy::Linear => {
             let canonical = req.canonical.expect("Linear layout requires a trace");
-            let mut cur = SeqCursor::new(Image::CODE_BASE);
-            for g in &plan.groups {
-                asm.place_merged(g, &mut cur);
-            }
-            let policy = cold_policy(true);
-            for f in ordered_funcs(program, canonical) {
-                if !inlined.contains(&f) {
-                    asm.place_function(f, &mut cur, policy);
-                }
-            }
+            let order: Vec<FuncId> = ordered_funcs(program, canonical)
+                .into_iter()
+                .filter(|f| !inlined.contains(f))
+                .collect();
+            let gaps = vec![0; order.len()];
+            Directive::Ordered { order, gaps }
         }
         LayoutStrategy::Bipartite => {
             let canonical = req.canonical.expect("Bipartite layout requires a trace");
@@ -221,7 +229,7 @@ pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) ->
             let mut call_counts: std::collections::HashMap<FuncId, u32> =
                 std::collections::HashMap::new();
             for ev in &canonical.events {
-                if let Ev::Enter { func, .. } = ev {
+                if let crate::events::Ev::Enter { func, .. } = ev {
                     *call_counts.entry(*func).or_insert(0) += 1;
                 }
             }
@@ -243,51 +251,20 @@ pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) ->
                 .sum();
             let lib_bytes = (lib_bytes.div_ceil(512) * 512).min(req.icache_bytes / 2).max(512);
             let split = req.icache_bytes - lib_bytes;
-
-            let mut path_cur =
-                WindowCursor::new(Image::CODE_BASE, req.icache_bytes, 0, split);
-            let mut lib_cur = WindowCursor::new(
-                Image::CODE_BASE,
-                req.icache_bytes,
-                split,
-                req.icache_bytes,
-            );
-            for g in &plan.groups {
-                asm.place_merged(g, &mut path_cur);
-            }
-            let policy = cold_policy(true);
-            for f in ordered_funcs(program, canonical) {
-                if inlined.contains(&f) {
-                    continue;
-                }
-                let cur: &mut dyn AddrCursor = if is_lib(f) {
-                    &mut lib_cur
-                } else {
-                    &mut path_cur
-                };
-                asm.place_function(f, cur, policy);
-            }
+            let order: Vec<(FuncId, bool)> = ordered_funcs(program, canonical)
+                .into_iter()
+                .filter(|f| !inlined.contains(f))
+                .map(|f| (f, is_lib(f)))
+                .collect();
+            Directive::Bipartite { order, split }
         }
         LayoutStrategy::MicroPosition => {
             let canonical = req.canonical.expect("MicroPosition requires a trace");
-            let placements = micro_position(program, canonical, &req, &inlined);
-            let policy = cold_policy(true);
-            let mut cur = SeqCursor::new(Image::CODE_BASE);
-            for g in &plan.groups {
-                asm.place_merged(g, &mut cur);
-            }
-            for (f, addr) in placements {
-                if inlined.contains(&f) {
-                    continue;
-                }
-                let mut pin = PinnedCursor { next: addr };
-                asm.place_function(f, &mut pin, policy);
-            }
+            Directive::Pinned(micro_position(program, canonical, req, &inlined))
         }
         LayoutStrategy::Bad => {
             let canonical = req.canonical.expect("Bad layout requires a trace");
             let order = ordered_funcs(program, canonical);
-            let policy = cold_policy(true);
             // Base chosen to alias, in the b-cache, with the data segment
             // (DATA_BASE % bcache == 0), so hot code evicts hot data.
             let bad_base = {
@@ -295,21 +272,89 @@ pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) ->
                 debug_assert_eq!(b % req.bcache_bytes, DataLayout::DATA_BASE % req.bcache_bytes);
                 b
             };
-            let mut merged_cur = PinnedCursor { next: bad_base };
-            for g in &plan.groups {
-                asm.place_merged(g, &mut merged_cur);
-            }
             // Every hot function starts at i-cache index 0 of its own
             // b-cache frame: all of them alias pairwise in the i-cache
             // and in the b-cache.
-            for (k, f) in order.iter().enumerate() {
-                if inlined.contains(f) {
-                    continue;
-                }
-                let mut pin = PinnedCursor {
-                    next: bad_base + (k as u64 + 1) * req.bcache_bytes,
-                };
-                asm.place_function(*f, &mut pin, policy);
+            let placements = order
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !inlined.contains(f))
+                .map(|(k, f)| (*f, bad_base + (k as u64 + 1) * req.bcache_bytes))
+                .collect();
+            Directive::Aliased { merged_base: bad_base, placements }
+        }
+    };
+
+    LayoutPlan { strategy: req.strategy, groups: plan.groups, directive }
+}
+
+/// Turn a [`LayoutPlan`] into a concrete image.  Pure cursor arithmetic:
+/// `req.canonical` is never consulted, so memoized plans can be assembled
+/// without re-recording a trace.
+pub fn assemble_image(
+    program: &std::sync::Arc<Program>,
+    req: &LayoutRequest<'_>,
+    plan: &LayoutPlan,
+) -> Image {
+    let data = DataLayout::for_program(program);
+    let mut asm = ImageAssembler::new(program.clone(), req.config.clone());
+
+    let cloned = plan.strategy != LayoutStrategy::LinkOrder;
+    let policy = if !req.config.outline {
+        ColdPolicy::Inline
+    } else if cloned {
+        ColdPolicy::FarRegion
+    } else {
+        ColdPolicy::EndOfFunction
+    };
+
+    match &plan.directive {
+        Directive::Ordered { order, gaps } => {
+            let mut cur = SeqCursor::new(Image::CODE_BASE);
+            for g in &plan.groups {
+                asm.place_merged(g, &mut cur);
+            }
+            for (f, gap) in order.iter().zip(gaps) {
+                cur.next += gap;
+                asm.place_function(*f, &mut cur, policy);
+            }
+        }
+        Directive::Bipartite { order, split } => {
+            let mut path_cur =
+                WindowCursor::new(Image::CODE_BASE, req.icache_bytes, 0, *split);
+            let mut lib_cur = WindowCursor::new(
+                Image::CODE_BASE,
+                req.icache_bytes,
+                *split,
+                req.icache_bytes,
+            );
+            for g in &plan.groups {
+                asm.place_merged(g, &mut path_cur);
+            }
+            for &(f, lib) in order {
+                let cur: &mut dyn AddrCursor =
+                    if lib { &mut lib_cur } else { &mut path_cur };
+                asm.place_function(f, cur, policy);
+            }
+        }
+        Directive::Pinned(placements) => {
+            let mut cur = SeqCursor::new(Image::CODE_BASE);
+            for g in &plan.groups {
+                asm.place_merged(g, &mut cur);
+            }
+            for &(f, addr) in placements {
+                let mut pin = PinnedCursor { next: addr };
+                asm.place_function(f, &mut pin, policy);
+            }
+        }
+        Directive::Aliased { merged_base, placements } => {
+            let mut merged_cur = PinnedCursor { next: *merged_base };
+            for g in &plan.groups {
+                asm.place_merged(g, &mut merged_cur);
+            }
+            for &(f, addr) in placements {
+                let mut pin = PinnedCursor { next: addr };
+                asm.place_function(f, &mut pin, policy);
             }
         }
     }
@@ -317,8 +362,10 @@ pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) ->
     asm.finish(data)
 }
 
-fn asm_outline(config: &ImageConfig) -> bool {
-    config.outline
+/// Build an image per the request (synthesize, then assemble).
+pub fn build_image(program: &std::sync::Arc<Program>, req: LayoutRequest<'_>) -> Image {
+    let plan = synthesize_layout(program, &req);
+    assemble_image(program, &req, &plan)
 }
 
 fn all_funcs(program: &Program) -> Vec<FuncId> {
@@ -531,6 +578,43 @@ mod tests {
         ranges.sort();
         for w in ranges.windows(2) {
             assert!(w[0].1 <= w[1].0, "overlapping placements {w:?}");
+        }
+    }
+
+    #[test]
+    fn assemble_from_plan_equals_build_image() {
+        // synthesize + assemble must reproduce build_image exactly, for
+        // every strategy, and assembly must not need the trace.
+        let fx = fixture();
+        let ev = trace(&fx);
+        let cases = [
+            (LayoutStrategy::LinkOrder, false),
+            (LayoutStrategy::Linear, true),
+            (LayoutStrategy::Bipartite, true),
+            (LayoutStrategy::MicroPosition, true),
+            (LayoutStrategy::Bad, true),
+        ];
+        for (strategy, outline) in cases {
+            let mk_req = || {
+                LayoutRequest::new(
+                    strategy,
+                    ImageConfig::plain("eq").with_outline(outline),
+                )
+                .with_canonical(&ev)
+            };
+            let direct = build_image(&fx.program, mk_req());
+            let plan = synthesize_layout(&fx.program, &mk_req());
+            // Assemble from a request with no trace attached.
+            let traceless = LayoutRequest::new(
+                strategy,
+                ImageConfig::plain("eq").with_outline(outline),
+            );
+            let assembled = assemble_image(&fx.program, &traceless, &plan);
+            assert_eq!(
+                direct.placements, assembled.placements,
+                "{strategy:?}: plan assembly diverged from build_image"
+            );
+            assert_eq!(direct.code_end, assembled.code_end, "{strategy:?}");
         }
     }
 }

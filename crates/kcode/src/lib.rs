@@ -68,7 +68,7 @@ pub use func::{
 };
 pub use ids::{BlockIdx, FuncId, RegionId, SegId};
 pub use image::{Image, ImageConfig};
-pub use layout::LayoutStrategy;
+pub use layout::{Directive, LayoutPlan, LayoutStrategy};
 pub use program::{Program, ProgramBuilder};
 pub use bitset::PcBitmap;
 pub use replay::{InstSink, NullSink, ReplayOutput, ReplayStats, Replayer};

@@ -8,8 +8,9 @@ use std::sync::Arc;
 
 use kcode::events::Recorder;
 use kcode::func::{FrameSpec, FuncKind};
-use kcode::layout::{build_image, LayoutRequest, LayoutStrategy};
+use kcode::layout::{build_image, micro_position, LayoutRequest, LayoutStrategy};
 use kcode::program::ProgramBuilder;
+use kcode::transform::outline::hot_laid_size;
 use kcode::{Body, EventStream, FuncId, Image, ImageConfig, Program, SegId};
 use netsim::rng::SplitMix64;
 
@@ -164,6 +165,136 @@ fn bad_layout_aliases_every_hot_function() {
             assert_eq!(image.entry_addr(*f) % icache, idx0, "case {case}");
         }
     }
+}
+
+#[test]
+fn micro_position_is_rerun_invariant() {
+    // Placements must be a pure function of (program, trace, request):
+    // no HashMap/HashSet iteration order may leak into the output.
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x1A70_0007 ^ (case << 8));
+        let sizes = gen_sizes(&mut rng);
+        let outline = rng.bool();
+
+        let (program, funcs, segs, calls) = build_chain(&sizes);
+        // Several episodes of the same walk: consecutive activations of
+        // every function with the whole chain in between, so the
+        // interleaving weights are dense and non-trivial.
+        let mut events = Vec::new();
+        for _ in 0..3 {
+            events.extend(record_walk(&funcs, &segs, &calls).events);
+        }
+        let ev = EventStream { events };
+
+        let req = LayoutRequest::new(
+            LayoutStrategy::MicroPosition,
+            ImageConfig::plain("rr").with_outline(outline),
+        );
+        let none = std::collections::HashSet::new();
+        let first = micro_position(&program, &ev, &req, &none);
+        for _ in 0..3 {
+            let again = micro_position(&program, &ev, &req, &none);
+            assert_eq!(first, again, "case {case}: re-run changed placements");
+        }
+    }
+}
+
+#[test]
+fn zero_weight_ties_go_to_the_lowest_address() {
+    // Every function runs once as its own top-level episode, so no
+    // function ever has two activity entries (a nested walk would:
+    // callers resume after returns) and all interleaving weights are
+    // zero.  Every candidate offset then costs the same — the tie-break
+    // must pick offset 0, and the address search the lowest free cache
+    // frame, so placements stack one i-cache frame apart in order.
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x1A70_0008 ^ (case << 8));
+        let sizes = gen_sizes(&mut rng);
+
+        let (program, funcs, segs, _calls) = build_chain(&sizes);
+        let mut rec = Recorder::new();
+        for (f, s) in funcs.iter().zip(&segs) {
+            rec.enter(*f);
+            rec.seg(*s);
+            rec.leave();
+        }
+        let ev = rec.take();
+        let req = LayoutRequest::new(
+            LayoutStrategy::MicroPosition,
+            ImageConfig::plain("tie").with_outline(true),
+        );
+        let none = std::collections::HashSet::new();
+        let placements = micro_position(&program, &ev, &req, &none);
+
+        let icache = req.icache_bytes;
+        for (k, (f, addr)) in placements.iter().enumerate() {
+            assert_eq!(
+                addr % icache,
+                0,
+                "case {case}: {f:?} must sit at the lowest (zero) offset"
+            );
+            assert_eq!(
+                *addr,
+                Image::CODE_BASE + k as u64 * icache,
+                "case {case}: {f:?} must take the lowest free frame"
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_functions_pack_offsets_cumulatively() {
+    // root alternates calls to a and b: every pair has positive weight,
+    // so a's first zero-cost offset is exactly root's hot span, and b's
+    // is root's plus a's — the lowest-offset tie-break packs the cache.
+    let mut pb = ProgramBuilder::new();
+    let (fa, sa) = pb.function("a", FuncKind::Library, FrameSpec::leaf(), |fb| {
+        fb.straight("w", Body::ops(90))
+    });
+    let (fb_, sb) = pb.function("b", FuncKind::Library, FrameSpec::leaf(), |fb| {
+        fb.straight("w", Body::ops(150))
+    });
+    let (root, (sr, ca, cb)) =
+        pb.function("root", FuncKind::Path, FrameSpec::standard(), |fb| {
+            let s = fb.straight("w", Body::ops(60));
+            let ca = fb.call("a", fa, Body::ops(1));
+            let cb = fb.call("b", fb_, Body::ops(1));
+            (s, ca, cb)
+        });
+    let program = pb.build();
+
+    let mut rec = Recorder::new();
+    rec.enter(root);
+    rec.seg(sr);
+    for _ in 0..8 {
+        rec.call(ca, fa);
+        rec.seg(sa);
+        rec.leave();
+        rec.call(cb, fb_);
+        rec.seg(sb);
+        rec.leave();
+    }
+    rec.leave();
+    let ev = rec.take();
+
+    let req = LayoutRequest::new(
+        LayoutStrategy::MicroPosition,
+        ImageConfig::plain("pack").with_outline(true),
+    );
+    let none = std::collections::HashSet::new();
+    let placements = micro_position(&program, &ev, &req, &none);
+
+    let block = 32u64;
+    let nsets = |f: FuncId| {
+        ((hot_laid_size(program.function(f), true) as u64 * 4).div_ceil(block)).max(1)
+    };
+    let offsets: std::collections::HashMap<FuncId, u64> = placements
+        .iter()
+        .map(|(f, addr)| (*f, (addr % req.icache_bytes) / block))
+        .collect();
+    assert_eq!(offsets[&root], 0, "first placed function starts the packing");
+    assert_eq!(offsets[&fa], nsets(root), "a packs right above root");
+    assert_eq!(offsets[&fb_], nsets(root) + nsets(fa), "b packs above a");
 }
 
 #[test]

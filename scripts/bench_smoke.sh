@@ -3,11 +3,13 @@
 #
 # Runs `pipeline_bench` (which itself asserts the memoized sweep engine
 # beats per-consumer recomputation by >= 2x and that the fused streaming
-# replay does not lose to the materialized pipeline) and `replay_bench`
+# replay does not lose to the materialized pipeline), `replay_bench`
 # (which asserts the data-oriented replay->simulate hot loop is >= 2x
-# the in-tree reference model), then verifies both JSON artifacts
-# contain every key downstream tooling reads.  Pass --reuse to validate
-# existing JSON files without re-running the benchmarks.
+# the in-tree reference model) and `layout_bench` (which asserts the
+# data-oriented micro-positioner is >= 2x the seed greedy on the RPC
+# stack), then verifies the JSON artifacts contain every key downstream
+# tooling reads.  Pass --reuse to validate existing JSON files without
+# re-running the benchmarks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +18,9 @@ if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_pipeline.json ]; then
 fi
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_replay.json ]; then
     cargo run -q --release -p protolat-bench --bin replay_bench
+fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_layout.json ]; then
+    cargo run -q --release -p protolat-bench --bin layout_bench
 fi
 
 missing=0
@@ -40,6 +45,15 @@ done
 for key in min_fresh_speedup min_warm_speedup; do
     if ! grep -q "\"$key\"" BENCH_replay.json; then
         echo "bench_smoke: BENCH_replay.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+for key in bench tcpip_micro_opt_ms tcpip_micro_ref_ms tcpip_micro_speedup \
+           rpc_micro_opt_ms rpc_micro_ref_ms rpc_micro_speedup \
+           cells_serial_ms cells_parallel_ms layout_requests \
+           layout_computed layout_hit_rate; do
+    if ! grep -q "\"$key\"" BENCH_layout.json; then
+        echo "bench_smoke: BENCH_layout.json missing key \"$key\"" >&2
         missing=1
     fi
 done
@@ -76,4 +90,14 @@ awk -v s="$replay_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
     exit 1
 }
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x vs reference)"
+layout_speedup=$(sed -n 's/.*"rpc_micro_speedup": \([0-9.]*\).*/\1/p' BENCH_layout.json)
+if [ -z "$layout_speedup" ]; then
+    echo "bench_smoke: could not parse rpc_micro_speedup" >&2
+    exit 1
+fi
+awk -v s="$layout_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "bench_smoke: layout rpc speedup ${layout_speedup}x below the 2x floor" >&2
+    exit 1
+}
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference)"
