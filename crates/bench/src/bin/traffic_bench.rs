@@ -1,0 +1,158 @@
+//! Traffic-serving benchmark: tail latency and throughput of every
+//! (stack, layout) cell under sustained open-loop traffic, plus the
+//! multi-worker scaling probe.
+//!
+//! Per cell, each worker replays its messages' server-turn episodes
+//! through the machine model under that cell's layout (cold on session
+//! miss, warm on hit), so the paper's per-message layout savings show
+//! up where a serving system feels them: in the p99/p99.9 of the
+//! latency distribution under queueing and faults.
+//!
+//! The worker-scaling probe is a closed-loop, think-time-zero run: each
+//! worker's clients keep its server saturated, so *simulated* serving
+//! throughput (messages per simulated second) scales with the worker
+//! count — the single-host-partitioning claim, measured in simulation
+//! time and therefore deterministic.
+//!
+//! Writes `BENCH_traffic.json` for `scripts/bench_smoke.sh`.
+
+use protolat_core::config::{StackKind, Version};
+use protolat_core::sweep::SweepEngine;
+use protocols::StackOptions;
+use traffic::{run_traffic, ReplayService, TrafficConfig, TrafficReport};
+
+/// The serving scenario every cell is measured under.
+const WORKERS: u32 = 4;
+const MESSAGES_PER_WORKER: u32 = 20_000;
+const SESSIONS_PER_WORKER: u32 = 512;
+const RATE_MPS: u64 = 2_000;
+
+fn serving_cfg() -> TrafficConfig {
+    TrafficConfig::open_loop(RATE_MPS, MESSAGES_PER_WORKER, SESSIONS_PER_WORKER)
+        .with_workers(WORKERS)
+        .with_shards(8, 24)
+        .with_theta(900)
+        .with_seed(0x7EA5)
+        .with_faults(3_000, 1_500, 3_000, 1_500)
+}
+
+fn stack_key(stack: StackKind) -> &'static str {
+    match stack {
+        StackKind::TcpIp => "tcpip",
+        StackKind::Rpc => "rpc",
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn main() {
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let cfg = serving_cfg();
+
+    // --- the 12-cell serving sweep (parallel prefetch, memoized) -------
+    let rows = eng.traffic_sweep(opts, 2, cfg);
+
+    println!(
+        "traffic serving: {} workers x {} msgs, {} sessions/worker, open loop {} msg/s/worker",
+        WORKERS, MESSAGES_PER_WORKER, SESSIONS_PER_WORKER, RATE_MPS
+    );
+    println!(
+        "{:<6} {:<5} {:>9} {:>9} {:>10} {:>10} {:>9} {:>8}",
+        "stack", "ver", "p50 µs", "p99 µs", "p99.9 µs", "max µs", "msg/s", "hit%"
+    );
+    let mut cells = Vec::new();
+    for (stack, version, r) in &rows {
+        println!(
+            "{:<6} {:<5} {:>9.1} {:>9.1} {:>10.1} {:>10.1} {:>9.0} {:>7.1}%",
+            stack_key(*stack),
+            version.name(),
+            us(r.hist.p50()),
+            us(r.hist.p99()),
+            us(r.hist.p999()),
+            us(r.hist.max()),
+            r.msgs_per_sec(),
+            r.table.hit_rate() * 100.0
+        );
+        cells.push((*stack, *version, r.clone()));
+    }
+
+    // --- determinism probe: an identical fresh run must reproduce the
+    // memoized report bit for bit ------------------------------------
+    let probe_cell = eng.traffic(StackKind::TcpIp, opts, 2, Version::Std, cfg);
+    let img = eng.image(StackKind::TcpIp, opts, 2, Version::Std);
+    let episode = eng.tcpip(opts, 2).run.episodes.server_turn.clone();
+    let rerun = run_traffic(&cfg, |_| ReplayService::new(&img, &episode))
+        .expect("serving scenario must drain");
+    assert_eq!(
+        *probe_cell, rerun,
+        "a fixed (seed, workers) run must be bit-reproducible"
+    );
+    println!("\ndeterminism probe: rerun of tcpip/STD reproduced bit-for-bit");
+
+    // --- worker scaling probe (closed loop, zero think time) -----------
+    let probe = |workers: u32| -> TrafficReport {
+        let cfg = TrafficConfig::closed_loop(16, 0, 8_000, SESSIONS_PER_WORKER)
+            .with_workers(workers)
+            .with_shards(8, 24)
+            .with_theta(900)
+            .with_seed(0x5CA1E);
+        run_traffic(&cfg, |_| ReplayService::new(&img, &episode))
+            .expect("closed loop must drain")
+    };
+    let single = probe(1);
+    let multi = probe(WORKERS);
+    let single_mps = single.msgs_per_sec();
+    let multi_mps = multi.msgs_per_sec();
+    let worker_speedup = multi_mps / single_mps;
+    println!(
+        "worker scaling (closed loop, saturated): 1 worker {:.0} msg/s, {} workers {:.0} msg/s, {:.2}x",
+        single_mps, WORKERS, multi_mps, worker_speedup
+    );
+
+    // --- JSON ----------------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"traffic\",\n");
+    json.push_str(&format!(
+        "  \"workers\": {WORKERS},\n  \"messages_per_worker\": {MESSAGES_PER_WORKER},\n  \
+         \"sessions_per_worker\": {SESSIONS_PER_WORKER},\n  \"rate_mps\": {RATE_MPS},\n"
+    ));
+    for (stack, version, r) in &cells {
+        let k = format!("{}_{}", stack_key(*stack), version.name().to_lowercase());
+        json.push_str(&format!("  \"{k}_p50_us\": {:.3},\n", us(r.hist.p50())));
+        json.push_str(&format!("  \"{k}_p99_us\": {:.3},\n", us(r.hist.p99())));
+        json.push_str(&format!("  \"{k}_p999_us\": {:.3},\n", us(r.hist.p999())));
+        json.push_str(&format!("  \"{k}_mps\": {:.1},\n", r.msgs_per_sec()));
+    }
+    json.push_str(&format!(
+        "  \"single_worker_mps\": {single_mps:.1},\n  \"multi_worker_mps\": {multi_mps:.1},\n  \
+         \"worker_speedup\": {worker_speedup:.3}\n}}\n"
+    ));
+    std::fs::write("BENCH_traffic.json", &json).expect("write BENCH_traffic.json");
+    println!("\nwrote BENCH_traffic.json");
+
+    // --- acceptance ----------------------------------------------------
+    let p99 = |stack: StackKind, v: Version| {
+        cells
+            .iter()
+            .find(|(s, ver, _)| *s == stack && *ver == v)
+            .map(|(_, _, r)| r.hist.p99())
+            .expect("cell present")
+    };
+    for stack in [StackKind::TcpIp, StackKind::Rpc] {
+        let (bad, all) = (p99(stack, Version::Bad), p99(stack, Version::All));
+        assert!(
+            all < bad,
+            "{}: ALL p99 ({:.1} µs) must beat BAD p99 ({:.1} µs) under load",
+            stack_key(stack),
+            us(all),
+            us(bad)
+        );
+    }
+    assert!(
+        worker_speedup >= 2.0,
+        "partitioned serving must scale: {WORKERS} workers gave only {worker_speedup:.2}x \
+         the single-worker simulated throughput"
+    );
+}

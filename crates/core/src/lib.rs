@@ -14,9 +14,9 @@
 //!   end-to-end roundtrip latency exactly as the testbed does:
 //!   `client-out + controller + server-turn + controller + client-in`.
 //! * [`sweep`] — the memoizing sweep engine: every functional run,
-//!   image, timing and statistic computed at most once per process,
-//!   with the canonical 6-version × 2-stack sweep fanned out across
-//!   scoped threads.
+//!   image, timing, statistic and traffic-serving report computed at
+//!   most once per process, with the canonical 6-version × 2-stack
+//!   sweep fanned out across scoped threads.
 //! * [`experiments`] — one driver per table/figure.
 //! * [`report`] — plain-text table rendering.
 

@@ -32,6 +32,7 @@ use kcode::events::EventStream;
 use kcode::layout::LayoutStrategy;
 use kcode::{Image, LayoutPlan, NullSink, ReplayStats, Replayer};
 use protocols::StackOptions;
+use traffic::{run_traffic, ReplayService, TrafficConfig, TrafficReport};
 
 use crate::config::{StackKind, Version};
 use crate::harness::{run_rpc, run_tcpip, RpcRun, TcpIpRun};
@@ -108,6 +109,7 @@ pub struct SweepCounters {
     pub timings: u64,
     pub cold_stats: u64,
     pub replay_stats: u64,
+    pub traffics: u64,
 }
 
 type RunKey = (StackOptions, usize);
@@ -118,6 +120,9 @@ type VersionKey = (StackKind, StackOptions, usize, Version);
 /// identical plans only if the trace matches, which `(opts, warmup)`
 /// pins down.
 type LayoutKey = (StackKind, StackOptions, usize, LayoutStrategy, bool, Version);
+/// Traffic-stage key: the full serving scenario rides along, so two
+/// drivers asking for the same (cell, scenario) share one run.
+type TrafficKey = (StackKind, StackOptions, usize, Version, TrafficConfig);
 
 /// One unit of prefetchable sweep work.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +135,8 @@ pub enum SweepJob {
     ColdStats(StackKind, StackOptions, usize, Version),
     /// Client replay statistics (fetch-utilization, trace length).
     ReplayStats(StackKind, StackOptions, usize, Version),
+    /// A full traffic-serving run against the cell's laid-out image.
+    Traffic(StackKind, StackOptions, usize, Version, TrafficConfig),
 }
 
 /// One row of the canonical sweep result.
@@ -149,6 +156,7 @@ pub struct SweepEngine {
     timings: Memo<VersionKey, Arc<RoundtripTiming>>,
     cold_stats: Memo<VersionKey, Arc<RunReport>>,
     replay_stats: Memo<VersionKey, Arc<ReplayStats>>,
+    traffics: Memo<TrafficKey, Arc<TrafficReport>>,
 }
 
 impl Default for SweepEngine {
@@ -169,6 +177,7 @@ impl SweepEngine {
             timings: Memo::new(),
             cold_stats: Memo::new(),
             replay_stats: Memo::new(),
+            traffics: Memo::new(),
         }
     }
 
@@ -331,6 +340,61 @@ impl SweepEngine {
         })
     }
 
+    /// The server-turn episode for a stack — the per-message work unit
+    /// the traffic stage replays.
+    fn server_episode(&self, stack: StackKind, opts: StackOptions, warmup: usize) -> EventStream {
+        match stack {
+            StackKind::TcpIp => self.tcpip(opts, warmup).run.episodes.server_turn.clone(),
+            StackKind::Rpc => self.rpc(opts, warmup).run.episodes.server_turn.clone(),
+        }
+    }
+
+    /// The memoized traffic-serving report for one (cell, scenario):
+    /// the full multi-worker run loop with each worker's machine-model
+    /// [`ReplayService`] replaying the cell's server-turn episode under
+    /// the version's layout.  Deterministic, so safe to share.
+    pub fn traffic(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+        cfg: TrafficConfig,
+    ) -> Arc<TrafficReport> {
+        self.traffics.get_or_compute((stack, opts, warmup, version, cfg), || {
+            let img = self.image(stack, opts, warmup, version);
+            let episode = self.server_episode(stack, opts, warmup);
+            let report = run_traffic(&cfg, |_worker| ReplayService::new(&img, &episode))
+                .expect("traffic scenario must drain within its event budget");
+            Arc::new(report)
+        })
+    }
+
+    /// The canonical 6-version × 2-stack traffic sweep under one
+    /// serving scenario, prefetched in parallel and returned in
+    /// deterministic (stack, version) order.
+    pub fn traffic_sweep(
+        &self,
+        opts: StackOptions,
+        warmup: usize,
+        cfg: TrafficConfig,
+    ) -> Vec<(StackKind, Version, Arc<TrafficReport>)> {
+        let mut jobs = Vec::new();
+        for stack in [StackKind::TcpIp, StackKind::Rpc] {
+            for v in Version::all() {
+                jobs.push(SweepJob::Traffic(stack, opts, warmup, v, cfg));
+            }
+        }
+        self.prefetch(&jobs);
+        let mut rows = Vec::new();
+        for stack in [StackKind::TcpIp, StackKind::Rpc] {
+            for version in Version::all() {
+                rows.push((stack, version, self.traffic(stack, opts, warmup, version, cfg)));
+            }
+        }
+        rows
+    }
+
     /// Cache-miss counters per stage.
     pub fn counters(&self) -> SweepCounters {
         SweepCounters {
@@ -340,6 +404,7 @@ impl SweepEngine {
             timings: self.timings.computed(),
             cold_stats: self.cold_stats.computed(),
             replay_stats: self.replay_stats.computed(),
+            traffics: self.traffics.computed(),
         }
     }
 
@@ -389,6 +454,9 @@ impl SweepEngine {
             }
             SweepJob::ReplayStats(stack, opts, warmup, v) => {
                 self.client_replay_stats(stack, opts, warmup, v);
+            }
+            SweepJob::Traffic(stack, opts, warmup, v, cfg) => {
+                self.traffic(stack, opts, warmup, v, cfg);
             }
         }
     }

@@ -1,0 +1,111 @@
+//! The sweep engine's traffic stage: memoization, memo-vs-simulation
+//! equivalence of the replay service, and the layout ordering the
+//! serving tail must preserve.
+//!
+//! Sizes are kept small — tier-1 runs these in debug mode.
+
+use std::sync::Arc;
+
+use protocols::StackOptions;
+use protolat_core::{StackKind, SweepEngine, Version};
+use traffic::{run_traffic, ReplayService, TrafficConfig};
+
+fn small_cfg() -> TrafficConfig {
+    TrafficConfig::open_loop(2_000, 400, 48)
+        .with_workers(2)
+        .with_shards(4, 16)
+        .with_seed(0x7A)
+        .with_faults(3_000, 1_500, 3_000, 1_500)
+}
+
+#[test]
+fn traffic_stage_is_memoized() {
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+    let cfg = small_cfg();
+    let a = eng.traffic(StackKind::TcpIp, opts, 2, Version::Std, cfg);
+    let b = eng.traffic(StackKind::TcpIp, opts, 2, Version::Std, cfg);
+    assert!(Arc::ptr_eq(&a, &b), "second request must hit the cache");
+    assert_eq!(eng.counters().traffics, 1);
+
+    // A different scenario is a different cell.
+    let c = eng.traffic(StackKind::TcpIp, opts, 2, Version::Std, cfg.with_seed(0x7B));
+    assert!(!Arc::ptr_eq(&a, &c));
+    assert_eq!(eng.counters().traffics, 2);
+}
+
+#[test]
+fn memoized_service_matches_pure_simulation() {
+    // The replay service's steady-state memo must not change a single
+    // recorded latency: a run whose workers always simulate and a run
+    // whose workers use the memo fast path must agree on everything
+    // except the service counters that record how results were obtained.
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let cfg = TrafficConfig::open_loop(2_000, 250, 32)
+        .with_workers(2)
+        .with_shards(4, 12)
+        .with_seed(5)
+        .with_faults(4_000, 2_000, 4_000, 2_000);
+    let img = eng.image(StackKind::TcpIp, opts, 2, Version::Std);
+    let episode = eng.tcpip(opts, 2).run.episodes.server_turn.clone();
+
+    let memoized = run_traffic(&cfg, |_| ReplayService::new(&img, &episode)).unwrap();
+    let simulated =
+        run_traffic(&cfg, |_| ReplayService::new(&img, &episode).without_memoization()).unwrap();
+
+    assert_eq!(memoized.hist, simulated.hist, "latency distribution must be identical");
+    assert_eq!(memoized.completed, simulated.completed);
+    assert_eq!(memoized.sim_ns, simulated.sim_ns);
+    assert_eq!(memoized.retransmits, simulated.retransmits);
+    assert_eq!(memoized.duplicates_served, simulated.duplicates_served);
+    assert_eq!(memoized.faults, simulated.faults);
+    assert_eq!(memoized.table, simulated.table);
+
+    // And the memo must actually have kicked in: far fewer replays
+    // simulated than messages served.
+    assert_eq!(simulated.service.fast_path_serves, 0);
+    assert!(
+        memoized.service.simulated_replays * 4 < simulated.service.simulated_replays,
+        "memo must eliminate most simulation: {} vs {}",
+        memoized.service.simulated_replays,
+        simulated.service.simulated_replays
+    );
+    assert!(memoized.service.fast_path_serves > 0);
+}
+
+#[test]
+fn traffic_stage_is_deterministic_across_engines() {
+    // Same cell computed by two independent engines (cold caches both
+    // times) must produce identical reports — the stage is a pure
+    // function of its key.
+    let opts = StackOptions::improved();
+    let cfg = small_cfg();
+    let a = SweepEngine::new().traffic(StackKind::TcpIp, opts, 2, Version::All, cfg);
+    let b = SweepEngine::new().traffic(StackKind::TcpIp, opts, 2, Version::All, cfg);
+    assert_eq!(*a, *b);
+}
+
+#[test]
+fn all_layout_beats_bad_in_the_serving_tail() {
+    // The acceptance ordering, at test scale: the ALL layout's p99 must
+    // beat BAD's on both stacks under identical traffic.
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let cfg = small_cfg();
+    for stack in [StackKind::TcpIp, StackKind::Rpc] {
+        let bad = eng.traffic(stack, opts, 2, Version::Bad, cfg);
+        let all = eng.traffic(stack, opts, 2, Version::All, cfg);
+        assert!(
+            all.hist.p99() < bad.hist.p99(),
+            "{stack:?}: ALL p99 {} must beat BAD p99 {}",
+            all.hist.p99(),
+            bad.hist.p99()
+        );
+        assert_eq!(all.completed, bad.completed, "same offered load");
+        assert_eq!(
+            all.faults, bad.faults,
+            "{stack:?}: fate sequences must be layout-independent"
+        );
+    }
+}

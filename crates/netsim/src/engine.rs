@@ -2,11 +2,55 @@
 //!
 //! Events carry a caller-defined payload; the harness pops them in time
 //! order and dispatches.  Time never goes backwards.
+//!
+//! For scenario-driven workloads, [`Engine::run_until`] dispatches
+//! events through a handler under two guards — a time deadline and an
+//! event budget — so a misbehaving scenario (e.g. a retransmit or
+//! duplication storm that reschedules itself forever) terminates with
+//! an [`Overrun`] diagnostic instead of looping forever.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 use crate::Ns;
+
+/// Why a guarded run stopped before its event queue drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overrun {
+    /// The next pending event lies beyond the deadline.
+    Deadline {
+        deadline: Ns,
+        now: Ns,
+        pending: usize,
+        processed: u64,
+    },
+    /// The run dispatched its entire event budget without draining.
+    EventBudget {
+        budget: u64,
+        now: Ns,
+        pending: usize,
+    },
+}
+
+impl fmt::Display for Overrun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Overrun::Deadline { deadline, now, pending, processed } => write!(
+                f,
+                "scenario overran its deadline: {processed} events processed, clock at \
+                 {now} ns with {pending} event(s) still pending past deadline {deadline} ns"
+            ),
+            Overrun::EventBudget { budget, now, pending } => write!(
+                f,
+                "scenario exhausted its event budget of {budget} events at {now} ns \
+                 with {pending} event(s) still pending (self-perpetuating schedule?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Overrun {}
 
 /// The event queue plus the simulation clock.
 #[derive(Debug)]
@@ -14,6 +58,7 @@ pub struct Engine<E> {
     queue: BinaryHeap<Reverse<(Ns, u64, EventSlot<E>)>>,
     now: Ns,
     seq: u64,
+    processed: u64,
 }
 
 /// Wrapper so payloads don't need Ord.
@@ -45,7 +90,7 @@ impl<E> Default for Engine<E> {
 
 impl<E> Engine<E> {
     pub fn new() -> Self {
-        Engine { queue: BinaryHeap::new(), now: 0, seq: 0 }
+        Engine { queue: BinaryHeap::new(), now: 0, seq: 0, processed: 0 }
     }
 
     /// Current simulation time.
@@ -69,7 +114,57 @@ impl<E> Engine<E> {
     pub fn pop(&mut self) -> Option<(Ns, E)> {
         let Reverse((t, _, EventSlot(e))) = self.queue.pop()?;
         self.now = t;
+        self.processed += 1;
         Some((t, e))
+    }
+
+    /// Total events popped over the engine's lifetime.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.queue.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Dispatch events through `handler` until the queue drains,
+    /// guarded by `deadline` (simulation time) and `max_events`
+    /// (dispatch budget for this call).  The handler may schedule new
+    /// events through the engine reference it is passed.
+    ///
+    /// Returns the number of events dispatched on a clean drain, or an
+    /// [`Overrun`] diagnostic if the next event would pass the deadline
+    /// or the budget is exhausted with events still pending — the
+    /// misbehaving-scenario backstop.
+    pub fn run_until<F>(&mut self, deadline: Ns, max_events: u64, mut handler: F) -> Result<u64, Overrun>
+    where
+        F: FnMut(&mut Self, Ns, E),
+    {
+        let start = self.processed;
+        loop {
+            let dispatched = self.processed - start;
+            let Some(next) = self.peek_time() else {
+                return Ok(dispatched);
+            };
+            if next > deadline {
+                return Err(Overrun::Deadline {
+                    deadline,
+                    now: self.now,
+                    pending: self.queue.len(),
+                    processed: dispatched,
+                });
+            }
+            if dispatched >= max_events {
+                return Err(Overrun::EventBudget {
+                    budget: max_events,
+                    now: self.now,
+                    pending: self.queue.len(),
+                });
+            }
+            let (t, e) = self.pop().expect("peeked event must pop");
+            handler(self, t, e);
+        }
     }
 
     /// Advance the clock without an event (e.g. processing time).
@@ -127,5 +222,60 @@ mod tests {
         let mut e: Engine<()> = Engine::new();
         e.advance(42);
         assert_eq!(e.now(), 42);
+    }
+
+    #[test]
+    fn run_until_drains_and_counts() {
+        let mut e = Engine::new();
+        e.schedule(10, 1u32);
+        e.schedule(20, 2);
+        let mut seen = Vec::new();
+        let n = e
+            .run_until(1_000, 100, |eng, t, v| {
+                seen.push((t, v));
+                if v == 1 {
+                    eng.schedule_in(5, 3); // handler may schedule more
+                }
+            })
+            .expect("well-behaved scenario drains");
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![(10, 1), (15, 3), (20, 2)]);
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn run_until_reports_deadline_overrun() {
+        let mut e = Engine::new();
+        e.schedule(10, "ok");
+        e.schedule(500, "late");
+        let err = e.run_until(100, 100, |_, _, _| {}).unwrap_err();
+        match err {
+            Overrun::Deadline { deadline, pending, processed, .. } => {
+                assert_eq!(deadline, 100);
+                assert_eq!(pending, 1);
+                assert_eq!(processed, 1);
+            }
+            other => panic!("expected deadline overrun, got {other:?}"),
+        }
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn run_until_stops_self_perpetuating_schedule() {
+        // A storm that reschedules itself forever must terminate with a
+        // budget diagnostic instead of looping.
+        let mut e = Engine::new();
+        e.schedule(0, ());
+        let err = e
+            .run_until(Ns::MAX, 1_000, |eng, _, ()| eng.schedule_in(1, ()))
+            .unwrap_err();
+        match err {
+            Overrun::EventBudget { budget, pending, .. } => {
+                assert_eq!(budget, 1_000);
+                assert!(pending >= 1);
+            }
+            other => panic!("expected event-budget overrun, got {other:?}"),
+        }
+        assert!(err.to_string().contains("event budget"));
     }
 }

@@ -1,6 +1,7 @@
-//! Fault injection: probabilistic drop and corruption with a seeded,
-//! deterministic RNG, in the style of smoltcp's example fault injector.
-//! Used by the loss-recovery example and the TCP retransmission tests.
+//! Fault injection: probabilistic drop, corruption, reordering and
+//! duplication with a seeded, deterministic RNG, in the style of
+//! smoltcp's example fault injector.  Used by the loss-recovery example,
+//! the TCP retransmission tests and the traffic-serving run loop.
 
 use crate::rng::SplitMix64;
 
@@ -11,6 +12,11 @@ pub enum Fate {
     Dropped,
     /// One octet was flipped (the FCS will catch it at the receiver).
     Corrupted,
+    /// Delivery is delayed past a later frame (the caller re-enqueues).
+    Reordered,
+    /// Delivered, and a copy arrives again shortly after (the caller
+    /// schedules the duplicate).
+    Duplicated,
 }
 
 /// Fault statistics.
@@ -19,6 +25,20 @@ pub struct FaultStats {
     pub seen: u64,
     pub dropped: u64,
     pub corrupted: u64,
+    pub reordered: u64,
+    pub duplicated: u64,
+}
+
+impl FaultStats {
+    /// Accumulate another injector's counters (per-worker stats are
+    /// merged across the traffic run loop's shards).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.seen += other.seen;
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.reordered += other.reordered;
+        self.duplicated += other.duplicated;
+    }
 }
 
 /// The injector.
@@ -29,6 +49,10 @@ pub struct FaultInjector {
     pub drop_chance: f64,
     /// Probability one octet of a surviving frame is flipped.
     pub corrupt_chance: f64,
+    /// Probability a surviving, intact frame is delayed out of order.
+    pub reorder_chance: f64,
+    /// Probability a delivered frame is also duplicated.
+    pub duplicate_chance: f64,
     /// Frames larger than this are dropped (None = no limit).
     pub size_limit: Option<usize>,
     pub stats: FaultStats,
@@ -47,13 +71,33 @@ impl FaultInjector {
             rng: SplitMix64::new(seed),
             drop_chance,
             corrupt_chance,
+            reorder_chance: 0.0,
+            duplicate_chance: 0.0,
             size_limit: None,
             stats: FaultStats::default(),
         }
     }
 
+    /// Set the reorder probability (builder style).
+    pub fn with_reorder(mut self, chance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&chance));
+        self.reorder_chance = chance;
+        self
+    }
+
+    /// Set the duplicate probability (builder style).
+    pub fn with_duplicate(mut self, chance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&chance));
+        self.duplicate_chance = chance;
+        self
+    }
+
     /// Pass frame bytes through the injector, mutating them on
     /// corruption.  Returns the frame's fate.
+    ///
+    /// RNG draws happen only for fates whose probability is non-zero,
+    /// so enabling a new fate never perturbs the fate sequence of an
+    /// injector that does not use it.
     pub fn process(&mut self, bytes: &mut [u8]) -> Fate {
         self.stats.seen += 1;
         if let Some(limit) = self.size_limit {
@@ -73,6 +117,14 @@ impl FaultInjector {
             self.stats.corrupted += 1;
             return Fate::Corrupted;
         }
+        if self.reorder_chance > 0.0 && self.rng.chance(self.reorder_chance) {
+            self.stats.reordered += 1;
+            return Fate::Reordered;
+        }
+        if self.duplicate_chance > 0.0 && self.rng.chance(self.duplicate_chance) {
+            self.stats.duplicated += 1;
+            return Fate::Duplicated;
+        }
         Fate::Delivered
     }
 }
@@ -90,6 +142,8 @@ mod tests {
         }
         assert_eq!(inj.stats.dropped, 0);
         assert_eq!(inj.stats.corrupted, 0);
+        assert_eq!(inj.stats.reordered, 0);
+        assert_eq!(inj.stats.duplicated, 0);
     }
 
     #[test]
@@ -114,6 +168,22 @@ mod tests {
     }
 
     #[test]
+    fn always_reorder_reorders() {
+        let mut inj = FaultInjector::new(0.0, 0.0, 3).with_reorder(1.0);
+        let mut b = vec![0u8; 64];
+        assert_eq!(inj.process(&mut b), Fate::Reordered);
+        assert_eq!(inj.stats.reordered, 1);
+    }
+
+    #[test]
+    fn always_duplicate_duplicates() {
+        let mut inj = FaultInjector::new(0.0, 0.0, 4).with_duplicate(1.0);
+        let mut b = vec![0u8; 64];
+        assert_eq!(inj.process(&mut b), Fate::Duplicated);
+        assert_eq!(inj.stats.duplicated, 1);
+    }
+
+    #[test]
     fn seeded_injector_is_deterministic() {
         let run = |seed| {
             let mut inj = FaultInjector::new(0.3, 0.2, seed);
@@ -126,6 +196,51 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn all_fates_seeded_sequence_is_deterministic() {
+        // The satellite contract: same seed => same fate sequence, with
+        // every fate class enabled at once.
+        let run = |seed| {
+            let mut inj = FaultInjector::new(0.15, 0.1, seed)
+                .with_reorder(0.15)
+                .with_duplicate(0.15);
+            (0..400)
+                .map(|_| {
+                    let mut b = vec![0u8; 64];
+                    inj.process(&mut b)
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run(0xDEAD_BEEF);
+        assert_eq!(a, run(0xDEAD_BEEF));
+        assert_ne!(a, run(0xDEAD_BEF0));
+        // Every enabled fate must actually occur in 400 draws.
+        for want in [Fate::Delivered, Fate::Dropped, Fate::Corrupted, Fate::Reordered, Fate::Duplicated] {
+            assert!(a.contains(&want), "{want:?} never occurred");
+        }
+    }
+
+    #[test]
+    fn zero_chance_fates_draw_no_randomness() {
+        // An injector with only drop enabled must produce the same fate
+        // sequence whether or not the (disabled) reorder/duplicate
+        // stages exist — i.e. disabled stages consume no RNG draws.
+        let run = |with_builders: bool| {
+            let mut inj = if with_builders {
+                FaultInjector::new(0.4, 0.0, 9).with_reorder(0.0).with_duplicate(0.0)
+            } else {
+                FaultInjector::new(0.4, 0.0, 9)
+            };
+            (0..100)
+                .map(|_| {
+                    let mut b = vec![0u8; 64];
+                    inj.process(&mut b)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -147,5 +262,16 @@ mod tests {
         let mut big = vec![0u8; 200];
         assert_eq!(inj.process(&mut small), Fate::Delivered);
         assert_eq!(inj.process(&mut big), Fate::Dropped);
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let mut a = FaultStats { seen: 10, dropped: 1, corrupted: 2, reordered: 3, duplicated: 4 };
+        let b = FaultStats { seen: 5, dropped: 5, corrupted: 1, reordered: 0, duplicated: 2 };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            FaultStats { seen: 15, dropped: 6, corrupted: 3, reordered: 3, duplicated: 6 }
+        );
     }
 }

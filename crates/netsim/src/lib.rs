@@ -16,8 +16,8 @@
 //!   Table 1's 171 instructions, and the controller's measured latency
 //!   (105 µs from handing a minimum frame to the chip until the
 //!   transmit-complete interrupt).
-//! * [`fault`] — smoltcp-style fault injection: probabilistic drop and
-//!   corruption with a deterministic RNG.
+//! * [`fault`] — smoltcp-style fault injection: probabilistic drop,
+//!   corruption, reordering and duplication with a deterministic RNG.
 
 pub mod engine;
 pub mod fault;
@@ -27,8 +27,8 @@ pub mod pcap;
 pub mod rng;
 pub mod wire;
 
-pub use engine::Engine;
-pub use fault::FaultInjector;
+pub use engine::{Engine, Overrun};
+pub use fault::{FaultInjector, FaultStats, Fate};
 pub use frame::{EtherType, Frame, MacAddr};
 pub use lance::{Descriptor, LanceChip, LanceTiming, SparseMem};
 pub use pcap::PcapWriter;

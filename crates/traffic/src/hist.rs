@@ -1,0 +1,282 @@
+//! Allocation-free, mergeable tail-latency histogram.
+//!
+//! HDR-style log-linear bucketing over the full `u64` nanosecond range:
+//! values below 2^[`SUB_BUCKET_BITS`] get exact one-per-value buckets;
+//! above that, each power-of-two magnitude is split into
+//! 2^[`SUB_BUCKET_BITS`] equal sub-buckets, bounding the relative
+//! quantization error at 2^-[`SUB_BUCKET_BITS`] (≈3.1%).  The bucket
+//! array is a fixed `[u64; BUCKET_COUNT]` — recording never allocates,
+//! and per-worker histograms merge by element-wise addition, which is
+//! what makes the multi-worker serving loop's quantiles exact with
+//! respect to a single concatenated run (asserted by the
+//! `hist_props` property suite).
+
+use std::fmt;
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per power of two.
+pub const SUB_BUCKET_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BUCKET_BITS;
+/// Total bucket count covering all of `u64`.
+pub const BUCKET_COUNT: usize = (64 - SUB_BUCKET_BITS as usize + 1) * SUB;
+
+/// Bucket index for a value.  Total order preserving: `a <= b` implies
+/// `bucket_index(a) <= bucket_index(b)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64;
+        let shift = msb - SUB_BUCKET_BITS as u64;
+        ((shift + 1) as usize) * SUB + ((v >> shift) as usize - SUB)
+    }
+}
+
+/// Lowest value mapping to bucket `idx` (the bucket's reported value).
+#[inline]
+pub fn bucket_lower(idx: usize) -> u64 {
+    debug_assert!(idx < BUCKET_COUNT);
+    let block = idx / SUB;
+    if block == 0 {
+        idx as u64
+    } else {
+        let shift = (block - 1) as u32;
+        ((SUB + idx % SUB) as u64) << shift
+    }
+}
+
+/// Exclusive upper bound of bucket `idx`.
+#[inline]
+pub fn bucket_upper(idx: usize) -> u64 {
+    let block = idx / SUB;
+    if block == 0 {
+        idx as u64 + 1
+    } else {
+        let shift = (block - 1) as u32;
+        bucket_lower(idx).saturating_add(1u64 << shift)
+    }
+}
+
+/// The histogram.  ~15 KB of fixed buckets plus summary counters.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; BUCKET_COUNT]>,
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([0; BUCKET_COUNT]),
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one sample (nanoseconds).  Never allocates.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` equal samples.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)] += n;
+        self.count += n;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v as u128 * n as u128;
+    }
+
+    /// Element-wise merge: after `a.merge(&b)`, every quantile of `a`
+    /// equals the quantile of the concatenation of both sample sets.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact, not quantized).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in [0, 1]: the lower bound of the bucket
+    /// holding the sample of rank `ceil(q * count)`.  Exact for values
+    /// below 2^[`SUB_BUCKET_BITS`]; within one sub-bucket (≤3.1%)
+    /// otherwise.  Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_lower(idx);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("p999", &self.p999())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 3);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 3);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_range() {
+        let mut probes: Vec<u64> = (0..64u32)
+            .flat_map(|shift| {
+                [0u64, 1, 2].map(|d| (1u64 << shift).saturating_add(d).saturating_sub(1))
+            })
+            .collect();
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKET_COUNT, "v={v} idx={idx}");
+            assert!(idx >= last, "monotone violated at v={v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn bounds_bracket_their_values() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, (1 << 40) + 12345, u64::MAX] {
+            let idx = bucket_index(v);
+            let (lo, hi) = (bucket_lower(idx), bucket_upper(idx));
+            assert!(lo <= v, "lo {lo} > v {v}");
+            assert!(v < hi || hi == u64::MAX, "v {v} outside [{lo}, {hi})");
+            assert_eq!(bucket_index(lo), idx, "lower bound changes bucket for v={v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Reported quantile value is within one sub-bucket of the true
+        // sample: error <= 2^-SUB_BUCKET_BITS.
+        let mut h = LatencyHistogram::new();
+        let v = 1_234_567_891u64;
+        h.record(v);
+        let got = h.p50();
+        let err = (v - got) as f64 / v as f64;
+        assert!(err >= 0.0 && err < 1.0 / SUB as f64, "err {err}");
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [10u64, 99, 5_000, 123_456] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 77, 777_777, 7] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

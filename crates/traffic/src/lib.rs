@@ -1,0 +1,41 @@
+//! # traffic — sharded traffic serving over the replay pipeline
+//!
+//! The paper measures one request/response pair in isolation; this
+//! crate asks the production-scale question the roadmap poses: what do
+//! the latency techniques buy under *sustained, concurrent* traffic,
+//! where queueing turns per-message processing cost into a tail?
+//!
+//! Pieces, bottom up:
+//!
+//! * [`hist`] — an allocation-free HDR-style log-bucketed latency
+//!   histogram; per-worker instances merge exactly, so multi-worker
+//!   quantiles equal those of one concatenated run.
+//! * [`workload`] — seeded scenario generators: open-loop Poisson
+//!   arrivals (the tail-exposing discipline) and closed-loop N-client
+//!   request/response (the capacity probe), with Zipf-skewed session
+//!   selection modelling destination-address locality.
+//! * [`session`] — a sharded session table keyed by the classifier
+//!   demux key, generalizing `xkernel`'s one-entry-cache + non-empty-
+//!   bucket map to many shards with bounded residency and eviction.
+//! * [`service`] — per-message service models; [`ReplayService`]
+//!   replays the server-turn kcode episode through the machine model
+//!   per message (cold on session miss, warm on hit) with a
+//!   self-validating steady-state memo.
+//! * [`runloop`] — the multi-worker serving loop: sessions partitioned
+//!   across `thread::scope` workers, each owning engine + injector +
+//!   table + service; deterministic for a fixed seed and worker count.
+
+pub mod hist;
+pub mod runloop;
+pub mod service;
+pub mod session;
+pub mod workload;
+
+pub use hist::{bucket_index, bucket_lower, bucket_upper, LatencyHistogram, BUCKET_COUNT, SUB_BUCKET_BITS};
+pub use runloop::{
+    run_traffic, TrafficConfig, TrafficReport, DEMUX_CACHE_HIT_NS, DEMUX_CHAIN_HIT_NS,
+    DUPLICATE_DELAY_NS, REORDER_DELAY_NS, RTO_NS, SESSION_SETUP_NS,
+};
+pub use service::{FixedService, ReplayService, Service, ServiceStats};
+pub use session::{DemuxKey, SessionTable, TableStats};
+pub use workload::{exp_gap_ns, Scenario, Zipf};

@@ -1,0 +1,432 @@
+//! The multi-worker serving loop.
+//!
+//! [`run_traffic`] partitions sessions across workers; each worker owns
+//! its full serving pipeline — a [`netsim::Engine`] event queue, a
+//! seeded [`FaultInjector`], a sharded [`SessionTable`] and a
+//! [`Service`] (normally the machine-model [`ReplayService`]) — and
+//! replays its share of the workload independently.  Workers share
+//! *nothing* mutable, and every worker's randomness is derived from
+//! `(seed, worker index)`, so a run is bit-reproducible for a fixed
+//! seed and worker count regardless of thread scheduling; per-worker
+//! histograms and counters merge in worker-index order at the end.
+//!
+//! Message lifecycle inside a worker:
+//!
+//! ```text
+//! arrival ──▶ injector ──▶ demux (session table) ──▶ service ──▶ done
+//!               │ drop/corrupt: retransmit at +RTO (latency accrues)
+//!               │ reorder:      redelivery at +150 µs
+//!               └ duplicate:    extra serve at +30 µs (not recorded)
+//! ```
+//!
+//! The server is a single queue per worker: a message begins service at
+//! `max(arrival, server idle)`, which is what turns offered load into
+//! queueing delay and queueing delay into the latency tail the
+//! histogram captures.  Runs are guarded by [`Engine::run_until`]'s
+//! event budget, so a pathological configuration (e.g. 100% drop, which
+//! retransmits forever) terminates with an [`Overrun`] diagnostic.
+
+use std::thread;
+
+use netsim::{Engine, Fate, FaultInjector, FaultStats, Ns, Overrun};
+use netsim::rng::SplitMix64;
+use xkernel::map::LookupKind;
+
+use crate::hist::LatencyHistogram;
+use crate::service::{Service, ServiceStats};
+use crate::session::{DemuxKey, SessionTable, TableStats};
+use crate::workload::{exp_gap_ns, Scenario, Zipf};
+
+/// Demux cost of a one-entry-cache hit (the paper's inlined fast-path
+/// compare: a handful of instructions).
+pub const DEMUX_CACHE_HIT_NS: Ns = 60;
+/// Demux cost of a hash-chain hit (full `mapResolve`).
+pub const DEMUX_CHAIN_HIT_NS: Ns = 380;
+/// Extra cost of a table miss: session state must be faulted in and
+/// bound before processing (connection-setup path).
+pub const SESSION_SETUP_NS: Ns = 11_000;
+/// Retransmission timeout after a drop or FCS-detected corruption.
+pub const RTO_NS: Ns = 2_000_000;
+/// Redelivery delay for a reordered message.
+pub const REORDER_DELAY_NS: Ns = 150_000;
+/// Arrival lag of a duplicated copy.
+pub const DUPLICATE_DELAY_NS: Ns = 30_000;
+
+/// Hash buckets per session-table shard.
+const BUCKETS_PER_SHARD: usize = 16;
+
+/// A complete traffic run configuration.  All-integer fields
+/// (probabilities in parts-per-million, Zipf skew in milli-units) so a
+/// configuration is `Copy + Eq + Hash` and can key memo caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrafficConfig {
+    pub scenario: Scenario,
+    /// Messages each worker must complete.
+    pub messages_per_worker: u32,
+    /// Session population per worker (workers own disjoint global ids).
+    pub sessions: u32,
+    /// Session-table shards per worker (power of two).
+    pub shards: u32,
+    /// Resident sessions per shard before eviction.
+    pub shard_capacity: u32,
+    /// Zipf skew θ × 1000 for session selection.
+    pub milli_theta: u32,
+    pub workers: u32,
+    pub seed: u64,
+    /// Fault probabilities, parts per million.
+    pub drop_ppm: u32,
+    pub corrupt_ppm: u32,
+    pub reorder_ppm: u32,
+    pub duplicate_ppm: u32,
+}
+
+impl TrafficConfig {
+    /// Open-loop (Poisson) workload at `rate_mps` messages/second per
+    /// worker.
+    pub fn open_loop(rate_mps: u64, messages_per_worker: u32, sessions: u32) -> Self {
+        TrafficConfig {
+            scenario: Scenario::OpenLoop { rate_mps },
+            messages_per_worker,
+            sessions,
+            shards: 8,
+            shard_capacity: 24,
+            milli_theta: 900,
+            workers: 1,
+            seed: 1,
+            drop_ppm: 0,
+            corrupt_ppm: 0,
+            reorder_ppm: 0,
+            duplicate_ppm: 0,
+        }
+    }
+
+    /// Closed-loop workload: `clients` clients per worker, each with one
+    /// request in flight and `think_ns` between response and next
+    /// request.
+    pub fn closed_loop(clients: u32, think_ns: u64, messages_per_worker: u32, sessions: u32) -> Self {
+        TrafficConfig {
+            scenario: Scenario::ClosedLoop { clients, think_ns },
+            ..Self::open_loop(1, messages_per_worker, sessions)
+        }
+    }
+
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        assert!(workers >= 1);
+        self.workers = workers;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_shards(mut self, shards: u32, shard_capacity: u32) -> Self {
+        assert!(shards.is_power_of_two());
+        self.shards = shards;
+        self.shard_capacity = shard_capacity;
+        self
+    }
+
+    pub fn with_theta(mut self, milli_theta: u32) -> Self {
+        self.milli_theta = milli_theta;
+        self
+    }
+
+    /// Set all four fault probabilities, parts per million.
+    pub fn with_faults(mut self, drop: u32, corrupt: u32, reorder: u32, duplicate: u32) -> Self {
+        self.drop_ppm = drop;
+        self.corrupt_ppm = corrupt;
+        self.reorder_ppm = reorder;
+        self.duplicate_ppm = duplicate;
+        self
+    }
+}
+
+/// Merged result of a traffic run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// End-to-end message latency (born → served), nanoseconds.
+    pub hist: LatencyHistogram,
+    /// Messages completed and recorded.
+    pub completed: u64,
+    /// Simulated duration: the latest completion across workers.
+    pub sim_ns: Ns,
+    pub workers: u32,
+    /// Retransmissions triggered by drops/corruptions.
+    pub retransmits: u64,
+    /// Duplicate copies that consumed service time.
+    pub duplicates_served: u64,
+    pub faults: FaultStats,
+    pub table: TableStats,
+    pub service: ServiceStats,
+}
+
+impl TrafficReport {
+    /// Serving throughput in simulated messages per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1e9 / self.sim_ns as f64
+        }
+    }
+
+    fn from_workers(outs: Vec<WorkerOut>, workers: u32) -> Self {
+        let mut r = TrafficReport {
+            hist: LatencyHistogram::new(),
+            completed: 0,
+            sim_ns: 0,
+            workers,
+            retransmits: 0,
+            duplicates_served: 0,
+            faults: FaultStats::default(),
+            table: TableStats::default(),
+            service: ServiceStats::default(),
+        };
+        for o in &outs {
+            r.hist.merge(&o.hist);
+            r.completed += o.completed;
+            r.sim_ns = r.sim_ns.max(o.end_ns);
+            r.retransmits += o.retransmits;
+            r.duplicates_served += o.duplicates_served;
+            r.faults.merge(&o.faults);
+            r.table.merge(&o.table);
+            r.service.merge(&o.service);
+        }
+        r
+    }
+}
+
+/// One worker's mergeable output (plain data — crosses the scope join).
+struct WorkerOut {
+    hist: LatencyHistogram,
+    completed: u64,
+    end_ns: Ns,
+    retransmits: u64,
+    duplicates_served: u64,
+    faults: FaultStats,
+    table: TableStats,
+    service: ServiceStats,
+}
+
+/// Worker-local events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A closed-loop client slot issues its next message.
+    Request,
+    /// A message (first send or retransmit) reaches the injector.
+    Arrive { session: u32, born: Ns },
+    /// A message reaches the server directly (reordered redelivery or
+    /// duplicate copy), bypassing the injector.
+    Deliver { session: u32, born: Ns, record: bool },
+}
+
+struct Worker<S> {
+    svc: S,
+    table: SessionTable<u32>,
+    zipf: Zipf,
+    rng: SplitMix64,
+    inj: FaultInjector,
+    hist: LatencyHistogram,
+    /// When the (single-queue) server frees up.
+    idle_at: Ns,
+    end_ns: Ns,
+    completed: u64,
+    issued: u32,
+    quota: u32,
+    retransmits: u64,
+    duplicates_served: u64,
+    worker_idx: u32,
+    workers: u32,
+    closed_loop: bool,
+    think_ns: Ns,
+}
+
+impl<S: Service> Worker<S> {
+    fn new(cfg: &TrafficConfig, worker_idx: u32, svc: S) -> Self {
+        // Two independent streams per worker, both pure functions of
+        // (seed, worker index).
+        let mut seeder = SplitMix64::new(cfg.seed ^ ((worker_idx as u64 + 1) << 32));
+        let rng = SplitMix64::new(seeder.next_u64());
+        let inj_seed = seeder.next_u64();
+        let inj = FaultInjector::new(
+            cfg.drop_ppm as f64 / 1e6,
+            cfg.corrupt_ppm as f64 / 1e6,
+            inj_seed,
+        )
+        .with_reorder(cfg.reorder_ppm as f64 / 1e6)
+        .with_duplicate(cfg.duplicate_ppm as f64 / 1e6);
+        let (closed_loop, think_ns) = match cfg.scenario {
+            Scenario::ClosedLoop { think_ns, .. } => (true, think_ns),
+            Scenario::OpenLoop { .. } => (false, 0),
+        };
+        Worker {
+            svc,
+            table: SessionTable::new(cfg.shards as usize, cfg.shard_capacity as usize, BUCKETS_PER_SHARD),
+            zipf: Zipf::new(cfg.sessions.max(1) as usize, cfg.milli_theta),
+            rng,
+            inj,
+            hist: LatencyHistogram::new(),
+            idle_at: 0,
+            end_ns: 0,
+            completed: 0,
+            issued: 0,
+            quota: cfg.messages_per_worker,
+            retransmits: 0,
+            duplicates_served: 0,
+            worker_idx,
+            workers: cfg.workers,
+            closed_loop,
+            think_ns,
+        }
+    }
+
+    /// Globally unique session id for this worker's Zipf rank (workers
+    /// own disjoint session populations).
+    fn global_session(&self, rank: u32) -> u64 {
+        rank as u64 * self.workers as u64 + self.worker_idx as u64
+    }
+
+    fn handle(&mut self, eng: &mut Engine<Ev>, t: Ns, ev: Ev) {
+        match ev {
+            Ev::Request => {
+                if self.issued < self.quota {
+                    self.issued += 1;
+                    let session = self.zipf.sample(&mut self.rng) as u32;
+                    self.arrive(eng, t, session, t);
+                }
+            }
+            Ev::Arrive { session, born } => self.arrive(eng, t, session, born),
+            Ev::Deliver { session, born, record } => self.deliver(eng, t, session, born, record),
+        }
+    }
+
+    fn arrive(&mut self, eng: &mut Engine<Ev>, t: Ns, session: u32, born: Ns) {
+        // The injector only needs frame bytes for corruption; a minimum
+        // Ethernet frame stands in for the request.
+        let mut frame = [0u8; 64];
+        match self.inj.process(&mut frame) {
+            Fate::Delivered => self.deliver(eng, t, session, born, true),
+            Fate::Dropped | Fate::Corrupted => {
+                // Lost on the wire (corruption is caught by the FCS and
+                // discarded): the client retransmits after its RTO and
+                // the full wait shows up in the recorded latency.
+                self.retransmits += 1;
+                eng.schedule(t + RTO_NS, Ev::Arrive { session, born });
+            }
+            Fate::Reordered => {
+                eng.schedule(t + REORDER_DELAY_NS, Ev::Deliver { session, born, record: true });
+            }
+            Fate::Duplicated => {
+                self.deliver(eng, t, session, born, true);
+                // The copy burns server capacity but its completion is
+                // not a response anyone is waiting on.
+                eng.schedule(t + DUPLICATE_DELAY_NS, Ev::Deliver { session, born, record: false });
+            }
+        }
+    }
+
+    fn deliver(&mut self, eng: &mut Engine<Ev>, t: Ns, session: u32, born: Ns, record: bool) {
+        let key = DemuxKey::for_session(self.global_session(session));
+        let (state, kind) = self.table.lookup(&key);
+        let demux_ns = match kind {
+            LookupKind::CacheHit => DEMUX_CACHE_HIT_NS,
+            LookupKind::ChainHit => DEMUX_CHAIN_HIT_NS,
+            LookupKind::Miss => DEMUX_CHAIN_HIT_NS + SESSION_SETUP_NS,
+        };
+        if state.is_none() {
+            self.table.insert(key, session);
+        }
+        let service_ns = self.svc.serve(kind);
+        let start = t.max(self.idle_at);
+        let done = start + demux_ns + service_ns;
+        self.idle_at = done;
+        self.end_ns = self.end_ns.max(done);
+        if record {
+            self.hist.record(done - born);
+            self.completed += 1;
+            if self.closed_loop {
+                // The response releases the client, which thinks and
+                // then issues its next request.
+                eng.schedule(done + self.think_ns, Ev::Request);
+            }
+        } else {
+            self.duplicates_served += 1;
+        }
+    }
+
+    fn finish(self) -> WorkerOut {
+        WorkerOut {
+            table: self.table.stats(),
+            service: self.svc.stats(),
+            hist: self.hist,
+            completed: self.completed,
+            end_ns: self.end_ns,
+            retransmits: self.retransmits,
+            duplicates_served: self.duplicates_served,
+            faults: self.inj.stats,
+        }
+    }
+}
+
+fn run_worker<S: Service>(cfg: &TrafficConfig, worker_idx: u32, svc: S) -> Result<WorkerOut, Overrun> {
+    let mut w = Worker::new(cfg, worker_idx, svc);
+    let mut eng: Engine<Ev> = Engine::new();
+    match cfg.scenario {
+        Scenario::OpenLoop { rate_mps } => {
+            // Open loop: all arrivals are drawn up front — the offered
+            // schedule does not react to service progress, which is the
+            // discipline that exposes queueing tails.
+            let mut t: Ns = 0;
+            for _ in 0..cfg.messages_per_worker {
+                t += exp_gap_ns(&mut w.rng, rate_mps);
+                let session = w.zipf.sample(&mut w.rng) as u32;
+                eng.schedule(t, Ev::Arrive { session, born: t });
+            }
+            w.issued = cfg.messages_per_worker;
+        }
+        Scenario::ClosedLoop { clients, .. } => {
+            for _ in 0..clients.max(1) {
+                eng.schedule(0, Ev::Request);
+            }
+        }
+    }
+    // Budget: a healthy run needs a small constant number of events per
+    // message; 64× is far beyond any non-pathological fault mix.
+    let budget = (cfg.messages_per_worker as u64).saturating_mul(64).max(1 << 16);
+    eng.run_until(Ns::MAX, budget, |eng, t, ev| w.handle(eng, t, ev))?;
+    Ok(w.finish())
+}
+
+/// Run the full multi-worker scenario.  `make(worker_idx)` constructs
+/// each worker's service inside that worker's thread; workers run
+/// concurrently under `thread::scope` and merge in index order, so the
+/// report is a pure function of the configuration.
+pub fn run_traffic<S, F>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
+where
+    S: Service,
+    F: Fn(u32) -> S + Sync,
+{
+    assert!(cfg.workers >= 1, "need at least one worker");
+    if cfg.workers == 1 {
+        return Ok(TrafficReport::from_workers(vec![run_worker(cfg, 0, make(0))?], 1));
+    }
+    let results: Vec<Result<WorkerOut, Overrun>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|i| {
+                let make = &make;
+                s.spawn(move || run_worker(cfg, i, make(i)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("traffic worker panicked"))
+            .collect()
+    });
+    let mut outs = Vec::with_capacity(results.len());
+    for r in results {
+        outs.push(r?);
+    }
+    Ok(TrafficReport::from_workers(outs, cfg.workers))
+}

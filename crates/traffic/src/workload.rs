@@ -1,0 +1,143 @@
+//! Scenario-driven workload generation.
+//!
+//! Two arrival disciplines, both fully seeded so a run is a pure
+//! function of its configuration:
+//!
+//! * **Open loop** — Poisson arrivals (exponential inter-arrival gaps)
+//!   at a fixed offered rate, independent of service progress.  This is
+//!   the discipline that exposes queueing tails: arrivals do not slow
+//!   down when the server falls behind.
+//! * **Closed loop** — N clients, each with at most one request in
+//!   flight; a client issues its next request `think_ns` after the
+//!   previous response.  Throughput self-limits to the service
+//!   capacity, which is what makes it the right probe for worker
+//!   scaling.
+//!
+//! Destination/session selection is Zipf-skewed (Jain's
+//! destination-address-locality observation: real traffic concentrates
+//! on few hot destinations), with the skew exponent in milli-units so
+//! workload configurations stay `Eq + Hash` for memoization.
+
+use netsim::rng::SplitMix64;
+use netsim::Ns;
+
+/// Arrival discipline.  Integer-only fields so configurations can key
+/// memo caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Poisson arrivals at `rate_mps` messages/second per worker.
+    OpenLoop { rate_mps: u64 },
+    /// `clients` closed-loop clients per worker, each thinking
+    /// `think_ns` between response and next request.
+    ClosedLoop { clients: u32, think_ns: u64 },
+}
+
+/// One exponential inter-arrival gap for a Poisson process of
+/// `rate_mps` messages per second, in nanoseconds.
+#[inline]
+pub fn exp_gap_ns(rng: &mut SplitMix64, rate_mps: u64) -> Ns {
+    debug_assert!(rate_mps > 0);
+    let u = rng.next_f64(); // in [0, 1)
+    let mean_ns = 1e9 / rate_mps as f64;
+    (-(1.0 - u).ln() * mean_ns).ceil() as Ns
+}
+
+/// A Zipf(θ) sampler over ranks `0..n` (rank 0 hottest), sampled by
+/// binary search over the precomputed CDF.  θ = `milli_theta / 1000`;
+/// θ = 0 degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, milli_theta: u32) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let theta = milli_theta as f64 / 1000.0;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample a rank in `0..n`.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_seeded_deterministic() {
+        let z = Zipf::new(100, 900);
+        let run = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            (0..200).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_hot_ranks() {
+        let z = Zipf::new(1000, 990);
+        let mut rng = SplitMix64::new(11);
+        let mut hot = 0usize;
+        let total = 10_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // With θ≈1 over 1000 ranks, the top-10 take ≈39% of the mass.
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.3, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0);
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn exp_gap_matches_rate() {
+        let mut rng = SplitMix64::new(17);
+        let rate = 10_000u64; // mean gap 100 µs
+        let n = 20_000;
+        let total: u128 = (0..n).map(|_| exp_gap_ns(&mut rng, rate) as u128).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100_000.0).abs() < 4_000.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 1200);
+        let mut rng = SplitMix64::new(23);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Histogram property suite (seeded, deterministic).
+//!
+//! The load-bearing property for the multi-worker run loop: merging
+//! per-worker histograms must be *exactly* equivalent to recording all
+//! samples into one histogram — same buckets, same quantiles, same
+//! summary statistics.  Plus exact behaviour at the log-linear bucket
+//! boundaries.
+
+use netsim::rng::SplitMix64;
+use traffic::{bucket_index, bucket_lower, bucket_upper, LatencyHistogram, BUCKET_COUNT, SUB_BUCKET_BITS};
+
+/// A latency-shaped random sample: log-uniform magnitude (ns..minutes)
+/// so all bucket blocks get exercised, not just one octave.
+fn sample(rng: &mut SplitMix64) -> u64 {
+    let magnitude = rng.below(36); // 2^0 .. 2^35 ns ≈ 34 s
+    (1u64 << magnitude) + rng.below((1u64 << magnitude).max(1))
+}
+
+#[test]
+fn merge_quantiles_equal_concatenated_quantiles() {
+    // Property: for random sample sets A and B, quantiles of
+    // merge(hist(A), hist(B)) == quantiles of hist(A ++ B).  100 seeded
+    // trials with random split points and sizes.
+    for trial in 0..100u64 {
+        let mut rng = SplitMix64::new(0xC0FFEE ^ trial);
+        let n = 1 + rng.below(400) as usize;
+        let split = rng.below(n as u64 + 1) as usize;
+        let samples: Vec<u64> = (0..n).map(|_| sample(&mut rng)).collect();
+
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if i < split {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+
+        assert_eq!(a, whole, "trial {trial}: merged != concatenated");
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                a.quantile(q),
+                whole.quantile(q),
+                "trial {trial}: quantile {q} differs"
+            );
+        }
+        assert_eq!(a.count(), n as u64);
+        assert_eq!(a.min(), *samples.iter().min().unwrap());
+        assert_eq!(a.max(), *samples.iter().max().unwrap());
+    }
+}
+
+#[test]
+fn merged_quantile_brackets_true_sample() {
+    // The reported quantile is a bucket lower bound: it must be ≤ the
+    // true order statistic and within one sub-bucket of it.
+    let mut rng = SplitMix64::new(42);
+    let mut samples: Vec<u64> = (0..5000).map(|_| sample(&mut rng)).collect();
+    let mut h = LatencyHistogram::new();
+    for &v in &samples {
+        h.record(v);
+    }
+    samples.sort_unstable();
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let truth = samples[rank - 1];
+        let got = h.quantile(q);
+        assert!(got <= truth, "q={q}: reported {got} above true {truth}");
+        let rel = (truth - got) as f64 / truth.max(1) as f64;
+        assert!(
+            rel <= 1.0 / (1u64 << SUB_BUCKET_BITS) as f64 + 1e-12,
+            "q={q}: relative error {rel}"
+        );
+    }
+}
+
+#[test]
+fn exact_bucket_boundary_cases() {
+    let sub = 1u64 << SUB_BUCKET_BITS; // 32
+
+    // Below `sub`, bucketing is exact: one value per bucket.
+    for v in 0..sub {
+        let idx = bucket_index(v);
+        assert_eq!(idx, v as usize);
+        assert_eq!(bucket_lower(idx), v);
+        assert_eq!(bucket_upper(idx), v + 1);
+    }
+
+    // The first coarse bucket starts exactly at `sub` and is 1 wide
+    // (block 1's shift is 0).
+    assert_eq!(bucket_index(sub), sub as usize);
+    assert_eq!(bucket_lower(sub as usize), sub);
+
+    // Every power of two starts its own bucket, and the value just
+    // below it belongs to the previous one.
+    for shift in SUB_BUCKET_BITS..63 {
+        let p = 1u64 << shift;
+        let idx = bucket_index(p);
+        assert_eq!(bucket_lower(idx), p, "2^{shift} must open its bucket");
+        assert_eq!(
+            bucket_index(p - 1),
+            idx - 1,
+            "2^{shift} - 1 must close the previous bucket"
+        );
+        assert_eq!(bucket_upper(idx - 1), p, "buckets must tile at 2^{shift}");
+    }
+
+    // Buckets tile the whole range: upper(i) == lower(i+1).
+    for idx in 0..BUCKET_COUNT - 1 {
+        assert_eq!(
+            bucket_upper(idx),
+            bucket_lower(idx + 1),
+            "gap/overlap at bucket {idx}"
+        );
+    }
+
+    // Top of the range.
+    assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    assert!(bucket_lower(BUCKET_COUNT - 1) < u64::MAX);
+    assert_eq!(bucket_upper(BUCKET_COUNT - 1), u64::MAX);
+}
+
+#[test]
+fn boundary_samples_land_in_their_buckets() {
+    // Record values sitting exactly on boundaries and check quantiles
+    // come back as the boundary values themselves.
+    let sub = 1u64 << SUB_BUCKET_BITS;
+    let mut h = LatencyHistogram::new();
+    let values = [sub - 1, sub, sub + 1, 2 * sub - 1, 2 * sub];
+    for &v in &values {
+        h.record(v);
+    }
+    assert_eq!(h.count(), values.len() as u64);
+    assert_eq!(h.quantile(0.0), sub - 1);
+    // sub and sub+1 share no bucket with sub-1 (exact region ends there).
+    assert_eq!(h.quantile(0.4), sub);
+    assert_eq!(h.quantile(1.0), 2 * sub);
+    assert_eq!(h.min(), sub - 1);
+    assert_eq!(h.max(), 2 * sub);
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    let mk = |seed: u64, n: usize| {
+        let mut rng = SplitMix64::new(seed);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..n {
+            h.record(sample(&mut rng));
+        }
+        h
+    };
+    let (a, b, c) = (mk(1, 100), mk(2, 200), mk(3, 50));
+
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "merge must commute");
+
+    let mut ab_c = ab.clone();
+    ab_c.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+    assert_eq!(ab_c, a_bc, "merge must associate");
+}

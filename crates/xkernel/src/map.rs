@@ -54,6 +54,19 @@ pub struct MapStats {
     pub traverse_full_scan_equivalent: u64,
 }
 
+impl MapStats {
+    /// Accumulate another map's counters (a sharded table aggregates
+    /// its per-shard maps this way).
+    pub fn merge(&mut self, other: &MapStats) {
+        self.lookups += other.lookups;
+        self.cache_hits += other.cache_hits;
+        self.chain_hits += other.chain_hits;
+        self.misses += other.misses;
+        self.traverse_bucket_visits += other.traverse_bucket_visits;
+        self.traverse_full_scan_equivalent += other.traverse_full_scan_equivalent;
+    }
+}
+
 /// The map.  `N` buckets, chained; keys must hash via the caller-supplied
 /// function to keep the model faithful to the x-kernel's byte-string
 /// keys (and deterministic across runs).
@@ -326,6 +339,22 @@ mod tests {
                 "occupancy {occupied}: speedup {speedup:.1} vs expected {expected:.1}"
             );
         }
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let mut m: Map<u64, u32> = Map::new(16);
+        m.bind(hash_of(1), 1, 1);
+        m.lookup(hash_of(1), &1);
+        m.lookup(hash_of(1), &1);
+        m.lookup(hash_of(2), &2);
+        let mut total = MapStats::default();
+        total.merge(&m.stats);
+        total.merge(&m.stats);
+        assert_eq!(total.lookups, 6);
+        assert_eq!(total.cache_hits, 2);
+        assert_eq!(total.chain_hits, 2);
+        assert_eq!(total.misses, 2);
     }
 
     #[test]

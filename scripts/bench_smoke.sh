@@ -5,11 +5,13 @@
 # beats per-consumer recomputation by >= 2x and that the fused streaming
 # replay does not lose to the materialized pipeline), `replay_bench`
 # (which asserts the data-oriented replay->simulate hot loop is >= 2x
-# the in-tree reference model) and `layout_bench` (which asserts the
+# the in-tree reference model), `layout_bench` (which asserts the
 # data-oriented micro-positioner is >= 2x the seed greedy on the RPC
-# stack), then verifies the JSON artifacts contain every key downstream
-# tooling reads.  Pass --reuse to validate existing JSON files without
-# re-running the benchmarks.
+# stack) and `traffic_bench` (which asserts ALL beats BAD at p99 under
+# sustained load on both stacks and that partitioned multi-worker
+# serving scales >= 2x in simulated throughput), then verifies the JSON
+# artifacts contain every key downstream tooling reads.  Pass --reuse to
+# validate existing JSON files without re-running the benchmarks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,9 @@ if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_replay.json ]; then
 fi
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_layout.json ]; then
     cargo run -q --release -p protolat-bench --bin layout_bench
+fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_traffic.json ]; then
+    cargo run -q --release -p protolat-bench --bin traffic_bench
 fi
 
 missing=0
@@ -54,6 +59,22 @@ for key in bench tcpip_micro_opt_ms tcpip_micro_ref_ms tcpip_micro_speedup \
            layout_computed layout_hit_rate; do
     if ! grep -q "\"$key\"" BENCH_layout.json; then
         echo "bench_smoke: BENCH_layout.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+for stack in tcpip rpc; do
+    for ver in bad std out clo pin all; do
+        for metric in p50_us p99_us p999_us mps; do
+            if ! grep -q "\"${stack}_${ver}_${metric}\"" BENCH_traffic.json; then
+                echo "bench_smoke: BENCH_traffic.json missing key \"${stack}_${ver}_${metric}\"" >&2
+                missing=1
+            fi
+        done
+    done
+done
+for key in workers single_worker_mps multi_worker_mps worker_speedup; do
+    if ! grep -q "\"$key\"" BENCH_traffic.json; then
+        echo "bench_smoke: BENCH_traffic.json missing key \"$key\"" >&2
         missing=1
     fi
 done
@@ -100,4 +121,27 @@ awk -v s="$layout_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
     exit 1
 }
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference)"
+worker_speedup=$(sed -n 's/.*"worker_speedup": \([0-9.]*\).*/\1/p' BENCH_traffic.json)
+if [ -z "$worker_speedup" ]; then
+    echo "bench_smoke: could not parse worker_speedup" >&2
+    exit 1
+fi
+awk -v s="$worker_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "bench_smoke: traffic worker speedup ${worker_speedup}x below the 2x floor" >&2
+    exit 1
+}
+
+for stack in tcpip rpc; do
+    bad=$(sed -n "s/.*\"${stack}_bad_p99_us\": \([0-9.]*\).*/\1/p" BENCH_traffic.json)
+    all=$(sed -n "s/.*\"${stack}_all_p99_us\": \([0-9.]*\).*/\1/p" BENCH_traffic.json)
+    if [ -z "$bad" ] || [ -z "$all" ]; then
+        echo "bench_smoke: could not parse ${stack} p99 cells" >&2
+        exit 1
+    fi
+    awk -v a="$all" -v b="$bad" 'BEGIN { exit !(a < b) }' || {
+        echo "bench_smoke: ${stack} ALL p99 ${all}us not below BAD p99 ${bad}us" >&2
+        exit 1
+    }
+done
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x)"

@@ -21,7 +21,12 @@
 //!   buffers, event timers and the thread/stack model.
 //! * [`netsim`] — discrete-event network: 10 Mb/s Ethernet wire, LANCE
 //!   controller with sparse shared-memory descriptor rings, fault
-//!   injection.
+//!   injection (drop / corrupt / reorder / duplicate).
+//! * [`traffic`] — the production-scale serving subsystem: open/closed-
+//!   loop workload generators with Zipf-skewed session selection, a
+//!   sharded demux session table, multi-worker serving loops replaying
+//!   the machine model per message, and mergeable HDR-style tail-latency
+//!   histograms.
 //! * [`protocols`] — the two test stacks: TCP/IP (TCPTEST/TCP/IP/VNET/
 //!   ETH/LANCE) and Sprite-style RPC (XRPCTEST/MSELECT/VCHAN/CHAN/BID/
 //!   BLAST/ETH/LANCE).
@@ -44,4 +49,5 @@ pub use kcode;
 pub use netsim;
 pub use protocols;
 pub use protolat_core as core;
+pub use traffic;
 pub use xkernel;
