@@ -32,7 +32,7 @@ use kcode::events::EventStream;
 use kcode::layout::LayoutStrategy;
 use kcode::{Image, LayoutPlan, NullSink, ReplayStats, Replayer};
 use protocols::StackOptions;
-use traffic::{run_traffic, ReplayService, TrafficConfig, TrafficReport};
+use traffic::{run_traffic, run_traffic_reference, ReplayService, TrafficConfig, TrafficReport};
 
 use crate::config::{StackKind, Version};
 use crate::harness::{run_rpc, run_tcpip, RpcRun, TcpIpRun};
@@ -368,6 +368,26 @@ impl SweepEngine {
                 .expect("traffic scenario must drain within its event budget");
             Arc::new(report)
         })
+    }
+
+    /// The traffic stage re-run on the seed binary-heap scheduler
+    /// (`netsim::engine::reference`) instead of the default timing
+    /// wheel.  Deliberately *not* memoized — it exists to prove
+    /// scheduler equivalence (and to time the reference engine), so it
+    /// must really recompute; it still shares the memoized image and
+    /// episode with [`SweepEngine::traffic`].
+    pub fn traffic_reference(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+        cfg: TrafficConfig,
+    ) -> TrafficReport {
+        let img = self.image(stack, opts, warmup, version);
+        let episode = self.server_episode(stack, opts, warmup);
+        run_traffic_reference(&cfg, |_worker| ReplayService::new(&img, &episode))
+            .expect("traffic scenario must drain within its event budget")
     }
 
     /// The canonical 6-version × 2-stack traffic sweep under one

@@ -40,6 +40,8 @@ fn memoized_service_matches_pure_simulation() {
     // recorded latency: a run whose workers always simulate and a run
     // whose workers use the memo fast path must agree on everything
     // except the service counters that record how results were obtained.
+    // STD's warm cost goes flat (period-1 fixed point); PIN's oscillates
+    // between two values forever, exercising the limit-cycle detector.
     let eng = SweepEngine::global();
     let opts = StackOptions::improved();
     let cfg = TrafficConfig::open_loop(2_000, 250, 32)
@@ -47,31 +49,34 @@ fn memoized_service_matches_pure_simulation() {
         .with_shards(4, 12)
         .with_seed(5)
         .with_faults(4_000, 2_000, 4_000, 2_000);
-    let img = eng.image(StackKind::TcpIp, opts, 2, Version::Std);
     let episode = eng.tcpip(opts, 2).run.episodes.server_turn.clone();
+    for version in [Version::Std, Version::Pin] {
+        let img = eng.image(StackKind::TcpIp, opts, 2, version);
 
-    let memoized = run_traffic(&cfg, |_| ReplayService::new(&img, &episode)).unwrap();
-    let simulated =
-        run_traffic(&cfg, |_| ReplayService::new(&img, &episode).without_memoization()).unwrap();
+        let memoized = run_traffic(&cfg, |_| ReplayService::new(&img, &episode)).unwrap();
+        let simulated =
+            run_traffic(&cfg, |_| ReplayService::new(&img, &episode).without_memoization())
+                .unwrap();
 
-    assert_eq!(memoized.hist, simulated.hist, "latency distribution must be identical");
-    assert_eq!(memoized.completed, simulated.completed);
-    assert_eq!(memoized.sim_ns, simulated.sim_ns);
-    assert_eq!(memoized.retransmits, simulated.retransmits);
-    assert_eq!(memoized.duplicates_served, simulated.duplicates_served);
-    assert_eq!(memoized.faults, simulated.faults);
-    assert_eq!(memoized.table, simulated.table);
+        assert_eq!(memoized.hist, simulated.hist, "{version:?}: latencies must be identical");
+        assert_eq!(memoized.completed, simulated.completed);
+        assert_eq!(memoized.sim_ns, simulated.sim_ns);
+        assert_eq!(memoized.retransmits, simulated.retransmits);
+        assert_eq!(memoized.duplicates_served, simulated.duplicates_served);
+        assert_eq!(memoized.faults, simulated.faults);
+        assert_eq!(memoized.table, simulated.table);
 
-    // And the memo must actually have kicked in: far fewer replays
-    // simulated than messages served.
-    assert_eq!(simulated.service.fast_path_serves, 0);
-    assert!(
-        memoized.service.simulated_replays * 4 < simulated.service.simulated_replays,
-        "memo must eliminate most simulation: {} vs {}",
-        memoized.service.simulated_replays,
-        simulated.service.simulated_replays
-    );
-    assert!(memoized.service.fast_path_serves > 0);
+        // And the memo must actually have kicked in: far fewer replays
+        // simulated than messages served.
+        assert_eq!(simulated.service.fast_path_serves, 0);
+        assert!(
+            memoized.service.simulated_replays * 4 < simulated.service.simulated_replays,
+            "{version:?}: memo must eliminate most simulation: {} vs {}",
+            memoized.service.simulated_replays,
+            simulated.service.simulated_replays
+        );
+        assert!(memoized.service.fast_path_serves > 0);
+    }
 }
 
 #[test]
@@ -84,6 +89,32 @@ fn traffic_stage_is_deterministic_across_engines() {
     let a = SweepEngine::new().traffic(StackKind::TcpIp, opts, 2, Version::All, cfg);
     let b = SweepEngine::new().traffic(StackKind::TcpIp, opts, 2, Version::All, cfg);
     assert_eq!(*a, *b);
+}
+
+#[test]
+fn traffic_stage_agrees_across_schedulers() {
+    // The default timing-wheel engine and the reference binary heap
+    // must produce bit-identical reports for every (stack, version)
+    // traffic cell — here at test scale on both scenario kinds.
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let closed = TrafficConfig::closed_loop(6, 5_000, 300, 32)
+        .with_workers(2)
+        .with_shards(4, 16)
+        .with_seed(0x51)
+        .with_faults(3_000, 1_500, 3_000, 1_500);
+    for cfg in [small_cfg(), closed] {
+        for stack in [StackKind::TcpIp, StackKind::Rpc] {
+            for version in [Version::Bad, Version::All] {
+                let wheel = eng.traffic(stack, opts, 2, version, cfg);
+                let heap = eng.traffic_reference(stack, opts, 2, version, cfg);
+                assert_eq!(
+                    *wheel, heap,
+                    "{stack:?}/{version:?}: schedulers diverged"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -4,7 +4,11 @@
 //! 10 Mb/s Ethernet, each with a LANCE (AMD Am7990) adaptor on the
 //! TURBOchannel.  This crate rebuilds that plumbing:
 //!
-//! * [`engine`] — a discrete-event simulator (nanosecond clock).
+//! * [`engine`] — a discrete-event simulator (nanosecond clock); the
+//!   default queue is the hierarchical timing wheel from [`sched`],
+//!   with the seed binary heap kept as [`engine::reference`].
+//! * [`sched`] — the hierarchical timing-wheel scheduler: slab event
+//!   arena, O(1) filing and cancellation, batched slot delivery.
 //! * [`frame`] — Ethernet II framing with the 64-byte minimum and FCS.
 //! * [`wire`] — 10 Mb/s serialization timing (57.6 µs for a minimum
 //!   frame including preamble) plus propagation.
@@ -25,9 +29,11 @@ pub mod frame;
 pub mod lance;
 pub mod pcap;
 pub mod rng;
+pub mod sched;
 pub mod wire;
 
 pub use engine::{Engine, Overrun};
+pub use sched::{CancelToken, EventQueue, Wheel};
 pub use fault::{FaultInjector, FaultStats, Fate};
 pub use frame::{EtherType, Frame, MacAddr};
 pub use lance::{Descriptor, LanceChip, LanceTiming, SparseMem};

@@ -1,0 +1,354 @@
+//! Seeded property suite for scheduler semantics (the PR-1 SplitMix64
+//! convention: explicit seed loops, no external property-test crate).
+//!
+//! The contract under test: the hierarchical timing wheel
+//! ([`netsim::Wheel`], the default [`netsim::Engine`]) is observation-
+//! equivalent to the seed binary heap ([`netsim::engine::reference`])
+//! — same delivery trace, same clock, same pending/processed counters,
+//! same `run_until` Overrun diagnostics, same cancellation results —
+//! under arbitrary mixes of schedule / schedule_cancellable / cancel /
+//! pop / advance / run_until, including handler-driven reentrant
+//! scheduling and cancellation, equal-timestamp collisions, and
+//! deadlines straddling wheel-level boundaries.
+
+use netsim::engine::reference;
+use netsim::rng::SplitMix64;
+use netsim::sched::EventQueue;
+use netsim::{Engine, Ns, Overrun};
+
+/// Spawner bit: delivered events with this bit set schedule one child
+/// event (bit cleared, so chains terminate).
+const SPAWN: u32 = 0x8000_0000;
+
+/// One scripted operation, replayed identically against both engines.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Schedule { at: Ns, tag: u32 },
+    ScheduleCancellable { at: Ns, tag: u32 },
+    /// Cancel the `arm`-th issued token (modulo the issued count).
+    Cancel { arm: usize },
+    Pop { count: usize },
+    RunUntil { deadline: Ns, budget: u64 },
+    Advance { delta: Ns },
+}
+
+/// Everything observable about a run: deliveries, per-op snapshots of
+/// (now, pending, processed), cancel results and run_until outcomes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Trace {
+    delivered: Vec<(Ns, u32)>,
+    snapshots: Vec<(Ns, usize, u64)>,
+    cancels: Vec<bool>,
+    runs: Vec<Result<u64, Overrun>>,
+}
+
+/// A time offset that stresses every wheel shape: near offsets, far
+/// offsets, exact 64^k level boundaries ±1, zero, and the past (which
+/// must clamp to now).
+fn gen_at(rng: &mut SplitMix64, now: Ns) -> Ns {
+    match rng.below(10) {
+        0..=2 => {
+            let bits = 1 + rng.below(12) as u32;
+            now + rng.below(1 << bits)
+        }
+        3..=4 => {
+            let bits = 12 + rng.below(24) as u32;
+            now + rng.below(1 << bits)
+        }
+        5 => {
+            // Straddle a level boundary: 64^l - 1, 64^l, 64^l + 1.
+            let l = 1 + rng.below(6) as u32;
+            now.saturating_add((1u64 << (6 * l)) - 1 + rng.below(3))
+        }
+        6 => now, // immediate
+        7 => now.saturating_sub(rng.below(1 << 20)), // past: clamps
+        8 => now + 1 + rng.below(64), // dense same-block collisions
+        _ => now + rng.below(1 << 30),
+    }
+}
+
+fn gen_script(seed: u64, ops: usize) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed);
+    let mut now_guess: Ns = 0; // only steers time generation
+    let mut armed = 0usize;
+    let mut script = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let op = match rng.below(12) {
+            0..=3 => Op::Schedule { at: gen_at(&mut rng, now_guess), tag: rng.next_u64() as u32 },
+            4..=6 => {
+                armed += 1;
+                Op::ScheduleCancellable { at: gen_at(&mut rng, now_guess), tag: rng.next_u64() as u32 }
+            }
+            7 if armed > 0 => Op::Cancel { arm: rng.below(armed as u64) as usize },
+            7 => Op::Schedule { at: gen_at(&mut rng, now_guess), tag: rng.next_u64() as u32 },
+            8..=9 => Op::Pop { count: 1 + rng.below(8) as usize },
+            10 => {
+                now_guess = now_guess.saturating_add(rng.below(1 << 22));
+                Op::RunUntil {
+                    deadline: now_guess,
+                    budget: 1 + rng.below(40),
+                }
+            }
+            _ => {
+                let delta = rng.below(1 << 16);
+                now_guess = now_guess.saturating_add(delta);
+                Op::Advance { delta }
+            }
+        };
+        script.push(op);
+    }
+    // Always finish with a full drain so every schedule is observed.
+    script.push(Op::RunUntil { deadline: Ns::MAX, budget: u64::MAX });
+    script
+}
+
+/// Handler body shared by both engines: record the delivery, and let
+/// SPAWN-tagged events reenter the scheduler (schedule, arm a
+/// cancellable timer, cancel an armed one, or saturating schedule_in).
+fn on_event<Q: EventQueue<u32>>(
+    q: &mut Q,
+    t: Ns,
+    tag: u32,
+    trace: &mut Trace,
+    tokens: &mut Vec<Q::Token>,
+) {
+    trace.delivered.push((t, tag));
+    if tag & SPAWN == 0 {
+        return;
+    }
+    let child = tag & !SPAWN;
+    match child % 4 {
+        0 => q.schedule(t + (child as u64 % 97), child),
+        1 => tokens.push(q.schedule_cancellable(t + 1 + (child as u64 % 4096), child)),
+        2 if !tokens.is_empty() => {
+            let i = child as usize % tokens.len();
+            let tok = tokens[i];
+            trace.cancels.push(q.cancel(tok));
+        }
+        _ => q.schedule_in(child as u64 % 300, child),
+    }
+}
+
+fn run_script<Q: EventQueue<u32>>(q: &mut Q, script: &[Op]) -> Trace {
+    let mut trace = Trace::default();
+    let mut tokens: Vec<Q::Token> = Vec::new();
+    for op in script {
+        match *op {
+            Op::Schedule { at, tag } => q.schedule(at, tag),
+            Op::ScheduleCancellable { at, tag } => tokens.push(q.schedule_cancellable(at, tag)),
+            Op::Cancel { arm } => {
+                let tok = tokens[arm % tokens.len()];
+                let r = q.cancel(tok);
+                trace.cancels.push(r);
+            }
+            Op::Pop { count } => {
+                for _ in 0..count {
+                    match q.pop() {
+                        Some((t, tag)) => trace.delivered.push((t, tag)),
+                        None => break,
+                    }
+                }
+            }
+            Op::RunUntil { deadline, budget } => {
+                let r = q.run_until(deadline, budget, |q, t, tag| {
+                    on_event(q, t, tag, &mut trace, &mut tokens)
+                });
+                trace.runs.push(r);
+            }
+            Op::Advance { delta } => q.advance(delta),
+        }
+        trace.snapshots.push((q.now(), q.pending(), q.processed()));
+    }
+    trace
+}
+
+#[test]
+fn wheel_matches_reference_on_random_mixes() {
+    for case in 0..96u64 {
+        let script = gen_script(0x5EED_0000 + case, 160);
+        let mut wheel: Engine<u32> = Engine::new();
+        let mut heap: reference::Engine<u32> = reference::Engine::new();
+        let a = run_script(&mut wheel, &script);
+        let b = run_script(&mut heap, &script);
+        assert_eq!(a, b, "case {case}: wheel and reference heap diverged");
+    }
+}
+
+#[test]
+fn delivery_order_is_total_by_time_then_seq() {
+    // Within any run, delivered times are non-decreasing, and every
+    // burst at one timestamp preserves scheduling (seq) order — checked
+    // via monotone tags at colliding timestamps.
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xF1F0_0000 + case);
+        let mut wheel: Engine<u32> = Engine::new();
+        let times: Vec<Ns> = (0..8).map(|_| rng.below(1 << 30)).collect();
+        for counter in 0..400u32 {
+            let t = times[rng.below(times.len() as u64) as usize];
+            wheel.schedule(t, counter);
+        }
+        let mut seen: Vec<(Ns, u32)> = Vec::new();
+        while let Some(pair) = wheel.pop() {
+            seen.push(pair);
+        }
+        assert_eq!(seen.len(), 400);
+        for w in seen.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time order violated: {w:?}");
+            if w[0].0 == w[1].0 {
+                assert!(
+                    w[0].1 < w[1].1,
+                    "FIFO order violated at t={}: {} before {}",
+                    w[0].0,
+                    w[0].1,
+                    w[1].1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fifo_stability_survives_cascading() {
+    // Schedule events at ONE far timestamp from several different clock
+    // positions, so some file at high wheel levels and cascade down
+    // while others file directly at level 0 — delivery must still be in
+    // scheduling order.
+    let target: Ns = (1 << 18) + 4242;
+    let mut wheel = Engine::new();
+    let mut heap = reference::Engine::new();
+    let mut next_tag = 0u32;
+    let mut milestones = vec![0u64, 1 << 6, 1 << 12, 1 << 17, target - 1];
+    milestones.sort_unstable();
+    for (i, m) in milestones.iter().enumerate() {
+        // A pacing event to advance the clock to `m`...
+        wheel.schedule(*m, u32::MAX - i as u32);
+        heap.schedule(*m, u32::MAX - i as u32);
+    }
+    for _ in &milestones {
+        // ...pop it, then schedule two target events from this clock.
+        let (tw, _) = wheel.pop().unwrap();
+        let (th, _) = heap.pop().unwrap();
+        assert_eq!(tw, th);
+        for _ in 0..2 {
+            wheel.schedule(target, next_tag);
+            heap.schedule(target, next_tag);
+            next_tag += 1;
+        }
+    }
+    let mut wheel_tags = Vec::new();
+    while let Some((t, tag)) = wheel.pop() {
+        assert_eq!(t, target);
+        wheel_tags.push(tag);
+    }
+    let mut heap_tags = Vec::new();
+    while let Some((t, tag)) = heap.pop() {
+        assert_eq!(t, target);
+        heap_tags.push(tag);
+    }
+    let expect: Vec<u32> = (0..next_tag).collect();
+    assert_eq!(wheel_tags, expect, "wheel lost FIFO order across cascades");
+    assert_eq!(heap_tags, expect);
+}
+
+#[test]
+fn cascades_are_exact_at_level_boundaries() {
+    // Deadlines packed around every 64^l boundary must come out in
+    // exact sorted order on both engines, from both a zero clock and a
+    // mid-flight clock.
+    for start_pop in [false, true] {
+        let mut wheel = Engine::new();
+        let mut heap = reference::Engine::new();
+        if start_pop {
+            wheel.schedule(12_345, 0u32);
+            heap.schedule(12_345, 0u32);
+            wheel.pop();
+            heap.pop();
+        }
+        let base = wheel.now();
+        let mut tag = 1u32;
+        for l in 1..=8u32 {
+            let b = 1u64 << (6 * l);
+            for d in [b - 2, b - 1, b, b + 1, b + 63, b + 64] {
+                wheel.schedule(base + d, tag);
+                heap.schedule(base + d, tag);
+                tag += 1;
+            }
+        }
+        let mut a = Vec::new();
+        while let Some(p) = wheel.pop() {
+            a.push(p);
+        }
+        let mut b = Vec::new();
+        while let Some(p) = heap.pop() {
+            b.push(p);
+        }
+        assert_eq!(a, b, "boundary drains diverged (start_pop={start_pop})");
+        let mut sorted = a.clone();
+        sorted.sort_by_key(|&(t, g)| (t, g));
+        assert_eq!(a, sorted, "boundary drain out of order");
+    }
+}
+
+#[test]
+fn cancellation_equivalence_under_stress() {
+    // Arm and cancel timers aggressively (the RTO pattern: most timers
+    // are superseded before they fire) — both engines must agree on
+    // every cancel result and every surviving delivery.
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0xCA9C_E100 + case);
+        let mut wheel: Engine<u32> = Engine::new();
+        let mut heap: reference::Engine<u32> = reference::Engine::new();
+        let mut wtoks = Vec::new();
+        let mut htoks = Vec::new();
+        let mut wres = Vec::new();
+        let mut hres = Vec::new();
+        for i in 0..600u32 {
+            let at = rng.below(1 << 26);
+            wtoks.push(wheel.schedule_cancellable(at, i));
+            htoks.push(heap.schedule_cancellable(at, i));
+            if rng.chance(0.7) && !wtoks.is_empty() {
+                let j = rng.below(wtoks.len() as u64) as usize;
+                wres.push(wheel.cancel(wtoks[j]));
+                hres.push(heap.cancel(htoks[j]));
+            }
+            if rng.chance(0.2) {
+                assert_eq!(wheel.pop(), heap.pop());
+            }
+        }
+        assert_eq!(wres, hres, "case {case}: cancel results diverged");
+        assert_eq!(wheel.pending(), heap.pending());
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b, "case {case}: drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn overrun_diagnostics_are_identical() {
+    // Deadline and budget overruns must carry identical accounting on
+    // both engines, including live pending counts with tombstones in
+    // the queue.
+    let mut wheel: Engine<u32> = Engine::new();
+    let mut heap: reference::Engine<u32> = reference::Engine::new();
+    for (at, tag) in [(100u64, 1u32), (200, 2), (300, 3), (10_000, 4)] {
+        wheel.schedule(at, tag);
+        heap.schedule(at, tag);
+    }
+    let wt = wheel.schedule_cancellable(250, 9);
+    let ht = heap.schedule_cancellable(250, 9);
+    assert!(wheel.cancel(wt));
+    assert!(heap.cancel(ht));
+    let rw = wheel.run_until(500, 100, |_, _, _| {});
+    let rh = heap.run_until(500, 100, |_, _, _| {});
+    assert_eq!(rw, rh);
+    assert!(matches!(rw, Err(Overrun::Deadline { pending: 1, processed: 3, .. })));
+
+    let rw = wheel.run_until(Ns::MAX, 0, |_, _, _| {});
+    let rh = heap.run_until(Ns::MAX, 0, |_, _, _| {});
+    assert_eq!(rw, rh);
+    assert!(matches!(rw, Err(Overrun::EventBudget { pending: 1, .. })));
+}

@@ -1,17 +1,38 @@
 //! The Internet checksum (RFC 1071), used by IP (header) and TCP
 //! (pseudo-header + segment).  This is the real algorithm — corrupted
 //! packets are really rejected.
+//!
+//! The default summation is word-at-a-time: eight bytes per iteration
+//! folded into a one's-complement accumulator with end-around carry
+//! (RFC 1071 §2(A): the sum can be computed in any word size and
+//! byte-swapped freely because addition mod 2^16 - 1 commutes with the
+//! 2^16 ≡ 1 congruence).  The original byte-pair loop is kept as
+//! [`reference`] and the two are proven equal on seeded random buffers
+//! of every alignment.
 
-/// One's-complement sum of 16-bit big-endian words.
-fn sum_words(data: &[u8], mut acc: u32) -> u32 {
-    let mut chunks = data.chunks_exact(2);
+/// One's-complement sum, eight bytes at a time.  The returned
+/// accumulator is congruent to the byte-pair sum mod 65535 and is zero
+/// only when every summed byte is zero, so [`fold`] maps both paths to
+/// the same checksum.
+fn sum_words(data: &[u8], acc: u32) -> u32 {
+    let mut sum = acc as u64;
+    let mut chunks = data.chunks_exact(8);
     for c in &mut chunks {
-        acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+        let w = u64::from_be_bytes(c.try_into().unwrap());
+        // End-around carry: addition mod 2^64 - 1, and 2^64 ≡ 1
+        // (mod 65535), so each u64 contributes its four 16-bit words.
+        let (s, carry) = sum.overflowing_add(w);
+        sum = s + carry as u64;
     }
-    if let [last] = chunks.remainder() {
-        acc += u16::from_be_bytes([*last, 0]) as u32;
-    }
-    acc
+    // Fold 64 → 16 bits (each round can carry once into the next), so
+    // the tail accumulation below cannot overflow u32.
+    sum = (sum >> 32) + (sum & 0xffff_ffff);
+    sum = (sum >> 32) + (sum & 0xffff_ffff);
+    sum = (sum >> 16) + (sum & 0xffff);
+    sum = (sum >> 16) + (sum & 0xffff);
+    // The ≤ 7 tail bytes go through the byte-pair loop; the pairing is
+    // unchanged because the fast loop consumed a multiple of two bytes.
+    reference::sum_words(chunks.remainder(), sum as u32)
 }
 
 fn fold(mut acc: u32) -> u16 {
@@ -28,20 +49,24 @@ pub fn in_cksum(data: &[u8]) -> u16 {
 
 /// Checksum with a pseudo-header prefix sum (for TCP/UDP).
 pub fn in_cksum_pseudo(src: u32, dst: u32, proto: u8, data: &[u8]) -> u16 {
+    fold(sum_words(data, pseudo_acc(src, dst, proto, data.len())))
+}
+
+fn pseudo_acc(src: u32, dst: u32, proto: u8, len: usize) -> u32 {
     let mut acc = 0u32;
     acc += src >> 16;
     acc += src & 0xffff;
     acc += dst >> 16;
     acc += dst & 0xffff;
     acc += proto as u32;
-    acc += data.len() as u32;
-    fold(sum_words(data, acc))
+    acc += len as u32;
+    acc
 }
 
 /// Verify: a correct packet checksums to zero when the stored checksum
 /// is included in the summed range.
 pub fn verify(data: &[u8]) -> bool {
-    fold(sum_words(data, 0)) == 0
+    in_cksum(data) == 0
 }
 
 /// Verify with pseudo-header.
@@ -49,15 +74,43 @@ pub fn verify_pseudo(src: u32, dst: u32, proto: u8, data: &[u8]) -> bool {
     in_cksum_pseudo(src, dst, proto, data) == 0
 }
 
+/// The seed implementation: one 16-bit big-endian word per iteration.
+/// Kept as the correctness oracle for the word-at-a-time fast path.
+pub mod reference {
+    /// One's-complement sum of 16-bit big-endian words.
+    pub(super) fn sum_words(data: &[u8], mut acc: u32) -> u32 {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            acc += u16::from_be_bytes([*last, 0]) as u32;
+        }
+        acc
+    }
+
+    /// Byte-pair checksum over a byte slice.
+    pub fn in_cksum(data: &[u8]) -> u16 {
+        super::fold(sum_words(data, 0))
+    }
+
+    /// Byte-pair checksum with a pseudo-header prefix sum.
+    pub fn in_cksum_pseudo(src: u32, dst: u32, proto: u8, data: &[u8]) -> u16 {
+        super::fold(sum_words(data, super::pseudo_acc(src, dst, proto, data.len())))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::rng::SplitMix64;
 
     #[test]
     fn rfc1071_example() {
         // Classic example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
         let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
         assert_eq!(in_cksum(&data), 0x220d);
+        assert_eq!(reference::in_cksum(&data), 0x220d);
     }
 
     #[test]
@@ -108,5 +161,44 @@ mod tests {
         seg[16] = (ck >> 8) as u8;
         seg[17] = (ck & 0xff) as u8;
         assert!(verify_pseudo(src, dst, 6, &seg));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_seeded_buffers() {
+        // Every length 0..=67 (covers the 8-byte chunking, the 2..=7
+        // byte tails, and the odd trailing byte) at random contents,
+        // plus longer frame-sized buffers.
+        let mut rng = SplitMix64::new(0xC4EC_5D00);
+        for case in 0..200u32 {
+            let len = if case < 68 { case as usize } else { 68 + rng.below(1500) as usize };
+            let buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            assert_eq!(
+                in_cksum(&buf),
+                reference::in_cksum(&buf),
+                "len {len} diverged (case {case})"
+            );
+            let src = rng.next_u64() as u32;
+            let dst = rng.next_u64() as u32;
+            let proto = rng.next_u64() as u8;
+            assert_eq!(
+                in_cksum_pseudo(src, dst, proto, &buf),
+                reference::in_cksum_pseudo(src, dst, proto, &buf),
+                "pseudo len {len} diverged (case {case})"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_extremal_contents() {
+        // All-0xff buffers maximise end-around carries; all-zero
+        // buffers exercise the zero accumulator representative (checksum
+        // 0xffff, not 0) on both paths.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 64, 1500] {
+            let ones = vec![0xffu8; len];
+            let zeros = vec![0u8; len];
+            assert_eq!(in_cksum(&ones), reference::in_cksum(&ones), "0xff len {len}");
+            assert_eq!(in_cksum(&zeros), reference::in_cksum(&zeros), "0x00 len {len}");
+            assert_eq!(in_cksum(&zeros), 0xffff);
+        }
     }
 }

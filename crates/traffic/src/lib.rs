@@ -33,8 +33,8 @@ pub mod workload;
 
 pub use hist::{bucket_index, bucket_lower, bucket_upper, LatencyHistogram, BUCKET_COUNT, SUB_BUCKET_BITS};
 pub use runloop::{
-    run_traffic, TrafficConfig, TrafficReport, DEMUX_CACHE_HIT_NS, DEMUX_CHAIN_HIT_NS,
-    DUPLICATE_DELAY_NS, REORDER_DELAY_NS, RTO_NS, SESSION_SETUP_NS,
+    run_traffic, run_traffic_reference, TrafficConfig, TrafficReport, DEMUX_CACHE_HIT_NS,
+    DEMUX_CHAIN_HIT_NS, DUPLICATE_DELAY_NS, REORDER_DELAY_NS, RTO_NS, SESSION_SETUP_NS,
 };
 pub use service::{FixedService, ReplayService, Service, ServiceStats};
 pub use session::{DemuxKey, SessionTable, TableStats};

@@ -22,14 +22,25 @@
 //! The server is a single queue per worker: a message begins service at
 //! `max(arrival, server idle)`, which is what turns offered load into
 //! queueing delay and queueing delay into the latency tail the
-//! histogram captures.  Runs are guarded by [`Engine::run_until`]'s
+//! histogram captures.  Runs are guarded by the engine's `run_until`
 //! event budget, so a pathological configuration (e.g. 100% drop, which
 //! retransmits forever) terminates with an [`Overrun`] diagnostic.
+//!
+//! Retransmission is timer-driven: every send arms a cancellable RTO
+//! timer ([`EventQueue::schedule_cancellable`]); a successful delivery
+//! (or reorder/duplicate redirection) supersedes the timer with an O(1)
+//! [`EventQueue::cancel`], while a drop or FCS-discarded corruption
+//! leaves it armed — the timer firing *is* the retransmission.  The
+//! loop is generic over [`EventQueue`], so [`run_traffic`] (the default
+//! timing-wheel engine) and [`run_traffic_reference`] (the seed binary
+//! heap) run the identical worker code; the two must produce
+//! bit-identical [`TrafficReport`]s.
 
 use std::thread;
 
-use netsim::{Engine, Fate, FaultInjector, FaultStats, Ns, Overrun};
+use netsim::engine::reference;
 use netsim::rng::SplitMix64;
+use netsim::{Engine, EventQueue, Fate, FaultInjector, FaultStats, Ns, Overrun};
 use xkernel::map::LookupKind;
 
 use crate::hist::LatencyHistogram;
@@ -288,7 +299,7 @@ impl<S: Service> Worker<S> {
         rank as u64 * self.workers as u64 + self.worker_idx as u64
     }
 
-    fn handle(&mut self, eng: &mut Engine<Ev>, t: Ns, ev: Ev) {
+    fn handle<Q: EventQueue<Ev>>(&mut self, eng: &mut Q, t: Ns, ev: Ev) {
         match ev {
             Ev::Request => {
                 if self.issued < self.quota {
@@ -302,23 +313,31 @@ impl<S: Service> Worker<S> {
         }
     }
 
-    fn arrive(&mut self, eng: &mut Engine<Ev>, t: Ns, session: u32, born: Ns) {
+    fn arrive<Q: EventQueue<Ev>>(&mut self, eng: &mut Q, t: Ns, session: u32, born: Ns) {
+        // The client arms its retransmission timer the moment it sends;
+        // whatever reaches the server in time supersedes it.
+        let rto = eng.schedule_cancellable(t + RTO_NS, Ev::Arrive { session, born });
         // The injector only needs frame bytes for corruption; a minimum
         // Ethernet frame stands in for the request.
         let mut frame = [0u8; 64];
         match self.inj.process(&mut frame) {
-            Fate::Delivered => self.deliver(eng, t, session, born, true),
+            Fate::Delivered => {
+                eng.cancel(rto);
+                self.deliver(eng, t, session, born, true);
+            }
             Fate::Dropped | Fate::Corrupted => {
                 // Lost on the wire (corruption is caught by the FCS and
-                // discarded): the client retransmits after its RTO and
-                // the full wait shows up in the recorded latency.
+                // discarded): the armed timer fires at t + RTO and *is*
+                // the retransmission — the full wait shows up in the
+                // recorded latency.
                 self.retransmits += 1;
-                eng.schedule(t + RTO_NS, Ev::Arrive { session, born });
             }
             Fate::Reordered => {
+                eng.cancel(rto);
                 eng.schedule(t + REORDER_DELAY_NS, Ev::Deliver { session, born, record: true });
             }
             Fate::Duplicated => {
+                eng.cancel(rto);
                 self.deliver(eng, t, session, born, true);
                 // The copy burns server capacity but its completion is
                 // not a response anyone is waiting on.
@@ -327,7 +346,7 @@ impl<S: Service> Worker<S> {
         }
     }
 
-    fn deliver(&mut self, eng: &mut Engine<Ev>, t: Ns, session: u32, born: Ns, record: bool) {
+    fn deliver<Q: EventQueue<Ev>>(&mut self, eng: &mut Q, t: Ns, session: u32, born: Ns, record: bool) {
         let key = DemuxKey::for_session(self.global_session(session));
         let (state, kind) = self.table.lookup(&key);
         let demux_ns = match kind {
@@ -370,9 +389,13 @@ impl<S: Service> Worker<S> {
     }
 }
 
-fn run_worker<S: Service>(cfg: &TrafficConfig, worker_idx: u32, svc: S) -> Result<WorkerOut, Overrun> {
+fn run_worker<S, Q>(cfg: &TrafficConfig, worker_idx: u32, svc: S) -> Result<WorkerOut, Overrun>
+where
+    S: Service,
+    Q: EventQueue<Ev> + Default,
+{
     let mut w = Worker::new(cfg, worker_idx, svc);
-    let mut eng: Engine<Ev> = Engine::new();
+    let mut eng = Q::default();
     match cfg.scenario {
         Scenario::OpenLoop { rate_mps } => {
             // Open loop: all arrivals are drawn up front — the offered
@@ -399,24 +422,23 @@ fn run_worker<S: Service>(cfg: &TrafficConfig, worker_idx: u32, svc: S) -> Resul
     Ok(w.finish())
 }
 
-/// Run the full multi-worker scenario.  `make(worker_idx)` constructs
-/// each worker's service inside that worker's thread; workers run
-/// concurrently under `thread::scope` and merge in index order, so the
-/// report is a pure function of the configuration.
-pub fn run_traffic<S, F>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
+/// The scenario runner, generic over the event queue so the wheel and
+/// the reference heap execute the identical worker code.
+fn run_traffic_sched<S, F, Q>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
 where
     S: Service,
     F: Fn(u32) -> S + Sync,
+    Q: EventQueue<Ev> + Default,
 {
     assert!(cfg.workers >= 1, "need at least one worker");
     if cfg.workers == 1 {
-        return Ok(TrafficReport::from_workers(vec![run_worker(cfg, 0, make(0))?], 1));
+        return Ok(TrafficReport::from_workers(vec![run_worker::<S, Q>(cfg, 0, make(0))?], 1));
     }
     let results: Vec<Result<WorkerOut, Overrun>> = thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.workers)
             .map(|i| {
                 let make = &make;
-                s.spawn(move || run_worker(cfg, i, make(i)))
+                s.spawn(move || run_worker::<S, Q>(cfg, i, make(i)))
             })
             .collect();
         handles
@@ -429,4 +451,29 @@ where
         outs.push(r?);
     }
     Ok(TrafficReport::from_workers(outs, cfg.workers))
+}
+
+/// Run the full multi-worker scenario on the default engine (the
+/// hierarchical timing wheel).  `make(worker_idx)` constructs each
+/// worker's service inside that worker's thread; workers run
+/// concurrently under `thread::scope` and merge in index order, so the
+/// report is a pure function of the configuration.
+pub fn run_traffic<S, F>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
+where
+    S: Service,
+    F: Fn(u32) -> S + Sync,
+{
+    run_traffic_sched::<S, F, Engine<Ev>>(cfg, make)
+}
+
+/// [`run_traffic`] on the seed binary-heap scheduler
+/// (`netsim::engine::reference`).  Exists to prove scheduler
+/// equivalence: for any configuration this must return a report
+/// bit-identical to [`run_traffic`]'s.
+pub fn run_traffic_reference<S, F>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
+where
+    S: Service,
+    F: Fn(u32) -> S + Sync,
+{
+    run_traffic_sched::<S, F, reference::Engine<Ev>>(cfg, make)
 }

@@ -11,12 +11,15 @@
 //! Replaying a fixed episode on a deterministic machine makes the cycle
 //! count a pure function of replays-since-reset ("depth").  The service
 //! exploits that with a *self-validating memo*: it simulates and records
-//! the per-depth cycle cost until three consecutive depths agree (the
-//! caches have reached their fixed point), then serves every further
-//! message with table arithmetic — no simulation at all.  The memo is
-//! validated against live simulation while learning, and the memoized
-//! and unmemoized services produce identical reports (asserted in
-//! `protolat-core`'s traffic-stage test).
+//! the per-depth cycle cost until the tail settles into a repeating
+//! cycle (the caches have reached a fixed point or a short limit cycle
+//! — some layouts leave one line alternating between two sets, so the
+//! warm cost oscillates with period 2 forever rather than going flat),
+//! then serves every further message with table arithmetic — no
+//! simulation at all.  The memo is validated against live simulation
+//! while learning, and the memoized and unmemoized services produce
+//! identical reports (asserted in `protolat-core`'s traffic-stage
+//! test).
 
 use alpha_machine::Machine;
 use kcode::events::EventStream;
@@ -24,9 +27,10 @@ use kcode::{Image, Replayer};
 use netsim::{cycles_to_ns, Ns};
 use xkernel::map::LookupKind;
 
-/// How many consecutive equal per-depth cycle counts declare the warm
-/// steady state.
-const STABLE_RUN: usize = 3;
+/// Longest per-depth cost cycle the memo will recognise as steady
+/// state.  Period 1 is the classic flat fixed point; period 2 is the
+/// alternating-line pattern some pinned layouts produce.
+const MAX_PERIOD: usize = 4;
 
 /// Counters a service exposes to the traffic report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -94,9 +98,9 @@ pub struct ReplayService<'a> {
     /// `memo[d]` = cycle cost of the replay at depth `d` (learned by
     /// simulation).
     memo: Vec<u64>,
-    /// Once set, depths at or past this index all cost `memo[idx]` and
-    /// simulation stops.
-    stable_from: Option<usize>,
+    /// Once set as `(base, period)`, a depth `d >= base` costs
+    /// `memo[base + (d - base) % period]` and simulation stops.
+    stable: Option<(usize, usize)>,
     stats: ServiceStats,
 }
 
@@ -110,7 +114,7 @@ impl<'a> ReplayService<'a> {
             memoize: true,
             depth: 0,
             memo: Vec::new(),
-            stable_from: None,
+            stable: None,
             stats: ServiceStats::default(),
         }
     }
@@ -142,9 +146,13 @@ impl Service for ReplayService<'_> {
             self.depth += 1;
         }
 
-        if let Some(stable) = self.stable_from {
+        if let Some((base, period)) = self.stable {
             self.stats.fast_path_serves += 1;
-            let idx = self.depth.min(stable);
+            let idx = if self.depth < base {
+                self.depth
+            } else {
+                base + (self.depth - base) % period
+            };
             return cycles_to_ns(self.memo[idx], self.clock_mhz);
         }
 
@@ -170,9 +178,15 @@ impl Service for ReplayService<'_> {
         }
 
         if self.memoize {
+            // Steady state: the last 2p entries each match the entry p
+            // before them, i.e. three full periods of a p-cycle (for
+            // p = 1 this is the classic three-equal-costs rule).
             let n = self.memo.len();
-            if n >= STABLE_RUN && self.memo[n - STABLE_RUN..].windows(2).all(|w| w[0] == w[1]) {
-                self.stable_from = Some(n - 1);
+            for p in 1..=MAX_PERIOD {
+                if n >= 3 * p && (n - 2 * p..n).all(|i| self.memo[i] == self.memo[i - p]) {
+                    self.stable = Some((n - p, p));
+                    break;
+                }
             }
         }
 

@@ -3,7 +3,7 @@
 //! and the misbehaving-scenario guard.
 
 use netsim::Overrun;
-use traffic::{run_traffic, FixedService, TrafficConfig, TrafficReport};
+use traffic::{run_traffic, run_traffic_reference, FixedService, TrafficConfig, TrafficReport};
 
 fn svc(_worker: u32) -> FixedService {
     FixedService { cache_hit_ns: 9_000, chain_hit_ns: 11_000, miss_ns: 40_000 }
@@ -108,6 +108,31 @@ fn session_churn_evicts_and_recolds() {
     assert!(r.table.evictions > 0, "512 sessions cannot fit 32 slots");
     assert!(r.table.misses > 512, "evicted sessions must re-miss");
     assert_eq!(r.table.insertions, r.table.misses, "every miss faults state in");
+}
+
+#[test]
+fn wheel_and_reference_heap_produce_identical_reports() {
+    // The timing wheel is the default engine; the seed binary heap is
+    // kept as `netsim::engine::reference`.  Across both scenario kinds
+    // with the full fault mix they must agree bit for bit.
+    let open = TrafficConfig::open_loop(20_000, 2_000, 64)
+        .with_workers(2)
+        .with_seed(0xAB)
+        .with_faults(3_000, 1_500, 3_000, 1_500);
+    assert_eq!(
+        run_traffic(&open, svc).unwrap(),
+        run_traffic_reference(&open, svc).unwrap(),
+        "open-loop reports diverged between wheel and reference heap"
+    );
+    let closed = TrafficConfig::closed_loop(8, 5_000, 1_000, 32)
+        .with_workers(2)
+        .with_seed(7)
+        .with_faults(3_000, 1_500, 3_000, 1_500);
+    assert_eq!(
+        run_traffic(&closed, svc).unwrap(),
+        run_traffic_reference(&closed, svc).unwrap(),
+        "closed-loop reports diverged between wheel and reference heap"
+    );
 }
 
 #[test]

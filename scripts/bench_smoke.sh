@@ -7,11 +7,15 @@
 # (which asserts the data-oriented replay->simulate hot loop is >= 2x
 # the in-tree reference model), `layout_bench` (which asserts the
 # data-oriented micro-positioner is >= 2x the seed greedy on the RPC
-# stack) and `traffic_bench` (which asserts ALL beats BAD at p99 under
+# stack), `traffic_bench` (which asserts ALL beats BAD at p99 under
 # sustained load on both stacks and that partitioned multi-worker
-# serving scales >= 2x in simulated throughput), then verifies the JSON
-# artifacts contain every key downstream tooling reads.  Pass --reuse to
-# validate existing JSON files without re-running the benchmarks.
+# serving scales >= 2x in simulated throughput) and `engine_bench`
+# (which asserts the timing-wheel scheduler beats the reference binary
+# heap >= 2x on schedule+drain at 128k pending events and >= 1.1x on the
+# end-to-end 12-cell traffic sweep, with bit-identical reports), then
+# verifies the JSON artifacts contain every key downstream tooling
+# reads.  Pass --reuse to validate existing JSON files without
+# re-running the benchmarks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +30,9 @@ if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_layout.json ]; then
 fi
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_traffic.json ]; then
     cargo run -q --release -p protolat-bench --bin traffic_bench
+fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_engine.json ]; then
+    cargo run -q --release -p protolat-bench --bin engine_bench
 fi
 
 missing=0
@@ -75,6 +82,15 @@ done
 for key in workers single_worker_mps multi_worker_mps worker_speedup; do
     if ! grep -q "\"$key\"" BENCH_traffic.json; then
         echo "bench_smoke: BENCH_traffic.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+for key in bench pending_events churn_ops fill_drain_wheel_ms \
+           fill_drain_heap_ms fill_drain_speedup churn_wheel_ms \
+           churn_heap_ms churn_speedup traffic_cells traffic_wheel_ms \
+           traffic_heap_ms traffic_speedup traffic_bit_identical; do
+    if ! grep -q "\"$key\"" BENCH_engine.json; then
+        echo "bench_smoke: BENCH_engine.json missing key \"$key\"" >&2
         missing=1
     fi
 done
@@ -144,4 +160,29 @@ for stack in tcpip rpc; do
     }
 done
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x)"
+engine_speedup=$(sed -n 's/.*"fill_drain_speedup": \([0-9.]*\).*/\1/p' BENCH_engine.json)
+if [ -z "$engine_speedup" ]; then
+    echo "bench_smoke: could not parse fill_drain_speedup" >&2
+    exit 1
+fi
+awk -v s="$engine_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "bench_smoke: scheduler fill+drain speedup ${engine_speedup}x below the 2x floor" >&2
+    exit 1
+}
+
+engine_e2e=$(sed -n 's/.*"traffic_speedup": \([0-9.]*\).*/\1/p' BENCH_engine.json)
+if [ -z "$engine_e2e" ]; then
+    echo "bench_smoke: could not parse traffic_speedup" >&2
+    exit 1
+fi
+awk -v s="$engine_e2e" 'BEGIN { exit !(s >= 1.1) }' || {
+    echo "bench_smoke: scheduler e2e traffic speedup ${engine_e2e}x below the 1.1x floor" >&2
+    exit 1
+}
+
+grep -q '"traffic_bit_identical": true' BENCH_engine.json || {
+    echo "bench_smoke: wheel and reference-heap traffic sweeps not bit-identical" >&2
+    exit 1
+}
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e)"
