@@ -13,8 +13,11 @@
 //!   one, 256k times, with a cancellable timer armed and cancelled
 //!   every fourth op (the RTO pattern the traffic loop runs).
 //! * **traffic e2e** — the full 12-cell (stack × layout) serving sweep
-//!   on each engine.  Reports must be bit-identical; the wheel run must
-//!   also be faster in wall-clock.
+//!   on each engine, both sides driving the *seed per-lane FIFO*
+//!   (`runloop::reference`) so the scheduler is the only variable —
+//!   the dispatch plane's own wall-clock story is `capacity_bench`'s
+//!   subject.  Reports must be bit-identical; the wheel run must also
+//!   be faster in wall-clock.
 //!
 //! Writes `BENCH_engine.json` for `scripts/bench_smoke.sh`.
 
@@ -26,7 +29,8 @@ use netsim::{Engine, EventQueue};
 use protolat_core::config::{StackKind, Version};
 use protolat_core::sweep::{SweepEngine, SweepJob};
 use protocols::StackOptions;
-use traffic::{run_traffic, run_traffic_reference, ReplayService, TrafficConfig, TrafficReport};
+use traffic::runloop::reference as seed_fifo;
+use traffic::{ReplayService, TrafficConfig, TrafficReport};
 
 /// Pending-event population for the microbenchmarks (the acceptance
 /// floor is "≥ 2x at ≥ 64k pending").
@@ -175,15 +179,15 @@ fn main() {
         })
         .collect();
 
-    let run_cells = |use_reference: bool| -> (f64, Vec<TrafficReport>) {
+    let run_cells = |use_heap: bool| -> (f64, Vec<TrafficReport>) {
         let start = Instant::now();
         let reports = prepared
             .iter()
             .map(|(_, _, img, episode)| {
-                if use_reference {
-                    run_traffic_reference(&cfg, |_| ReplayService::new(img, episode))
+                if use_heap {
+                    seed_fifo::run_traffic_heap(&cfg, |_| ReplayService::new(img, episode))
                 } else {
-                    run_traffic(&cfg, |_| ReplayService::new(img, episode))
+                    seed_fifo::run_traffic(&cfg, |_| ReplayService::new(img, episode))
                 }
                 .expect("serving scenario must drain")
             })

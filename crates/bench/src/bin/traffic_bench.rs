@@ -102,6 +102,35 @@ fn main() {
         run_traffic(&cfg, |_| ReplayService::new(&img, &episode))
             .expect("closed loop must drain")
     };
+    // --- offered vs achieved: the generator must not be the bottleneck --
+    // Arrival timestamps are pre-drawn simulated times, so ring
+    // backpressure cannot defer an arrival — but if the hand-off plane
+    // (or the histogram's completion accounting) lost or stalled
+    // messages, achieved simulated throughput would fall below the
+    // offered rate even at this sub-knee operating point.  At the seed
+    // rate every cell must serve what was offered.
+    let offered_mps = (RATE_MPS * WORKERS as u64) as f64;
+    let min_achieved_mps = cells
+        .iter()
+        .map(|(_, _, r)| r.msgs_per_sec())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "offered vs achieved: {:.0} msg/s offered/cell, min achieved {:.1} msg/s ({:.1}%)",
+        offered_mps,
+        min_achieved_mps,
+        100.0 * min_achieved_mps / offered_mps
+    );
+    for (stack, version, r) in &cells {
+        let achieved = r.msgs_per_sec();
+        assert!(
+            achieved >= 0.97 * offered_mps,
+            "{}/{}: achieved {achieved:.1} msg/s < 97% of the {offered_mps:.0} msg/s offered — \
+             arrival generation, not service, limited the run",
+            stack_key(*stack),
+            version.name()
+        );
+    }
+
     let single = probe(1);
     let multi = probe(WORKERS);
     let single_mps = single.msgs_per_sec();
@@ -116,7 +145,8 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"traffic\",\n");
     json.push_str(&format!(
         "  \"workers\": {WORKERS},\n  \"messages_per_worker\": {MESSAGES_PER_WORKER},\n  \
-         \"sessions_per_worker\": {SESSIONS_PER_WORKER},\n  \"rate_mps\": {RATE_MPS},\n"
+         \"sessions_per_worker\": {SESSIONS_PER_WORKER},\n  \"rate_mps\": {RATE_MPS},\n  \
+         \"offered_mps\": {offered_mps:.1},\n  \"min_achieved_mps\": {min_achieved_mps:.1},\n"
     ));
     for (stack, version, r) in &cells {
         let k = format!("{}_{}", stack_key(*stack), version.name().to_lowercase());

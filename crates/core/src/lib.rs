@@ -30,5 +30,7 @@ pub mod world;
 
 pub use config::{StackKind, Version};
 pub use harness::{RoundtripEpisodes, RpcRun, TcpIpRun};
-pub use sweep::{SweepCounters, SweepEngine, SweepJob, SweepRow};
+pub use sweep::{
+    CapacityCurve, CapacityPoint, CapacityRamp, SweepCounters, SweepEngine, SweepJob, SweepRow,
+};
 pub use world::{RpcWorld, TcpIpWorld};

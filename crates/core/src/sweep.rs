@@ -32,6 +32,7 @@ use kcode::events::EventStream;
 use kcode::layout::LayoutStrategy;
 use kcode::{Image, LayoutPlan, NullSink, ReplayStats, Replayer};
 use protocols::StackOptions;
+use traffic::workload::Scenario;
 use traffic::{run_traffic, run_traffic_reference, ReplayService, TrafficConfig, TrafficReport};
 
 use crate::config::{StackKind, Version};
@@ -110,6 +111,92 @@ pub struct SweepCounters {
     pub cold_stats: u64,
     pub replay_stats: u64,
     pub traffics: u64,
+    pub capacities: u64,
+}
+
+/// A load-ramp specification for the capacity stage: sweep offered
+/// open-loop rate up a geometric ladder until the cell violates its
+/// service objective.  All-integer so it is `Copy + Eq + Hash` and can
+/// key the memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CapacityRamp {
+    /// Scenario template; the open-loop rate is overridden per rung.
+    pub base: TrafficConfig,
+    /// First offered rate, messages/second *per worker*.
+    pub start_rate_mps: u64,
+    /// Geometric growth per rung: next = rate × num / den.
+    pub growth_num: u32,
+    pub growth_den: u32,
+    /// Ladder length cap.
+    pub max_rungs: u32,
+    /// The latency SLO: p99 at or below this many nanoseconds.
+    pub slo_p99_ns: u64,
+    /// Throughput floor: achieved must stay at or above this many
+    /// parts-per-thousand of the aggregate offered rate.
+    pub min_achieved_ppt: u32,
+}
+
+impl CapacityRamp {
+    /// The default ramp used by `capacity_bench`: start at the seed
+    /// per-worker rate, ×2 per rung, a 1 ms p99 SLO and a 97%
+    /// achieved-rate floor.
+    pub fn new(base: TrafficConfig, start_rate_mps: u64) -> Self {
+        CapacityRamp {
+            base,
+            start_rate_mps,
+            growth_num: 2,
+            growth_den: 1,
+            max_rungs: 12,
+            slo_p99_ns: 1_000_000,
+            min_achieved_ppt: 970,
+        }
+    }
+
+    /// Offered per-worker rates of the ladder, in rung order.
+    pub fn rates(&self) -> Vec<u64> {
+        assert!(self.growth_den > 0 && self.growth_num > self.growth_den, "ramp must grow");
+        let mut rates = Vec::with_capacity(self.max_rungs as usize);
+        let mut rate = self.start_rate_mps.max(1);
+        for _ in 0..self.max_rungs {
+            rates.push(rate);
+            rate = rate.saturating_mul(self.growth_num as u64) / self.growth_den as u64;
+        }
+        rates
+    }
+
+    /// The traffic configuration of one rung.
+    pub fn rung_config(&self, rate_mps: u64) -> TrafficConfig {
+        let mut cfg = self.base;
+        cfg.scenario = Scenario::OpenLoop { rate_mps };
+        cfg
+    }
+}
+
+/// One measured rung of a capacity ramp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityPoint {
+    /// Aggregate offered rate (per-worker rate × workers), mps.
+    pub offered_mps: u64,
+    /// Aggregate achieved serving rate, simulated mps.
+    pub achieved_mps: f64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    /// Whether this rung violated the SLO (knee rung).
+    pub violated: bool,
+}
+
+/// The throughput-vs-p99 curve of one (cell, ramp): rungs in offered-
+/// rate order, stopping at the first violating rung (inclusive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityCurve {
+    pub points: Vec<CapacityPoint>,
+    /// Aggregate offered rate of the first rung that violated the SLO —
+    /// the knee; `None` if the ladder ended without a violation.
+    pub knee_offered_mps: Option<u64>,
+    /// Highest achieved rate among non-violating rungs (0 if the very
+    /// first rung violated).
+    pub max_sustainable_mps: f64,
 }
 
 type RunKey = (StackOptions, usize);
@@ -123,6 +210,8 @@ type LayoutKey = (StackKind, StackOptions, usize, LayoutStrategy, bool, Version)
 /// Traffic-stage key: the full serving scenario rides along, so two
 /// drivers asking for the same (cell, scenario) share one run.
 type TrafficKey = (StackKind, StackOptions, usize, Version, TrafficConfig);
+/// Capacity-stage key: the whole ramp (base scenario, ladder, SLO).
+type CapacityKey = (StackKind, StackOptions, usize, Version, CapacityRamp);
 
 /// One unit of prefetchable sweep work.
 #[derive(Debug, Clone, Copy)]
@@ -137,6 +226,8 @@ pub enum SweepJob {
     ReplayStats(StackKind, StackOptions, usize, Version),
     /// A full traffic-serving run against the cell's laid-out image.
     Traffic(StackKind, StackOptions, usize, Version, TrafficConfig),
+    /// A load-ramp capacity probe (knee + throughput-vs-p99 curve).
+    Capacity(StackKind, StackOptions, usize, Version, CapacityRamp),
 }
 
 /// One row of the canonical sweep result.
@@ -157,6 +248,7 @@ pub struct SweepEngine {
     cold_stats: Memo<VersionKey, Arc<RunReport>>,
     replay_stats: Memo<VersionKey, Arc<ReplayStats>>,
     traffics: Memo<TrafficKey, Arc<TrafficReport>>,
+    capacities: Memo<CapacityKey, Arc<CapacityCurve>>,
 }
 
 impl Default for SweepEngine {
@@ -178,6 +270,7 @@ impl SweepEngine {
             cold_stats: Memo::new(),
             replay_stats: Memo::new(),
             traffics: Memo::new(),
+            capacities: Memo::new(),
         }
     }
 
@@ -390,6 +483,74 @@ impl SweepEngine {
             .expect("traffic scenario must drain within its event budget")
     }
 
+    /// The memoized capacity curve for one (cell, ramp): climb the
+    /// offered-rate ladder, measuring each rung through the (equally
+    /// memoized) traffic stage, and stop at the first rung whose p99
+    /// breaks the SLO or whose achieved rate falls below the floor —
+    /// that rung is the *knee*.  Rungs below the knee define the cell's
+    /// max sustainable rate.
+    pub fn capacity(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+        ramp: CapacityRamp,
+    ) -> Arc<CapacityCurve> {
+        self.capacities.get_or_compute((stack, opts, warmup, version, ramp), || {
+            let workers = ramp.base.workers.max(1) as u64;
+            let mut points = Vec::new();
+            let mut knee = None;
+            let mut max_sustainable = 0.0f64;
+            for rate in ramp.rates() {
+                let report = self.traffic(stack, opts, warmup, version, ramp.rung_config(rate));
+                let offered = rate * workers;
+                let achieved = report.msgs_per_sec();
+                let p99 = report.hist.p99();
+                let violated = p99 > ramp.slo_p99_ns
+                    || achieved * 1000.0 < offered as f64 * ramp.min_achieved_ppt as f64;
+                points.push(CapacityPoint {
+                    offered_mps: offered,
+                    achieved_mps: achieved,
+                    p50_ns: report.hist.p50(),
+                    p99_ns: p99,
+                    p999_ns: report.hist.p999(),
+                    violated,
+                });
+                if violated {
+                    knee = Some(offered);
+                    break;
+                }
+                max_sustainable = max_sustainable.max(achieved);
+            }
+            Arc::new(CapacityCurve { points, knee_offered_mps: knee, max_sustainable_mps: max_sustainable })
+        })
+    }
+
+    /// The 6-version × 2-stack capacity sweep under one ramp,
+    /// prefetched in parallel, in deterministic (stack, version) order.
+    pub fn capacity_sweep(
+        &self,
+        opts: StackOptions,
+        warmup: usize,
+        ramp: CapacityRamp,
+    ) -> Vec<(StackKind, Version, Arc<CapacityCurve>)> {
+        let mut jobs = Vec::new();
+        for stack in [StackKind::TcpIp, StackKind::Rpc] {
+            for v in Version::all() {
+                jobs.push(SweepJob::Capacity(stack, opts, warmup, v, ramp));
+            }
+        }
+        self.prefetch(&jobs);
+        let mut rows = Vec::new();
+        for stack in [StackKind::TcpIp, StackKind::Rpc] {
+            for version in Version::all() {
+                rows.push((stack, version, self.capacity(stack, opts, warmup, version, ramp)));
+            }
+        }
+        rows
+    }
+
     /// The canonical 6-version × 2-stack traffic sweep under one
     /// serving scenario, prefetched in parallel and returned in
     /// deterministic (stack, version) order.
@@ -425,6 +586,7 @@ impl SweepEngine {
             cold_stats: self.cold_stats.computed(),
             replay_stats: self.replay_stats.computed(),
             traffics: self.traffics.computed(),
+            capacities: self.capacities.computed(),
         }
     }
 
@@ -477,6 +639,9 @@ impl SweepEngine {
             }
             SweepJob::Traffic(stack, opts, warmup, v, cfg) => {
                 self.traffic(stack, opts, warmup, v, cfg);
+            }
+            SweepJob::Capacity(stack, opts, warmup, v, ramp) => {
+                self.capacity(stack, opts, warmup, v, ramp);
             }
         }
     }

@@ -22,17 +22,22 @@
 //!   transmit-complete interrupt).
 //! * [`fault`] — smoltcp-style fault injection: probabilistic drop,
 //!   corruption, reordering and duplication with a deterministic RNG.
+//! * [`ring`] — lock-free bounded SPSC/MPSC rings (cache-line-padded
+//!   atomics, batch push/pop) for the traffic dispatch plane's
+//!   generator→worker hand-off and work-stealing injectors.
 
 pub mod engine;
 pub mod fault;
 pub mod frame;
 pub mod lance;
 pub mod pcap;
+pub mod ring;
 pub mod rng;
 pub mod sched;
 pub mod wire;
 
 pub use engine::{Engine, Overrun};
+pub use ring::{spsc, CachePadded, MpscRing, SpscConsumer, SpscProbe, SpscProducer};
 pub use sched::{CancelToken, EventQueue, Wheel};
 pub use fault::{FaultInjector, FaultStats, Fate};
 pub use frame::{EtherType, Frame, MacAddr};

@@ -90,29 +90,35 @@ impl LatencyHistogram {
         self.record_n(v, 1);
     }
 
-    /// Record `n` equal samples.
+    /// Record `n` equal samples.  Saturating: a counter at `u64::MAX`
+    /// (or the sum at `u128::MAX`) pins there instead of wrapping, so a
+    /// pathological caller degrades quantile accuracy at the extreme
+    /// rather than corrupting the whole distribution — and any `u64`
+    /// value lands in the top log-linear bucket, never out of range.
     #[inline]
     pub fn record_n(&mut self, v: u64, n: u64) {
         if n == 0 {
             return;
         }
-        self.buckets[bucket_index(v)] += n;
-        self.count += n;
+        let bucket = &mut self.buckets[bucket_index(v)];
+        *bucket = bucket.saturating_add(n);
+        self.count = self.count.saturating_add(n);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
-        self.sum += v as u128 * n as u128;
+        self.sum = self.sum.saturating_add(v as u128 * n as u128);
     }
 
     /// Element-wise merge: after `a.merge(&b)`, every quantile of `a`
     /// equals the quantile of the concatenation of both sample sets.
+    /// Saturating under the same regime as [`record_n`](Self::record_n).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += *b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     pub fn count(&self) -> u64 {

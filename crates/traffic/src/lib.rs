@@ -21,10 +21,15 @@
 //!   replays the server-turn kcode episode through the machine model
 //!   per message (cold on session miss, warm on hit) with a
 //!   self-validating steady-state memo.
-//! * [`runloop`] — the multi-worker serving loop: sessions partitioned
-//!   across `thread::scope` workers, each owning engine + injector +
-//!   table + service; deterministic for a fixed seed and worker count.
+//! * [`runloop`] — the lane (logical worker) serving pipeline and the
+//!   seed per-lane FIFO execution (`runloop::reference`); deterministic
+//!   for a fixed seed and lane count.
+//! * [`dispatch`] — the default execution: a lock-free dispatch plane
+//!   (generator→lane SPSC rings, MPSC injectors, lane work stealing)
+//!   that runs the identical lane code bit-identically to the
+//!   reference for any executor count.
 
+pub mod dispatch;
 pub mod hist;
 pub mod runloop;
 pub mod service;
@@ -37,5 +42,5 @@ pub use runloop::{
     DEMUX_CHAIN_HIT_NS, DUPLICATE_DELAY_NS, REORDER_DELAY_NS, RTO_NS, SESSION_SETUP_NS,
 };
 pub use service::{FixedService, ReplayService, Service, ServiceStats};
-pub use session::{DemuxKey, SessionTable, TableStats};
+pub use session::{buckets_for_capacity, DemuxKey, SessionTable, TableStats};
 pub use workload::{exp_gap_ns, Scenario, Zipf};

@@ -1,16 +1,33 @@
 //! The multi-worker serving loop.
 //!
-//! [`run_traffic`] partitions sessions across workers; each worker owns
-//! its full serving pipeline — a [`netsim::Engine`] event queue, a
-//! seeded [`FaultInjector`], a sharded [`SessionTable`] and a
-//! [`Service`] (normally the machine-model [`ReplayService`]) — and
-//! replays its share of the workload independently.  Workers share
-//! *nothing* mutable, and every worker's randomness is derived from
-//! `(seed, worker index)`, so a run is bit-reproducible for a fixed
-//! seed and worker count regardless of thread scheduling; per-worker
-//! histograms and counters merge in worker-index order at the end.
+//! [`run_traffic`] partitions sessions across *lanes* (logical
+//! workers); each lane owns its full serving pipeline — a
+//! [`netsim::Engine`] event queue, a seeded [`FaultInjector`], a
+//! sharded [`SessionTable`] and a [`Service`] (normally the
+//! machine-model [`ReplayService`]) — and replays its share of the
+//! workload independently.  Lanes share *nothing* mutable, and every
+//! lane's randomness is derived from `(seed, lane index)`, so a run is
+//! bit-reproducible for a fixed seed and lane count regardless of
+//! thread scheduling; per-lane histograms and counters merge in
+//! lane-index order at the end.
 //!
-//! Message lifecycle inside a worker:
+//! Two executions of the identical lane code exist:
+//!
+//! * the **dispatch plane** ([`crate::dispatch`], the default behind
+//!   [`run_traffic`]) — a workload-generator thread feeds each lane
+//!   through a bounded lock-free SPSC ring, executor threads claim
+//!   runnable lanes from MPSC injector rings and *steal* from peers'
+//!   injectors when their own runs dry;
+//! * the **seed FIFO** ([`reference`]) — one thread per lane
+//!   pre-schedules the whole arrival schedule into the lane's engine
+//!   and drains it single-threadedly.
+//!
+//! The two must produce bit-identical [`TrafficReport`]s; the suite in
+//! `traffic/tests/dispatch_equivalence.rs` pins that down across
+//! executor counts (the same twin pattern as the engine/layout/machine
+//! reference models).
+//!
+//! Message lifecycle inside a lane:
 //!
 //! ```text
 //! arrival ──▶ injector ──▶ demux (session table) ──▶ service ──▶ done
@@ -19,33 +36,32 @@
 //!               └ duplicate:    extra serve at +30 µs (not recorded)
 //! ```
 //!
-//! The server is a single queue per worker: a message begins service at
+//! The server is a single queue per lane: a message begins service at
 //! `max(arrival, server idle)`, which is what turns offered load into
 //! queueing delay and queueing delay into the latency tail the
-//! histogram captures.  Runs are guarded by the engine's `run_until`
-//! event budget, so a pathological configuration (e.g. 100% drop, which
-//! retransmits forever) terminates with an [`Overrun`] diagnostic.
+//! histogram captures.  Runs are guarded by an event budget, so a
+//! pathological configuration (e.g. 100% drop, which retransmits
+//! forever) terminates with an [`Overrun`] diagnostic.
 //!
 //! Retransmission is timer-driven: every send arms a cancellable RTO
 //! timer ([`EventQueue::schedule_cancellable`]); a successful delivery
 //! (or reorder/duplicate redirection) supersedes the timer with an O(1)
 //! [`EventQueue::cancel`], while a drop or FCS-discarded corruption
 //! leaves it armed — the timer firing *is* the retransmission.  The
-//! loop is generic over [`EventQueue`], so [`run_traffic`] (the default
-//! timing-wheel engine) and [`run_traffic_reference`] (the seed binary
-//! heap) run the identical worker code; the two must produce
-//! bit-identical [`TrafficReport`]s.
+//! lane code is generic over [`EventQueue`], so the timing wheel and
+//! the seed binary heap run identically ([`run_traffic_reference`]).
 
+use std::sync::Arc;
 use std::thread;
 
-use netsim::engine::reference;
+use netsim::engine::reference as heap;
 use netsim::rng::SplitMix64;
 use netsim::{Engine, EventQueue, Fate, FaultInjector, FaultStats, Ns, Overrun};
 use xkernel::map::LookupKind;
 
 use crate::hist::LatencyHistogram;
 use crate::service::{Service, ServiceStats};
-use crate::session::{DemuxKey, SessionTable, TableStats};
+use crate::session::{buckets_for_capacity, DemuxKey, SessionTable, TableStats};
 use crate::workload::{exp_gap_ns, Scenario, Zipf};
 
 /// Demux cost of a one-entry-cache hit (the paper's inlined fast-path
@@ -63,9 +79,6 @@ pub const REORDER_DELAY_NS: Ns = 150_000;
 /// Arrival lag of a duplicated copy.
 pub const DUPLICATE_DELAY_NS: Ns = 30_000;
 
-/// Hash buckets per session-table shard.
-const BUCKETS_PER_SHARD: usize = 16;
-
 /// A complete traffic run configuration.  All-integer fields
 /// (probabilities in parts-per-million, Zipf skew in milli-units) so a
 /// configuration is `Copy + Eq + Hash` and can key memo caches.
@@ -78,11 +91,21 @@ pub struct TrafficConfig {
     pub sessions: u32,
     /// Session-table shards per worker (power of two).
     pub shards: u32,
-    /// Resident sessions per shard before eviction.
+    /// Resident sessions per shard before eviction (ignored when
+    /// `shard_budget_bytes` is set).
     pub shard_capacity: u32,
+    /// Per-shard session-table *memory* budget in bytes; 0 means use
+    /// `shard_capacity` directly.  When set, residency capacity is
+    /// `SessionTable::capacity_for_budget` and the bucket count scales
+    /// with it.
+    pub shard_budget_bytes: u32,
     /// Zipf skew θ × 1000 for session selection.
     pub milli_theta: u32,
     pub workers: u32,
+    /// Executor threads driving the dispatch plane; 0 = one per lane
+    /// capped by available parallelism.  Does not affect results — only
+    /// where lanes execute.
+    pub executors: u32,
     pub seed: u64,
     /// Fault probabilities, parts per million.
     pub drop_ppm: u32,
@@ -101,8 +124,10 @@ impl TrafficConfig {
             sessions,
             shards: 8,
             shard_capacity: 24,
+            shard_budget_bytes: 0,
             milli_theta: 900,
             workers: 1,
+            executors: 0,
             seed: 1,
             drop_ppm: 0,
             corrupt_ppm: 0,
@@ -127,6 +152,13 @@ impl TrafficConfig {
         self
     }
 
+    /// Pin the dispatch plane's executor-thread count (0 = auto).  Any
+    /// value must yield bit-identical reports; only wall-clock changes.
+    pub fn with_executors(mut self, executors: u32) -> Self {
+        self.executors = executors;
+        self
+    }
+
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -136,6 +168,15 @@ impl TrafficConfig {
         assert!(shards.is_power_of_two());
         self.shards = shards;
         self.shard_capacity = shard_capacity;
+        self
+    }
+
+    /// Bound each session-table shard by memory instead of entry count.
+    pub fn with_shard_budget(mut self, shards: u32, bytes_per_shard: u32) -> Self {
+        assert!(shards.is_power_of_two());
+        assert!(bytes_per_shard > 0);
+        self.shards = shards;
+        self.shard_budget_bytes = bytes_per_shard;
         self
     }
 
@@ -151,6 +192,22 @@ impl TrafficConfig {
         self.reorder_ppm = reorder;
         self.duplicate_ppm = duplicate;
         self
+    }
+
+    /// Sessions resident per shard under this configuration.
+    pub fn effective_shard_capacity(&self) -> usize {
+        if self.shard_budget_bytes > 0 {
+            SessionTable::<u32>::capacity_for_budget(self.shard_budget_bytes as usize)
+        } else {
+            self.shard_capacity as usize
+        }
+    }
+
+    /// The per-lane event budget: a healthy run needs a small constant
+    /// number of events per message; 64× is far beyond any
+    /// non-pathological fault mix.
+    pub(crate) fn event_budget(&self) -> u64 {
+        (self.messages_per_worker as u64).saturating_mul(64).max(1 << 16)
     }
 }
 
@@ -183,7 +240,7 @@ impl TrafficReport {
         }
     }
 
-    fn from_workers(outs: Vec<WorkerOut>, workers: u32) -> Self {
+    pub(crate) fn from_workers(outs: Vec<WorkerOut>, workers: u32) -> Self {
         let mut r = TrafficReport {
             hist: LatencyHistogram::new(),
             completed: 0,
@@ -209,21 +266,21 @@ impl TrafficReport {
     }
 }
 
-/// One worker's mergeable output (plain data — crosses the scope join).
-struct WorkerOut {
-    hist: LatencyHistogram,
-    completed: u64,
-    end_ns: Ns,
-    retransmits: u64,
-    duplicates_served: u64,
-    faults: FaultStats,
-    table: TableStats,
-    service: ServiceStats,
+/// One lane's mergeable output (plain data — crosses thread joins).
+pub(crate) struct WorkerOut {
+    pub(crate) hist: LatencyHistogram,
+    pub(crate) completed: u64,
+    pub(crate) end_ns: Ns,
+    pub(crate) retransmits: u64,
+    pub(crate) duplicates_served: u64,
+    pub(crate) faults: FaultStats,
+    pub(crate) table: TableStats,
+    pub(crate) service: ServiceStats,
 }
 
-/// Worker-local events.
+/// Lane-local events.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(crate) enum Ev {
     /// A closed-loop client slot issues its next message.
     Request,
     /// A message (first send or retransmit) reaches the injector.
@@ -233,11 +290,23 @@ enum Ev {
     Deliver { session: u32, born: Ns, record: bool },
 }
 
-struct Worker<S> {
+/// The two seeded per-lane streams, both pure functions of
+/// `(seed, lane index)`: the workload RNG and the fault-injector seed.
+/// The dispatch plane's generator thread reconstructs the identical
+/// workload stream from here, which is what keeps it bit-identical to
+/// the seed FIFO.
+pub(crate) fn lane_streams(seed: u64, worker_idx: u32) -> (SplitMix64, u64) {
+    let mut seeder = SplitMix64::new(seed ^ ((worker_idx as u64 + 1) << 32));
+    let rng = SplitMix64::new(seeder.next_u64());
+    let inj_seed = seeder.next_u64();
+    (rng, inj_seed)
+}
+
+pub(crate) struct Worker<S> {
     svc: S,
     table: SessionTable<u32>,
-    zipf: Zipf,
-    rng: SplitMix64,
+    pub(crate) zipf: Arc<Zipf>,
+    pub(crate) rng: SplitMix64,
     inj: FaultInjector,
     hist: LatencyHistogram,
     /// When the (single-queue) server frees up.
@@ -255,12 +324,8 @@ struct Worker<S> {
 }
 
 impl<S: Service> Worker<S> {
-    fn new(cfg: &TrafficConfig, worker_idx: u32, svc: S) -> Self {
-        // Two independent streams per worker, both pure functions of
-        // (seed, worker index).
-        let mut seeder = SplitMix64::new(cfg.seed ^ ((worker_idx as u64 + 1) << 32));
-        let rng = SplitMix64::new(seeder.next_u64());
-        let inj_seed = seeder.next_u64();
+    pub(crate) fn new(cfg: &TrafficConfig, worker_idx: u32, svc: S, zipf: Arc<Zipf>) -> Self {
+        let (rng, inj_seed) = lane_streams(cfg.seed, worker_idx);
         let inj = FaultInjector::new(
             cfg.drop_ppm as f64 / 1e6,
             cfg.corrupt_ppm as f64 / 1e6,
@@ -272,10 +337,11 @@ impl<S: Service> Worker<S> {
             Scenario::ClosedLoop { think_ns, .. } => (true, think_ns),
             Scenario::OpenLoop { .. } => (false, 0),
         };
+        let capacity = cfg.effective_shard_capacity();
         Worker {
             svc,
-            table: SessionTable::new(cfg.shards as usize, cfg.shard_capacity as usize, BUCKETS_PER_SHARD),
-            zipf: Zipf::new(cfg.sessions.max(1) as usize, cfg.milli_theta),
+            table: SessionTable::new(cfg.shards as usize, capacity, buckets_for_capacity(capacity)),
+            zipf,
             rng,
             inj,
             hist: LatencyHistogram::new(),
@@ -293,13 +359,20 @@ impl<S: Service> Worker<S> {
         }
     }
 
+    /// Open-loop lanes receive their whole quota from the generator;
+    /// mark it issued so stray `Ev::Request`s are inert, exactly as the
+    /// seed FIFO does after pre-scheduling.
+    pub(crate) fn mark_open_loop_issued(&mut self) {
+        self.issued = self.quota;
+    }
+
     /// Globally unique session id for this worker's Zipf rank (workers
     /// own disjoint session populations).
     fn global_session(&self, rank: u32) -> u64 {
         rank as u64 * self.workers as u64 + self.worker_idx as u64
     }
 
-    fn handle<Q: EventQueue<Ev>>(&mut self, eng: &mut Q, t: Ns, ev: Ev) {
+    pub(crate) fn handle<Q: EventQueue<Ev>>(&mut self, eng: &mut Q, t: Ns, ev: Ev) {
         match ev {
             Ev::Request => {
                 if self.issued < self.quota {
@@ -375,7 +448,7 @@ impl<S: Service> Worker<S> {
         }
     }
 
-    fn finish(self) -> WorkerOut {
+    pub(crate) fn finish(self) -> WorkerOut {
         WorkerOut {
             table: self.table.stats(),
             service: self.svc.stats(),
@@ -389,91 +462,133 @@ impl<S: Service> Worker<S> {
     }
 }
 
-fn run_worker<S, Q>(cfg: &TrafficConfig, worker_idx: u32, svc: S) -> Result<WorkerOut, Overrun>
-where
-    S: Service,
-    Q: EventQueue<Ev> + Default,
-{
-    let mut w = Worker::new(cfg, worker_idx, svc);
-    let mut eng = Q::default();
-    match cfg.scenario {
-        Scenario::OpenLoop { rate_mps } => {
-            // Open loop: all arrivals are drawn up front — the offered
-            // schedule does not react to service progress, which is the
-            // discipline that exposes queueing tails.
-            let mut t: Ns = 0;
-            for _ in 0..cfg.messages_per_worker {
-                t += exp_gap_ns(&mut w.rng, rate_mps);
-                let session = w.zipf.sample(&mut w.rng) as u32;
-                eng.schedule(t, Ev::Arrive { session, born: t });
-            }
-            w.issued = cfg.messages_per_worker;
-        }
-        Scenario::ClosedLoop { clients, .. } => {
-            for _ in 0..clients.max(1) {
-                eng.schedule(0, Ev::Request);
-            }
-        }
-    }
-    // Budget: a healthy run needs a small constant number of events per
-    // message; 64× is far beyond any non-pathological fault mix.
-    let budget = (cfg.messages_per_worker as u64).saturating_mul(64).max(1 << 16);
-    eng.run_until(Ns::MAX, budget, |eng, t, ev| w.handle(eng, t, ev))?;
-    Ok(w.finish())
+/// The shared Zipf sampler every lane of `cfg` uses (identical for all
+/// lanes: same population size and skew).
+pub(crate) fn make_zipf(cfg: &TrafficConfig) -> Arc<Zipf> {
+    Arc::new(Zipf::new(cfg.sessions.max(1) as usize, cfg.milli_theta))
 }
 
-/// The scenario runner, generic over the event queue so the wheel and
-/// the reference heap execute the identical worker code.
-fn run_traffic_sched<S, F, Q>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
-where
-    S: Service,
-    F: Fn(u32) -> S + Sync,
-    Q: EventQueue<Ev> + Default,
-{
-    assert!(cfg.workers >= 1, "need at least one worker");
-    if cfg.workers == 1 {
-        return Ok(TrafficReport::from_workers(vec![run_worker::<S, Q>(cfg, 0, make(0))?], 1));
+/// The seed execution: one thread per lane, the whole arrival schedule
+/// pre-scheduled into the lane's engine, drained single-threadedly.
+/// This is the behavioural reference the dispatch plane must match
+/// bit-for-bit.
+pub mod reference {
+    use super::*;
+
+    pub(crate) fn run_worker<S, Q>(
+        cfg: &TrafficConfig,
+        worker_idx: u32,
+        svc: S,
+        zipf: Arc<Zipf>,
+    ) -> Result<WorkerOut, Overrun>
+    where
+        S: Service,
+        Q: EventQueue<Ev> + Default,
+    {
+        let mut w = Worker::new(cfg, worker_idx, svc, zipf);
+        let mut eng = Q::default();
+        match cfg.scenario {
+            Scenario::OpenLoop { rate_mps } => {
+                // Open loop: all arrivals are drawn up front — the
+                // offered schedule does not react to service progress,
+                // which is the discipline that exposes queueing tails.
+                let mut t: Ns = 0;
+                for _ in 0..cfg.messages_per_worker {
+                    t += exp_gap_ns(&mut w.rng, rate_mps);
+                    let session = w.zipf.sample(&mut w.rng) as u32;
+                    eng.schedule(t, Ev::Arrive { session, born: t });
+                }
+                w.mark_open_loop_issued();
+            }
+            Scenario::ClosedLoop { clients, .. } => {
+                for _ in 0..clients.max(1) {
+                    eng.schedule(0, Ev::Request);
+                }
+            }
+        }
+        let budget = cfg.event_budget();
+        eng.run_until(Ns::MAX, budget, |eng, t, ev| w.handle(eng, t, ev))?;
+        Ok(w.finish())
     }
-    let results: Vec<Result<WorkerOut, Overrun>> = thread::scope(|s| {
-        let handles: Vec<_> = (0..cfg.workers)
-            .map(|i| {
-                let make = &make;
-                s.spawn(move || run_worker::<S, Q>(cfg, i, make(i)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("traffic worker panicked"))
-            .collect()
-    });
-    let mut outs = Vec::with_capacity(results.len());
-    for r in results {
-        outs.push(r?);
+
+    /// The scenario runner, generic over the event queue so the wheel
+    /// and the reference heap execute the identical lane code.
+    fn run_traffic_sched<S, F, Q>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
+    where
+        S: Service,
+        F: Fn(u32) -> S + Sync,
+        Q: EventQueue<Ev> + Default,
+    {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        if cfg.workers == 1 {
+            let zipf = make_zipf(cfg);
+            return Ok(TrafficReport::from_workers(
+                vec![run_worker::<S, Q>(cfg, 0, make(0), zipf)?],
+                1,
+            ));
+        }
+        let results: Vec<Result<WorkerOut, Overrun>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.workers)
+                .map(|i| {
+                    let make = &make;
+                    s.spawn(move || run_worker::<S, Q>(cfg, i, make(i), make_zipf(cfg)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("traffic worker panicked"))
+                .collect()
+        });
+        let mut outs = Vec::with_capacity(results.len());
+        for r in results {
+            outs.push(r?);
+        }
+        Ok(TrafficReport::from_workers(outs, cfg.workers))
     }
-    Ok(TrafficReport::from_workers(outs, cfg.workers))
+
+    /// Seed FIFO on the default timing-wheel engine — the dispatch
+    /// plane's bit-identity twin.
+    pub fn run_traffic<S, F>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
+    where
+        S: Service,
+        F: Fn(u32) -> S + Sync,
+    {
+        run_traffic_sched::<S, F, Engine<Ev>>(cfg, make)
+    }
+
+    /// Seed FIFO on the seed binary-heap scheduler
+    /// (`netsim::engine::reference`) — the fully-seed execution.
+    pub fn run_traffic_heap<S, F>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
+    where
+        S: Service,
+        F: Fn(u32) -> S + Sync,
+    {
+        run_traffic_sched::<S, F, heap::Engine<Ev>>(cfg, make)
+    }
 }
 
-/// Run the full multi-worker scenario on the default engine (the
-/// hierarchical timing wheel).  `make(worker_idx)` constructs each
-/// worker's service inside that worker's thread; workers run
-/// concurrently under `thread::scope` and merge in index order, so the
-/// report is a pure function of the configuration.
+/// Run the full multi-lane scenario on the dispatch plane (lock-free
+/// generator→lane rings, executor threads, work stealing) with the
+/// default timing-wheel engine inside each lane.  `make(worker_idx)`
+/// constructs each lane's service inside a per-lane setup thread; the
+/// merged report is a pure function of the configuration — executor
+/// count and thread scheduling cannot change a bit of it.
 pub fn run_traffic<S, F>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
 where
-    S: Service,
+    S: Service + Send,
     F: Fn(u32) -> S + Sync,
 {
-    run_traffic_sched::<S, F, Engine<Ev>>(cfg, make)
+    crate::dispatch::run_dispatch(cfg, make)
 }
 
-/// [`run_traffic`] on the seed binary-heap scheduler
-/// (`netsim::engine::reference`).  Exists to prove scheduler
-/// equivalence: for any configuration this must return a report
-/// bit-identical to [`run_traffic`]'s.
+/// [`run_traffic`] on the seed per-lane FIFO and the seed binary-heap
+/// scheduler.  Exists to prove plane *and* scheduler equivalence: for
+/// any configuration this must return a report bit-identical to
+/// [`run_traffic`]'s.
 pub fn run_traffic_reference<S, F>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
 where
     S: Service,
     F: Fn(u32) -> S + Sync,
 {
-    run_traffic_sched::<S, F, reference::Engine<Ev>>(cfg, make)
+    reference::run_traffic_heap(cfg, make)
 }

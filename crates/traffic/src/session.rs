@@ -76,6 +76,12 @@ pub struct TableStats {
     pub misses: u64,
     pub insertions: u64,
     pub evictions: u64,
+    /// Sessions resident when the stats were taken (sums across merged
+    /// tables).
+    pub resident: u64,
+    /// High-water residency (sums across merged tables, since each
+    /// table's population is disjoint).
+    pub peak_resident: u64,
 }
 
 impl TableStats {
@@ -86,6 +92,18 @@ impl TableStats {
         self.misses += other.misses;
         self.insertions += other.insertions;
         self.evictions += other.evictions;
+        self.resident += other.resident;
+        self.peak_resident += other.peak_resident;
+    }
+
+    /// Evictions per insertion — how hard the memory budget is pushing
+    /// back.  0 means the working set fits.
+    pub fn eviction_pressure(&self) -> f64 {
+        if self.insertions == 0 {
+            0.0
+        } else {
+            self.evictions as f64 / self.insertions as f64
+        }
     }
 
     /// Fraction of lookups satisfied without a miss.
@@ -121,6 +139,7 @@ pub struct SessionTable<V> {
     capacity_per_shard: usize,
     insertions: u64,
     evictions: u64,
+    peak_resident: usize,
 }
 
 impl<V: Clone> SessionTable<V> {
@@ -141,11 +160,43 @@ impl<V: Clone> SessionTable<V> {
             capacity_per_shard,
             insertions: 0,
             evictions: 0,
+            peak_resident: 0,
         }
+    }
+
+    /// Modelled bytes one resident session costs: the key lives twice
+    /// (map node and eviction queue), plus the value and two pointers
+    /// of per-node overhead.  This is what converts a per-shard memory
+    /// budget into a residency capacity.
+    pub fn entry_bytes() -> usize {
+        2 * std::mem::size_of::<DemuxKey>() + std::mem::size_of::<V>() + 2 * std::mem::size_of::<usize>()
+    }
+
+    /// Residency capacity a per-shard memory budget of `bytes` buys
+    /// (at least one session).
+    pub fn capacity_for_budget(bytes: usize) -> usize {
+        (bytes / Self::entry_bytes()).max(1)
+    }
+
+    /// Build a table from a per-shard *memory* budget instead of an
+    /// entry count; bucket count scales with the derived capacity so
+    /// chains stay short at million-session populations.
+    pub fn with_shard_budget(shards: usize, bytes_per_shard: usize) -> Self {
+        let capacity = Self::capacity_for_budget(bytes_per_shard);
+        Self::new(shards, capacity, buckets_for_capacity(capacity))
     }
 
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    pub fn capacity_per_shard(&self) -> usize {
+        self.capacity_per_shard
+    }
+
+    /// Current residency of every shard, in shard order.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.map.len()).collect()
     }
 
     pub fn len(&self) -> usize {
@@ -193,6 +244,9 @@ impl<V: Clone> SessionTable<V> {
                 self.evictions += 1;
             }
         }
+        // Residency only grows on a non-evicting insert; evictions keep
+        // it flat, so the running peak is exact.
+        self.peak_resident = self.peak_resident.max((self.insertions - self.evictions) as usize);
     }
 
     /// Aggregated statistics across all shards.
@@ -208,8 +262,17 @@ impl<V: Clone> SessionTable<V> {
             misses: m.misses,
             insertions: self.insertions,
             evictions: self.evictions,
+            resident: self.len() as u64,
+            peak_resident: self.peak_resident as u64,
         }
     }
+}
+
+/// Hash buckets a shard of `capacity` sessions should spread over:
+/// ~4 sessions per bucket, clamped to the seed's 16-bucket floor (so
+/// existing small configurations are bit-unchanged) and a 8192 ceiling.
+pub fn buckets_for_capacity(capacity: usize) -> usize {
+    (capacity / 4).next_power_of_two().clamp(16, 8192)
 }
 
 #[cfg(test)]

@@ -144,6 +144,62 @@ fn boundary_samples_land_in_their_buckets() {
 }
 
 #[test]
+fn extreme_values_clamp_to_the_top_bucket_without_panic() {
+    // Property: recording is total over u64 — any value, including
+    // u64::MAX and everything above the top bucket's lower bound, lands
+    // in the last bucket and never panics or indexes out of range.
+    let top = bucket_lower(BUCKET_COUNT - 1);
+    let mut h = LatencyHistogram::new();
+    for v in [top, top + 1, top + (u64::MAX - top) / 2, u64::MAX - 1, u64::MAX] {
+        assert_eq!(bucket_index(v), BUCKET_COUNT - 1, "v={v} must clamp to the top bucket");
+        h.record(v);
+    }
+    assert_eq!(h.count(), 5);
+    // Quantiles report the top bucket's lower bound; max stays exact.
+    assert_eq!(h.quantile(1.0), top);
+    assert_eq!(h.max(), u64::MAX);
+
+    // Seeded full-range fuzz: record never panics anywhere in u64.
+    let mut rng = SplitMix64::new(0xFADE);
+    let mut f = LatencyHistogram::new();
+    for _ in 0..10_000 {
+        let v = rng.next_u64();
+        let idx = bucket_index(v);
+        assert!(idx < BUCKET_COUNT, "v={v} idx={idx}");
+        f.record(v);
+    }
+    assert_eq!(f.count(), 10_000);
+    assert!(f.quantile(1.0) <= f.max());
+}
+
+#[test]
+fn saturating_record_never_wraps_counters() {
+    // Pathological bulk recording pins the counters at their ceilings
+    // instead of wrapping (which would corrupt every quantile).
+    let mut h = LatencyHistogram::new();
+    h.record_n(5, u64::MAX);
+    h.record_n(5, u64::MAX); // would wrap to MAX-1 with `+=`
+    assert_eq!(h.count(), u64::MAX, "count must saturate, not wrap");
+    assert_eq!(h.quantile(0.5), 5);
+    assert_eq!(h.quantile(1.0), 5);
+    assert_eq!(h.min(), 5);
+    assert_eq!(h.max(), 5);
+    assert!(h.mean().is_finite());
+
+    // A saturated histogram merges (in both directions) without panic.
+    let mut other = LatencyHistogram::new();
+    other.record_n(1 << 40, u64::MAX);
+    h.merge(&other);
+    assert_eq!(h.count(), u64::MAX);
+    assert_eq!(h.max(), 1 << 40);
+    let mut rev = LatencyHistogram::new();
+    rev.record(7);
+    rev.merge(&h);
+    assert_eq!(rev.count(), u64::MAX);
+    assert_eq!(rev.min(), 5);
+}
+
+#[test]
 fn merge_is_commutative_and_associative() {
     let mk = |seed: u64, n: usize| {
         let mut rng = SplitMix64::new(seed);

@@ -1,0 +1,162 @@
+//! Million-session churn: the session table under a per-shard memory
+//! budget, driven well past capacity.
+//!
+//! The serving scenarios in `runloop` hold a few thousand sessions; a
+//! saturation-scale table must stay correct when the *population* is
+//! millions and the budget forces continuous eviction.  This suite
+//! pushes 1.5M distinct sessions through a 64-shard table budgeted for
+//! ~1M residents and checks the three properties that make the budget
+//! trustworthy: per-shard occupancy never exceeds its bound, the
+//! counters stay mutually consistent throughout, and every evicted or
+//! dropped value is actually released (no leak on churn or on drop).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use traffic::{buckets_for_capacity, DemuxKey, SessionTable};
+
+/// A value that counts live instances: clone increments, drop
+/// decrements.  If the table leaked or double-freed bindings under
+/// churn the global count would drift from its residency.
+struct DropTag {
+    live: Arc<AtomicUsize>,
+}
+
+impl DropTag {
+    fn new(live: &Arc<AtomicUsize>) -> Self {
+        live.fetch_add(1, Ordering::Relaxed);
+        DropTag { live: Arc::clone(live) }
+    }
+}
+
+impl Clone for DropTag {
+    fn clone(&self) -> Self {
+        DropTag::new(&self.live)
+    }
+}
+
+impl Drop for DropTag {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+const SHARDS: usize = 64;
+const CAP_PER_SHARD: usize = 16_384;
+const POPULATION: u64 = 1_500_000;
+
+fn budget_table() -> SessionTable<DropTag> {
+    // Budget chosen to buy exactly CAP_PER_SHARD residents per shard:
+    // 64 × 16384 = 1,048,576 sessions table-wide.
+    let bytes = CAP_PER_SHARD * SessionTable::<DropTag>::entry_bytes();
+    let t = SessionTable::with_shard_budget(SHARDS, bytes);
+    assert_eq!(t.capacity_per_shard(), CAP_PER_SHARD);
+    assert_eq!(t.shard_count(), SHARDS);
+    t
+}
+
+#[test]
+fn million_session_churn_respects_budgets_counters_and_drops() {
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut t = budget_table();
+    let table_cap = SHARDS * CAP_PER_SHARD;
+    assert!(table_cap >= 1_000_000, "the budget must admit a 1M+ population");
+
+    // --- fill phase: 1.5M distinct sessions, ~1.43x the budget --------
+    for id in 0..POPULATION {
+        t.insert(DemuxKey::for_session(id), DropTag::new(&live));
+    }
+    let st = t.stats();
+    assert_eq!(st.insertions, POPULATION, "every key was distinct");
+    assert!(st.evictions > 0, "population over budget must evict");
+
+    // Counter consistency: residency is exactly what survived eviction,
+    // and the running peak equals it (residency never shrinks here).
+    assert_eq!(st.resident, st.insertions - st.evictions);
+    assert_eq!(st.resident, t.len() as u64);
+    assert_eq!(st.peak_resident, st.resident);
+    assert!(
+        st.eviction_pressure() > 0.25 && st.eviction_pressure() < 0.40,
+        "1.5M inserts into a ~1.05M budget should evict ~30%: pressure {}",
+        st.eviction_pressure()
+    );
+
+    // Per-shard occupancy bounds: no shard above its budgeted capacity,
+    // every shard saturated (1.5M keys over 64 shards leaves each with
+    // far more insertions than capacity), occupancies sum to len().
+    let occ = t.shard_occupancy();
+    assert_eq!(occ.len(), SHARDS);
+    assert_eq!(occ.iter().sum::<usize>(), t.len());
+    for (s, &n) in occ.iter().enumerate() {
+        assert!(n <= CAP_PER_SHARD, "shard {s} over budget: {n} > {CAP_PER_SHARD}");
+        assert_eq!(n, CAP_PER_SHARD, "shard {s} not saturated after 1.43x-budget fill");
+    }
+
+    // No leak under churn: live values == resident bindings.
+    assert_eq!(live.load(Ordering::Relaxed), t.len());
+
+    // --- rebind phase: refreshing live keys consumes no capacity ------
+    let before = t.stats();
+    for id in (POPULATION - 1000)..POPULATION {
+        t.insert(DemuxKey::for_session(id), DropTag::new(&live));
+    }
+    let after = t.stats();
+    assert_eq!(after.insertions, before.insertions, "rebinds are not insertions");
+    assert_eq!(after.evictions, before.evictions, "rebinds must not evict");
+    assert_eq!(t.len() as u64, after.resident);
+    assert_eq!(live.load(Ordering::Relaxed), t.len(), "rebind leaked the old value");
+
+    // --- second churn wave: another 0.5M fresh sessions ---------------
+    for id in POPULATION..(POPULATION + 500_000) {
+        t.insert(DemuxKey::for_session(id), DropTag::new(&live));
+    }
+    let st = t.stats();
+    assert_eq!(st.resident, st.insertions - st.evictions);
+    assert_eq!(st.resident, t.len() as u64);
+    assert_eq!(st.peak_resident, st.resident);
+    assert_eq!(live.load(Ordering::Relaxed), t.len());
+    for (s, &n) in t.shard_occupancy().iter().enumerate() {
+        assert!(n <= CAP_PER_SHARD, "shard {s} over budget after churn wave");
+    }
+
+    // --- recency: newest sessions resident, oldest evicted ------------
+    {
+        let last = POPULATION + 500_000 - 1;
+        let (newest, _) = t.lookup(&DemuxKey::for_session(last));
+        assert!(newest.is_some(), "most recent session must be resident");
+        let (oldest, _) = t.lookup(&DemuxKey::for_session(0));
+        assert!(oldest.is_none(), "oldest session must have been evicted");
+        let st = t.stats();
+        assert_eq!(
+            st.lookups,
+            st.cache_hits + st.chain_hits + st.misses,
+            "every lookup is exactly one of cache hit / chain hit / miss"
+        );
+    }
+    // The chain hit primed exactly one shard's one-entry cache, which
+    // (by design) retains a clone of the binding — the only live value
+    // beyond the resident population.
+    assert_eq!(live.load(Ordering::Relaxed), t.len() + 1);
+
+    // --- no leak on drop: tearing the table down releases everything --
+    drop(t);
+    assert_eq!(live.load(Ordering::Relaxed), 0, "table drop leaked session values");
+}
+
+#[test]
+fn budget_derivation_is_consistent_with_bucket_scaling() {
+    // The memory model: capacity from bytes, buckets from capacity.
+    let entry = SessionTable::<u64>::entry_bytes();
+    assert!(entry > 0);
+    assert_eq!(SessionTable::<u64>::capacity_for_budget(entry * 100), 100);
+    assert_eq!(SessionTable::<u64>::capacity_for_budget(0), 1, "budget floor is one session");
+    // Bucket scaling: ~4 sessions per bucket, seed floor 16, cap 8192.
+    assert_eq!(buckets_for_capacity(1), 16);
+    assert_eq!(buckets_for_capacity(64), 16);
+    assert_eq!(buckets_for_capacity(16_384), 4_096);
+    assert_eq!(buckets_for_capacity(1 << 20), 8_192);
+
+    let t: SessionTable<u64> = SessionTable::with_shard_budget(4, entry * 64);
+    assert_eq!(t.capacity_per_shard(), 64);
+    assert_eq!(t.shard_count(), 4);
+}

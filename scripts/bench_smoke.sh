@@ -12,10 +12,16 @@
 # serving scales >= 2x in simulated throughput) and `engine_bench`
 # (which asserts the timing-wheel scheduler beats the reference binary
 # heap >= 2x on schedule+drain at 128k pending events and >= 1.1x on the
-# end-to-end 12-cell traffic sweep, with bit-identical reports), then
-# verifies the JSON artifacts contain every key downstream tooling
-# reads.  Pass --reuse to validate existing JSON files without
-# re-running the benchmarks.
+# end-to-end 12-cell traffic sweep, with bit-identical reports) and
+# `capacity_bench` (which climbs the offered-rate ladder per cell,
+# asserts a knee is detected with a monotone curve, that the dispatch
+# plane is bit-identical to the seed FIFO at the seed rate, and that the
+# best cell sustains >= 2x the seed 7953 msg/s plateau), then verifies
+# the JSON artifacts contain every key downstream tooling reads.  A
+# reduced-size capacity sweep also runs twice into scratch files and the
+# outputs are byte-compared — the cross-process bit-reproducibility
+# probe.  Pass --reuse to validate existing JSON files without re-running
+# the benchmarks (the two-run probe is skipped on --reuse).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +39,25 @@ if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_traffic.json ]; then
 fi
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_engine.json ]; then
     cargo run -q --release -p protolat-bench --bin engine_bench
+fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_capacity.json ]; then
+    cargo run -q --release -p protolat-bench --bin capacity_bench
+fi
+
+if [ "${1:-}" != "--reuse" ]; then
+    # Cross-process bit-reproducibility: the reduced-size smoke sweep
+    # must produce byte-identical JSON across two fresh processes (the
+    # artifact carries no wall-clock timings).
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    CAPACITY_SMOKE=1 BENCH_CAPACITY_PATH="$tmpdir/cap_a.json" \
+        cargo run -q --release -p protolat-bench --bin capacity_bench >/dev/null
+    CAPACITY_SMOKE=1 BENCH_CAPACITY_PATH="$tmpdir/cap_b.json" \
+        cargo run -q --release -p protolat-bench --bin capacity_bench >/dev/null
+    cmp -s "$tmpdir/cap_a.json" "$tmpdir/cap_b.json" || {
+        echo "bench_smoke: capacity smoke sweep not bit-reproducible across runs" >&2
+        exit 1
+    }
 fi
 
 missing=0
@@ -79,9 +104,27 @@ for stack in tcpip rpc; do
         done
     done
 done
-for key in workers single_worker_mps multi_worker_mps worker_speedup; do
+for key in workers offered_mps min_achieved_mps single_worker_mps \
+           multi_worker_mps worker_speedup; do
     if ! grep -q "\"$key\"" BENCH_traffic.json; then
         echo "bench_smoke: BENCH_traffic.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+for stack in tcpip rpc; do
+    for ver in bad std out clo pin all; do
+        for metric in knee_mps max_sustainable_mps curve; do
+            if ! grep -q "\"${stack}_${ver}_${metric}\"" BENCH_capacity.json; then
+                echo "bench_smoke: BENCH_capacity.json missing key \"${stack}_${ver}_${metric}\"" >&2
+                missing=1
+            fi
+        done
+    done
+done
+for key in bench workers start_rate_mps slo_p99_us best_cell \
+           best_max_sustainable_mps seed_plateau_mps seed_rate_bit_identical; do
+    if ! grep -q "\"$key\"" BENCH_capacity.json; then
+        echo "bench_smoke: BENCH_capacity.json missing key \"$key\"" >&2
         missing=1
     fi
 done
@@ -185,4 +228,20 @@ grep -q '"traffic_bit_identical": true' BENCH_engine.json || {
     exit 1
 }
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e)"
+best_capacity=$(sed -n 's/.*"best_max_sustainable_mps": \([0-9.]*\).*/\1/p' BENCH_capacity.json)
+seed_plateau=$(sed -n 's/.*"seed_plateau_mps": \([0-9.]*\).*/\1/p' BENCH_capacity.json)
+if [ -z "$best_capacity" ] || [ -z "$seed_plateau" ]; then
+    echo "bench_smoke: could not parse capacity floor values" >&2
+    exit 1
+fi
+awk -v c="$best_capacity" -v p="$seed_plateau" 'BEGIN { exit !(c >= 2.0 * p) }' || {
+    echo "bench_smoke: best sustainable rate ${best_capacity} msg/s below 2x the ${seed_plateau} msg/s seed plateau" >&2
+    exit 1
+}
+
+grep -q '"seed_rate_bit_identical": true' BENCH_capacity.json || {
+    echo "bench_smoke: dispatch plane not bit-identical to the seed FIFO at the seed rate" >&2
+    exit 1
+}
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau)"
