@@ -13,6 +13,8 @@
 //! Probes asserted here:
 //! * per-cell: a knee is detected and the curve's offered rates are
 //!   strictly increasing;
+//! * the bisection-refined knee lies strictly inside each cell's
+//!   bracketing ladder rungs (last good rung, ladder knee];
 //! * the dispatch plane reproduces `runloop::reference` bit-for-bit at
 //!   the seed offered rate (the acceptance gate for the lock-free
 //!   hand-off plane);
@@ -120,6 +122,36 @@ fn main() {
     }
     println!("\nper-cell contract: knee detected, curves monotone in offered rate");
 
+    // --- bisection refinement: refined knee within the bracketing rungs
+    for (stack, version, curve) in &rows {
+        let cell = format!("{}/{}", stack_key(*stack), version.name());
+        let ladder_knee = curve.knee_offered_mps.expect("knee asserted above");
+        let last_good = curve.points.iter().rev().find(|p| !p.violated).map(|p| p.offered_mps);
+        match (last_good, curve.refined_knee_mps) {
+            (Some(lo), Some(refined)) => {
+                assert!(
+                    lo < refined && refined <= ladder_knee,
+                    "{cell}: refined knee {refined} outside bracket ({lo}, {ladder_knee}]"
+                );
+                for p in &curve.refined {
+                    assert!(
+                        p.offered_mps > lo && p.offered_mps < ladder_knee,
+                        "{cell}: bisection probe {} outside the open bracket",
+                        p.offered_mps
+                    );
+                }
+            }
+            (None, refined) => assert!(
+                refined.is_none(),
+                "{cell}: refined knee without a good rung to bracket from"
+            ),
+            (Some(_), None) => {
+                panic!("{cell}: bracketed knee but no bisection refinement ran")
+            }
+        }
+    }
+    println!("bisection contract: refined knees lie within their bracketing rungs");
+
     // --- layout quality as capacity: ALL must not knee below BAD -------
     for stack in [StackKind::TcpIp, StackKind::Rpc] {
         let knee = |v: Version| {
@@ -205,6 +237,10 @@ fn main() {
         json.push_str(&format!(
             "  \"{k}_max_sustainable_mps\": {:.1},\n",
             curve.max_sustainable_mps
+        ));
+        json.push_str(&format!(
+            "  \"{k}_refined_knee_mps\": {},\n",
+            curve.refined_knee_mps.unwrap_or_else(|| curve.knee_offered_mps.expect("knee"))
         ));
         json.push_str(&format!("  \"{k}_curve\": [\n"));
         for (i, p) in curve.points.iter().enumerate() {

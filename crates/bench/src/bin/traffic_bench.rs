@@ -154,6 +154,18 @@ fn main() {
         json.push_str(&format!("  \"{k}_p99_us\": {:.3},\n", us(r.hist.p99())));
         json.push_str(&format!("  \"{k}_p999_us\": {:.3},\n", us(r.hist.p999())));
         json.push_str(&format!("  \"{k}_mps\": {:.1},\n", r.msgs_per_sec()));
+        // Session-table demux behaviour per cell, so address-cache
+        // policy wins are visible in this contract too.
+        json.push_str(&format!("  \"{k}_table_hit_rate\": {:.6},\n", r.table.hit_rate()));
+        json.push_str(&format!(
+            "  \"{k}_cache_hit_rate\": {:.6},\n",
+            r.table.cache_hit_rate()
+        ));
+        json.push_str(&format!("  \"{k}_miss_rate\": {:.6},\n", {
+            let t = &r.table;
+            if t.lookups == 0 { 0.0 } else { t.misses as f64 / t.lookups as f64 }
+        }));
+        json.push_str(&format!("  \"{k}_evictions\": {},\n", r.table.evictions));
     }
     json.push_str(&format!(
         "  \"single_worker_mps\": {single_mps:.1},\n  \"multi_worker_mps\": {multi_mps:.1},\n  \

@@ -33,7 +33,10 @@ use kcode::layout::LayoutStrategy;
 use kcode::{Image, LayoutPlan, NullSink, ReplayStats, Replayer};
 use protocols::StackOptions;
 use traffic::workload::Scenario;
-use traffic::{run_traffic, run_traffic_reference, ReplayService, TrafficConfig, TrafficReport};
+use traffic::{
+    run_traffic, run_traffic_reference, PolicyKind, ReplayService, StreamKind, TrafficConfig,
+    TrafficReport, DEMUX_CACHE_HIT_NS, DEMUX_CHAIN_HIT_NS, SESSION_SETUP_NS,
+};
 
 use crate::config::{StackKind, Version};
 use crate::harness::{run_rpc, run_tcpip, RpcRun, TcpIpRun};
@@ -112,6 +115,7 @@ pub struct SweepCounters {
     pub replay_stats: u64,
     pub traffics: u64,
     pub capacities: u64,
+    pub demuxes: u64,
 }
 
 /// A load-ramp specification for the capacity stage: sweep offered
@@ -134,6 +138,9 @@ pub struct CapacityRamp {
     /// Throughput floor: achieved must stay at or above this many
     /// parts-per-thousand of the aggregate offered rate.
     pub min_achieved_ppt: u32,
+    /// Bisection iterations refining the knee between the last good
+    /// rung and the first violating rung (0 = ladder only).
+    pub bisect_iters: u32,
 }
 
 impl CapacityRamp {
@@ -149,6 +156,7 @@ impl CapacityRamp {
             max_rungs: 12,
             slo_p99_ns: 1_000_000,
             min_achieved_ppt: 970,
+            bisect_iters: 5,
         }
     }
 
@@ -195,8 +203,94 @@ pub struct CapacityCurve {
     /// the knee; `None` if the ladder ended without a violation.
     pub knee_offered_mps: Option<u64>,
     /// Highest achieved rate among non-violating rungs (0 if the very
-    /// first rung violated).
+    /// first rung violated).  Includes refined bisection rungs.
     pub max_sustainable_mps: f64,
+    /// Bisection probes between the last good rung and the ladder knee,
+    /// in probe order (empty when the ladder found no knee, the knee
+    /// was the first rung, or `bisect_iters` is 0).
+    pub refined: Vec<CapacityPoint>,
+    /// Tightest violating aggregate offered rate after bisection: lies
+    /// strictly above the last good ladder rung and at or below
+    /// `knee_offered_mps`.  `None` when the ladder found no knee or the
+    /// knee was the very first rung (no bracket to bisect).
+    pub refined_knee_mps: Option<u64>,
+}
+
+/// One cell of the demux-locality study: a base serving scenario
+/// crossed with an address-cache policy and a reference-stream
+/// locality structure.  All-integer, so `Copy + Eq + Hash` keys the
+/// memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DemuxSpec {
+    /// Scenario template; `policy` and `stream` are overlaid per cell.
+    pub base: TrafficConfig,
+    pub policy: PolicyKind,
+    pub stream: StreamKind,
+}
+
+impl DemuxSpec {
+    /// The traffic configuration this cell actually runs.
+    pub fn config(&self) -> TrafficConfig {
+        self.base.with_policy(self.policy).with_stream(self.stream)
+    }
+
+    /// The policy × stream cross product over one base scenario, in
+    /// row-major (policy, stream) order — the canonical matrix shape.
+    pub fn cross(base: TrafficConfig, policies: &[PolicyKind], streams: &[StreamKind]) -> Vec<DemuxSpec> {
+        let mut specs = Vec::with_capacity(policies.len() * streams.len());
+        for &policy in policies {
+            for &stream in streams {
+                specs.push(DemuxSpec { base, policy, stream });
+            }
+        }
+        specs
+    }
+}
+
+/// Measured outcome of one (policy × stream) demux cell.  The latency
+/// quantiles are end-to-end (demux cost included); `lookup_ns` is the
+/// *modelled* mean demux cost per lookup under the paper's cost
+/// taxonomy — a pure function of the hit counters, so it is exactly
+/// reproducible across runs and machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemuxCell {
+    pub lookups: u64,
+    pub cache_hits: u64,
+    pub chain_hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Address-cache hits / lookups — the policy's figure of merit.
+    pub cache_hit_rate: f64,
+    /// (cache + chain hits) / lookups — policy-invariant for a fixed
+    /// workload (the fill-on-chain-hit contract).
+    pub hit_rate: f64,
+    /// Modelled mean demux nanoseconds per lookup.
+    pub lookup_ns: f64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+}
+
+impl DemuxCell {
+    fn from_report(report: &TrafficReport) -> Self {
+        let t = &report.table;
+        let demux_total = t.cache_hits as u128 * DEMUX_CACHE_HIT_NS as u128
+            + t.chain_hits as u128 * DEMUX_CHAIN_HIT_NS as u128
+            + t.misses as u128 * (DEMUX_CHAIN_HIT_NS + SESSION_SETUP_NS) as u128;
+        DemuxCell {
+            lookups: t.lookups,
+            cache_hits: t.cache_hits,
+            chain_hits: t.chain_hits,
+            misses: t.misses,
+            evictions: t.evictions,
+            cache_hit_rate: t.cache_hit_rate(),
+            hit_rate: t.hit_rate(),
+            lookup_ns: if t.lookups == 0 { 0.0 } else { demux_total as f64 / t.lookups as f64 },
+            p50_ns: report.hist.p50(),
+            p99_ns: report.hist.p99(),
+            p999_ns: report.hist.p999(),
+        }
+    }
 }
 
 type RunKey = (StackOptions, usize);
@@ -212,6 +306,8 @@ type LayoutKey = (StackKind, StackOptions, usize, LayoutStrategy, bool, Version)
 type TrafficKey = (StackKind, StackOptions, usize, Version, TrafficConfig);
 /// Capacity-stage key: the whole ramp (base scenario, ladder, SLO).
 type CapacityKey = (StackKind, StackOptions, usize, Version, CapacityRamp);
+/// Demux-stage key: the (policy × stream) cell over a base scenario.
+type DemuxStageKey = (StackKind, StackOptions, usize, Version, DemuxSpec);
 
 /// One unit of prefetchable sweep work.
 #[derive(Debug, Clone, Copy)]
@@ -228,6 +324,8 @@ pub enum SweepJob {
     Traffic(StackKind, StackOptions, usize, Version, TrafficConfig),
     /// A load-ramp capacity probe (knee + throughput-vs-p99 curve).
     Capacity(StackKind, StackOptions, usize, Version, CapacityRamp),
+    /// One (policy × stream) cell of the demux-locality matrix.
+    Demux(StackKind, StackOptions, usize, Version, DemuxSpec),
 }
 
 /// One row of the canonical sweep result.
@@ -249,6 +347,7 @@ pub struct SweepEngine {
     replay_stats: Memo<VersionKey, Arc<ReplayStats>>,
     traffics: Memo<TrafficKey, Arc<TrafficReport>>,
     capacities: Memo<CapacityKey, Arc<CapacityCurve>>,
+    demuxes: Memo<DemuxStageKey, DemuxCell>,
 }
 
 impl Default for SweepEngine {
@@ -271,6 +370,7 @@ impl SweepEngine {
             replay_stats: Memo::new(),
             traffics: Memo::new(),
             capacities: Memo::new(),
+            demuxes: Memo::new(),
         }
     }
 
@@ -499,31 +599,71 @@ impl SweepEngine {
     ) -> Arc<CapacityCurve> {
         self.capacities.get_or_compute((stack, opts, warmup, version, ramp), || {
             let workers = ramp.base.workers.max(1) as u64;
-            let mut points = Vec::new();
-            let mut knee = None;
-            let mut max_sustainable = 0.0f64;
-            for rate in ramp.rates() {
+            let probe = |rate: u64| -> CapacityPoint {
                 let report = self.traffic(stack, opts, warmup, version, ramp.rung_config(rate));
                 let offered = rate * workers;
                 let achieved = report.msgs_per_sec();
                 let p99 = report.hist.p99();
                 let violated = p99 > ramp.slo_p99_ns
                     || achieved * 1000.0 < offered as f64 * ramp.min_achieved_ppt as f64;
-                points.push(CapacityPoint {
+                CapacityPoint {
                     offered_mps: offered,
                     achieved_mps: achieved,
                     p50_ns: report.hist.p50(),
                     p99_ns: p99,
                     p999_ns: report.hist.p999(),
                     violated,
-                });
+                }
+            };
+            let mut points = Vec::new();
+            let mut knee = None;
+            let mut max_sustainable = 0.0f64;
+            // A geometric ladder brackets the knee within one growth
+            // factor; the per-worker rates of the bracketing rungs seed
+            // the bisection below.
+            let mut lo_rate = None; // last good per-worker rate
+            let mut hi_rate = None; // first violating per-worker rate
+            for rate in ramp.rates() {
+                let p = probe(rate);
+                let violated = p.violated;
+                max_sustainable = if violated { max_sustainable } else { max_sustainable.max(p.achieved_mps) };
+                points.push(p);
                 if violated {
-                    knee = Some(offered);
+                    knee = Some(rate * workers);
+                    hi_rate = Some(rate);
                     break;
                 }
-                max_sustainable = max_sustainable.max(achieved);
+                lo_rate = Some(rate);
             }
-            Arc::new(CapacityCurve { points, knee_offered_mps: knee, max_sustainable_mps: max_sustainable })
+            // Knee refinement: bisect the per-worker rate between the
+            // bracketing rungs.  Every probe is a memoized traffic run,
+            // so re-deriving the curve replays from cache.
+            let mut refined = Vec::new();
+            let mut refined_knee = None;
+            if let (Some(mut lo), Some(mut hi)) = (lo_rate, hi_rate) {
+                for _ in 0..ramp.bisect_iters {
+                    let mid = lo + (hi - lo) / 2;
+                    if mid == lo || mid == hi {
+                        break;
+                    }
+                    let p = probe(mid);
+                    if p.violated {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                        max_sustainable = max_sustainable.max(p.achieved_mps);
+                    }
+                    refined.push(p);
+                }
+                refined_knee = Some(hi * workers);
+            }
+            Arc::new(CapacityCurve {
+                points,
+                knee_offered_mps: knee,
+                max_sustainable_mps: max_sustainable,
+                refined,
+                refined_knee_mps: refined_knee,
+            })
         })
     }
 
@@ -549,6 +689,48 @@ impl SweepEngine {
             }
         }
         rows
+    }
+
+    /// The memoized demux-locality cell for one (cell, spec): the
+    /// full traffic run with the spec's address-cache policy and
+    /// reference stream overlaid, reduced to the demux figures of
+    /// merit.  Rides the memoized traffic stage, so the same
+    /// configuration asked for as a plain traffic run shares one
+    /// computation.
+    pub fn demux(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+        spec: DemuxSpec,
+    ) -> DemuxCell {
+        self.demuxes.get_or_compute((stack, opts, warmup, version, spec), || {
+            let report = self.traffic(stack, opts, warmup, version, spec.config());
+            DemuxCell::from_report(&report)
+        })
+    }
+
+    /// The demux matrix for one cell: every spec prefetched in
+    /// parallel, rows returned in the given spec order (callers build
+    /// the policy × stream cross product, see [`DemuxSpec::cross`]).
+    pub fn demux_matrix(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+        specs: &[DemuxSpec],
+    ) -> Vec<(DemuxSpec, DemuxCell)> {
+        let jobs: Vec<SweepJob> = specs
+            .iter()
+            .map(|&spec| SweepJob::Demux(stack, opts, warmup, version, spec))
+            .collect();
+        self.prefetch(&jobs);
+        specs
+            .iter()
+            .map(|&spec| (spec, self.demux(stack, opts, warmup, version, spec)))
+            .collect()
     }
 
     /// The canonical 6-version × 2-stack traffic sweep under one
@@ -587,6 +769,7 @@ impl SweepEngine {
             replay_stats: self.replay_stats.computed(),
             traffics: self.traffics.computed(),
             capacities: self.capacities.computed(),
+            demuxes: self.demuxes.computed(),
         }
     }
 
@@ -642,6 +825,9 @@ impl SweepEngine {
             }
             SweepJob::Capacity(stack, opts, warmup, v, ramp) => {
                 self.capacity(stack, opts, warmup, v, ramp);
+            }
+            SweepJob::Demux(stack, opts, warmup, v, spec) => {
+                self.demux(stack, opts, warmup, v, spec);
             }
         }
     }

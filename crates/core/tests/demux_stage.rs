@@ -1,0 +1,151 @@
+//! The sweep engine's demux stage: memoization, cross-engine
+//! determinism, the policy-invariance contract and the locality
+//! ordering the demux matrix must show — all at tier-1 test scale.
+
+use protocols::StackOptions;
+use protolat_core::sweep::{DemuxSpec, SweepEngine};
+use protolat_core::{StackKind, Version};
+use traffic::{PolicyKind, StreamKind, TrafficConfig};
+
+const SLOTS: u32 = 8;
+
+fn small_base() -> TrafficConfig {
+    // Faults off: the stage isolates demux behaviour.
+    TrafficConfig::open_loop(2_000, 500, 64)
+        .with_workers(2)
+        .with_shards(4, 16)
+        .with_seed(0x7A)
+}
+
+fn spec(policy: PolicyKind, stream: StreamKind) -> DemuxSpec {
+    DemuxSpec { base: small_base(), policy, stream }
+}
+
+#[test]
+fn demux_stage_is_memoized_and_rides_the_traffic_stage() {
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+    let s = spec(PolicyKind::Fifo { slots: SLOTS }, StreamKind::Zipf);
+    let a = eng.demux(StackKind::TcpIp, opts, 2, Version::Std, s);
+    let b = eng.demux(StackKind::TcpIp, opts, 2, Version::Std, s);
+    assert_eq!(a, b);
+    assert_eq!(eng.counters().demuxes, 1, "second request must hit the cache");
+    // The cell is derived from the memoized traffic stage: asking for
+    // the same underlying configuration as a traffic run is free.
+    assert_eq!(eng.counters().traffics, 1);
+    let r = eng.traffic(StackKind::TcpIp, opts, 2, Version::Std, s.config());
+    assert_eq!(eng.counters().traffics, 1);
+    assert_eq!(r.table.cache_hit_rate(), a.cache_hit_rate);
+
+    // A different policy is a different cell.
+    eng.demux(StackKind::TcpIp, opts, 2, Version::Std, spec(PolicyKind::OneEntry, StreamKind::Zipf));
+    assert_eq!(eng.counters().demuxes, 2);
+}
+
+#[test]
+fn demux_stage_is_deterministic_across_engines() {
+    let opts = StackOptions::improved();
+    let s = spec(
+        PolicyKind::Random { slots: SLOTS },
+        StreamKind::Conflict { slots: SLOTS, cycle: 4 },
+    );
+    let a = SweepEngine::new().demux(StackKind::TcpIp, opts, 2, Version::All, s);
+    let b = SweepEngine::new().demux(StackKind::TcpIp, opts, 2, Version::All, s);
+    assert_eq!(a, b, "demux cell must be a pure function of its key");
+}
+
+#[test]
+fn demux_matrix_prefetch_equals_sequential_and_is_policy_invariant() {
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+    let policies =
+        [PolicyKind::OneEntry, PolicyKind::Fifo { slots: SLOTS }, PolicyKind::TwoWayLru { sets: SLOTS / 2 }];
+    let streams = [StreamKind::Zipf, StreamKind::Conflict { slots: SLOTS, cycle: 4 }];
+    let specs = DemuxSpec::cross(small_base(), &policies, &streams);
+    let rows = eng.demux_matrix(StackKind::TcpIp, opts, 2, Version::Std, &specs);
+    assert_eq!(rows.len(), policies.len() * streams.len());
+    // Prefetched rows equal direct (cached) stage calls, in order.
+    for (spec, cell) in &rows {
+        let direct = eng.demux(StackKind::TcpIp, opts, 2, Version::Std, *spec);
+        assert_eq!(direct, *cell);
+    }
+    // Fill-on-chain-hit contract at matrix level: misses and total hit
+    // rate depend only on the stream column.
+    for &stream in &streams {
+        let col: Vec<_> = rows.iter().filter(|(s, _)| s.stream == stream).collect();
+        for w in col.windows(2) {
+            assert_eq!(w[0].1.misses, w[1].1.misses);
+            assert_eq!(w[0].1.lookups, w[1].1.lookups);
+            assert_eq!(
+                w[0].1.cache_hits + w[0].1.chain_hits,
+                w[1].1.cache_hits + w[1].1.chain_hits
+            );
+        }
+    }
+}
+
+#[test]
+fn fifo_beats_one_entry_on_the_conflict_stream_at_test_scale() {
+    // The acceptance ordering, small: a conflict cycle longer than one
+    // entry but within the FIFO capacity must thrash the seed cache
+    // and stay resident in FIFO.
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let conflict = StreamKind::Conflict { slots: SLOTS, cycle: 4 };
+    let seed = eng.demux(StackKind::TcpIp, opts, 2, Version::All, spec(PolicyKind::OneEntry, conflict));
+    let fifo =
+        eng.demux(StackKind::TcpIp, opts, 2, Version::All, spec(PolicyKind::Fifo { slots: SLOTS }, conflict));
+    assert!(
+        fifo.cache_hit_rate > seed.cache_hit_rate + 0.5,
+        "FIFO {:.3} must decisively beat one-entry {:.3} on the conflict stream",
+        fifo.cache_hit_rate,
+        seed.cache_hit_rate
+    );
+    assert!(fifo.lookup_ns < seed.lookup_ns);
+
+    // And must not regress the Zipf column's demux cost.
+    let seed_z = eng.demux(StackKind::TcpIp, opts, 2, Version::All, spec(PolicyKind::OneEntry, StreamKind::Zipf));
+    let fifo_z = eng.demux(
+        StackKind::TcpIp,
+        opts,
+        2,
+        Version::All,
+        spec(PolicyKind::Fifo { slots: SLOTS }, StreamKind::Zipf),
+    );
+    assert!(fifo_z.lookup_ns <= seed_z.lookup_ns);
+}
+
+#[test]
+fn capacity_bisection_refines_within_the_bracketing_rungs() {
+    // The knee-refinement satellite at test scale: the refined knee
+    // must lie strictly above the last good ladder rung and at or
+    // below the ladder knee, and every bisection probe must stay
+    // inside the open bracket.
+    use protolat_core::sweep::CapacityRamp;
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let base = TrafficConfig::open_loop(2_000, 800, 64)
+        .with_workers(2)
+        .with_shards(4, 16)
+        .with_seed(0x7A)
+        .with_faults(3_000, 1_500, 3_000, 1_500);
+    let ramp = CapacityRamp::new(base, 2_000);
+    let curve = eng.capacity(StackKind::TcpIp, opts, 2, Version::All, ramp);
+    let knee = curve.knee_offered_mps.expect("ladder finds a knee at test scale");
+    let last_good = curve
+        .points
+        .iter()
+        .rev()
+        .find(|p| !p.violated)
+        .map(|p| p.offered_mps)
+        .expect("at least one good rung");
+    let refined = curve.refined_knee_mps.expect("bracketed knee must be refined");
+    assert!(last_good < refined && refined <= knee, "refined {refined} outside ({last_good}, {knee}]");
+    assert!(!curve.refined.is_empty(), "bisection must probe the bracket");
+    for p in &curve.refined {
+        assert!(p.offered_mps > last_good && p.offered_mps < knee);
+    }
+    // Deterministic across engines, like every stage.
+    let again = SweepEngine::new().capacity(StackKind::TcpIp, opts, 2, Version::All, ramp);
+    assert_eq!(*curve, *again);
+}

@@ -67,9 +67,9 @@ use netsim::ring::{spsc, MpscRing, SpscConsumer, SpscProbe, SpscProducer};
 use netsim::rng::SplitMix64;
 use netsim::{Engine, Ns, Overrun};
 
-use crate::runloop::{lane_streams, make_zipf, Ev, TrafficConfig, TrafficReport, Worker};
+use crate::runloop::{lane_stream, lane_streams, make_zipf, Ev, TrafficConfig, TrafficReport, Worker};
 use crate::service::Service;
-use crate::workload::{exp_gap_ns, Scenario, Zipf};
+use crate::workload::{exp_gap_ns, RefStream, Scenario, Zipf};
 
 /// Arrival ring depth per lane (power of two).
 const LANE_RING_CAP: usize = 1024;
@@ -351,6 +351,9 @@ fn executor<S: Service>(plane: Plane<'_, S>, idx: usize) {
 struct GenLane {
     lane: u32,
     rng: SplitMix64,
+    /// The lane's reference stream — the identical stateful stream the
+    /// reference loop draws its pre-schedule from.
+    stream: RefStream,
     t: Ns,
     remaining: u32,
     tx: SpscProducer<Arrival>,
@@ -363,7 +366,7 @@ struct GenLane {
 /// [`GEN_BATCH`] arrivals at a time and batch-pushing them into each
 /// lane's ring; sets the lane's `gen_done` flag after its last push
 /// and then keeps nudging undone lanes (the liveness net).
-fn generator<S>(plane: Plane<'_, S>, mut gens: Vec<GenLane>, zipf: &Zipf, rate_mps: u64) {
+fn generator<S>(plane: Plane<'_, S>, mut gens: Vec<GenLane>, rate_mps: u64) {
     while !plane.abort.load(Ordering::Relaxed) {
         let mut live = false;
         for gl in &mut gens {
@@ -377,7 +380,7 @@ fn generator<S>(plane: Plane<'_, S>, mut gens: Vec<GenLane>, zipf: &Zipf, rate_m
                 for _ in 0..n {
                     // Exact reference draw order: gap, then session.
                     gl.t += exp_gap_ns(&mut gl.rng, rate_mps);
-                    let session = zipf.sample(&mut gl.rng) as u32;
+                    let session = gl.stream.next(&mut gl.rng);
                     gl.staged.push(Arrival { at: gl.t, session });
                 }
                 gl.remaining -= n as u32;
@@ -477,6 +480,7 @@ where
             gens.push(GenLane {
                 lane: i as u32,
                 rng: lane_streams(cfg.seed, i as u32).0,
+                stream: lane_stream(cfg, i as u32, Arc::clone(&zipf)),
                 t: 0,
                 remaining: cfg.messages_per_worker,
                 tx,
@@ -538,8 +542,7 @@ where
             s.spawn(move || executor(plane, idx));
         }
         if let Some(rate) = open_rate {
-            let zipf = &zipf;
-            s.spawn(move || generator(plane, gens, zipf, rate));
+            s.spawn(move || generator(plane, gens, rate));
         }
     });
 

@@ -12,11 +12,19 @@
 //!   quantiles equal those of one concatenated run.
 //! * [`workload`] — seeded scenario generators: open-loop Poisson
 //!   arrivals (the tail-exposing discipline) and closed-loop N-client
-//!   request/response (the capacity probe), with Zipf-skewed session
-//!   selection modelling destination-address locality.
+//!   request/response (the capacity probe), with locality-controlled
+//!   reference streams (Zipf, LRU-stack-depth, packet trains,
+//!   adversarial conflict cycles) modelling destination-address
+//!   locality.
+//! * [`policy`] — the pluggable per-shard demux address-cache policies
+//!   (one-entry, direct-mapped, 2-way LRU, FIFO, seeded random):
+//!   Jain's destination-cache policy space, monomorphized (no dyn
+//!   dispatch on the lookup path).
 //! * [`session`] — a sharded session table keyed by the classifier
 //!   demux key, generalizing `xkernel`'s one-entry-cache + non-empty-
-//!   bucket map to many shards with bounded residency and eviction.
+//!   bucket map to many shards with bounded residency, eviction and a
+//!   pluggable address cache per shard (seed retained as
+//!   `session::reference`).
 //! * [`service`] — per-message service models; [`ReplayService`]
 //!   replays the server-turn kcode episode through the machine model
 //!   per message (cold on session miss, warm on hit) with a
@@ -31,6 +39,7 @@
 
 pub mod dispatch;
 pub mod hist;
+pub mod policy;
 pub mod runloop;
 pub mod service;
 pub mod session;
@@ -41,6 +50,7 @@ pub use runloop::{
     run_traffic, run_traffic_reference, TrafficConfig, TrafficReport, DEMUX_CACHE_HIT_NS,
     DEMUX_CHAIN_HIT_NS, DUPLICATE_DELAY_NS, REORDER_DELAY_NS, RTO_NS, SESSION_SETUP_NS,
 };
+pub use policy::{cache_slot, DemuxCache, PolicyKind};
 pub use service::{FixedService, ReplayService, Service, ServiceStats};
-pub use session::{buckets_for_capacity, DemuxKey, SessionTable, TableStats};
-pub use workload::{exp_gap_ns, Scenario, Zipf};
+pub use session::{buckets_for_capacity, conflict_cycle, DemuxKey, SessionTable, TableStats};
+pub use workload::{exp_gap_ns, RefStream, Scenario, StreamKind, Zipf};

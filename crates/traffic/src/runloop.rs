@@ -60,9 +60,10 @@ use netsim::{Engine, EventQueue, Fate, FaultInjector, FaultStats, Ns, Overrun};
 use xkernel::map::LookupKind;
 
 use crate::hist::LatencyHistogram;
+use crate::policy::PolicyKind;
 use crate::service::{Service, ServiceStats};
-use crate::session::{buckets_for_capacity, DemuxKey, SessionTable, TableStats};
-use crate::workload::{exp_gap_ns, Scenario, Zipf};
+use crate::session::{buckets_for_capacity, conflict_cycle, DemuxKey, SessionTable, TableStats};
+use crate::workload::{exp_gap_ns, RefStream, Scenario, StreamKind, Zipf};
 
 /// Demux cost of a one-entry-cache hit (the paper's inlined fast-path
 /// compare: a handful of instructions).
@@ -112,6 +113,10 @@ pub struct TrafficConfig {
     pub corrupt_ppm: u32,
     pub reorder_ppm: u32,
     pub duplicate_ppm: u32,
+    /// Per-shard demux address-cache policy.
+    pub policy: PolicyKind,
+    /// Locality structure of the per-lane reference stream.
+    pub stream: StreamKind,
 }
 
 impl TrafficConfig {
@@ -133,6 +138,8 @@ impl TrafficConfig {
             corrupt_ppm: 0,
             reorder_ppm: 0,
             duplicate_ppm: 0,
+            policy: PolicyKind::OneEntry,
+            stream: StreamKind::Zipf,
         }
     }
 
@@ -182,6 +189,18 @@ impl TrafficConfig {
 
     pub fn with_theta(mut self, milli_theta: u32) -> Self {
         self.milli_theta = milli_theta;
+        self
+    }
+
+    /// Select the per-shard demux address-cache policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Select the reference-stream locality structure.
+    pub fn with_stream(mut self, stream: StreamKind) -> Self {
+        self.stream = stream;
         self
     }
 
@@ -302,10 +321,23 @@ pub(crate) fn lane_streams(seed: u64, worker_idx: u32) -> (SplitMix64, u64) {
     (rng, inj_seed)
 }
 
+/// The lane's reference stream over its Zipf population.  For the
+/// adversarial conflict kind this precomputes the rank cycle that
+/// collides in this worker's shard/cache-slot space.
+pub(crate) fn lane_stream(cfg: &TrafficConfig, worker_idx: u32, zipf: Arc<Zipf>) -> RefStream {
+    let cycle_ranks = match cfg.stream {
+        StreamKind::Conflict { slots, cycle } => {
+            conflict_cycle(cfg.sessions, cfg.workers, worker_idx, cfg.shards, slots, cycle)
+        }
+        _ => Vec::new(),
+    };
+    RefStream::new(cfg.stream, zipf, cycle_ranks)
+}
+
 pub(crate) struct Worker<S> {
     svc: S,
     table: SessionTable<u32>,
-    pub(crate) zipf: Arc<Zipf>,
+    pub(crate) stream: RefStream,
     pub(crate) rng: SplitMix64,
     inj: FaultInjector,
     hist: LatencyHistogram,
@@ -338,10 +370,19 @@ impl<S: Service> Worker<S> {
             Scenario::OpenLoop { .. } => (false, 0),
         };
         let capacity = cfg.effective_shard_capacity();
+        // The table seed only feeds random-replacement caches; any
+        // per-worker-distinct derivation works (it is mixed per shard).
+        let table_seed = cfg.seed ^ ((worker_idx as u64 + 1) << 16);
         Worker {
             svc,
-            table: SessionTable::new(cfg.shards as usize, capacity, buckets_for_capacity(capacity)),
-            zipf,
+            table: SessionTable::with_policy(
+                cfg.shards as usize,
+                capacity,
+                buckets_for_capacity(capacity),
+                cfg.policy,
+                table_seed,
+            ),
+            stream: lane_stream(cfg, worker_idx, zipf),
             rng,
             inj,
             hist: LatencyHistogram::new(),
@@ -377,7 +418,7 @@ impl<S: Service> Worker<S> {
             Ev::Request => {
                 if self.issued < self.quota {
                     self.issued += 1;
-                    let session = self.zipf.sample(&mut self.rng) as u32;
+                    let session = self.stream.next(&mut self.rng);
                     self.arrive(eng, t, session, t);
                 }
             }
@@ -495,7 +536,7 @@ pub mod reference {
                 let mut t: Ns = 0;
                 for _ in 0..cfg.messages_per_worker {
                     t += exp_gap_ns(&mut w.rng, rate_mps);
-                    let session = w.zipf.sample(&mut w.rng) as u32;
+                    let session = w.stream.next(&mut w.rng);
                     eng.schedule(t, Ev::Arrive { session, born: t });
                 }
                 w.mark_open_loop_issued();

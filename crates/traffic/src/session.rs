@@ -5,19 +5,31 @@
 //! bucket chained hash, [`xkernel::map::Map`]) is a single-connection
 //! structure; this module scales it to heavy traffic by sharding:
 //! power-of-two shards selected from the demux-key hash, each shard its
-//! own `Map` — so each shard keeps its *own* one-entry cache, which is
+//! own `Map` — so each shard keeps its *own* address cache, which is
 //! exactly the per-shard hot-destination fast path Jain's destination-
 //! address-locality study motivates (successive messages cluster on few
 //! destinations, so each shard's cache stays hot under Zipf traffic).
 //!
+//! The address cache in front of each shard's chain walk is a pluggable
+//! [`DemuxCache`] policy ([`PolicyKind`]): the seed one-entry cache,
+//! direct-mapped, two-way LRU, FIFO or seeded-random replacement.  The
+//! seed implementation (the map's own internal one-entry cache) is
+//! retained verbatim as [`reference::SessionTable`]; the
+//! `policy_equivalence` suite asserts the [`PolicyKind::OneEntry`]
+//! path reproduces it bit-identically — values, [`LookupKind`]s and
+//! statistics.
+//!
 //! Residency is bounded per shard; inserting past capacity evicts the
 //! oldest binding (insertion order), modelling the finite connection
-//! cache of a production demultiplexer.  Hit/miss/eviction counters
-//! feed the traffic report.
+//! cache of a production demultiplexer.  Eviction invalidates the
+//! policy cache, so a cache hit always implies residency.  Hit/miss/
+//! eviction counters feed the traffic report.
 
 use std::collections::VecDeque;
 
 use xkernel::map::{LookupKind, Map, MapStats};
+
+use crate::policy::{cache_slot, DemuxCache, PolicyKind};
 
 /// The classifier demux key: the header fields the packet classifier
 /// checks before handing a message to the inlined input path
@@ -69,7 +81,7 @@ impl DemuxKey {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableStats {
     pub lookups: u64,
-    /// One-entry-cache hits (the inlinable fast path).
+    /// Address-cache hits (the inlinable fast path).
     pub cache_hits: u64,
     /// Hash-chain hits.
     pub chain_hits: u64,
@@ -115,7 +127,17 @@ impl TableStats {
         }
     }
 
-    /// Fraction of hits satisfied by a one-entry cache.
+    /// Fraction of *all* lookups satisfied by the address cache — the
+    /// policy's figure of merit in the demux-locality study.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of hits satisfied by the address cache.
     pub fn fast_path_rate(&self) -> f64 {
         let hits = self.cache_hits + self.chain_hits;
         if hits == 0 {
@@ -128,15 +150,23 @@ impl TableStats {
 
 struct Shard<V> {
     map: Map<DemuxKey, V>,
+    /// The pluggable address cache in front of the chain walk.
+    cache: DemuxCache<V>,
     /// Insertion order, for capacity eviction.
     order: VecDeque<DemuxKey>,
 }
 
-/// The table: power-of-two shards, bounded residency per shard.
+/// The table: power-of-two shards, bounded residency per shard, a
+/// pluggable address-cache policy per shard.
 pub struct SessionTable<V> {
     shards: Vec<Shard<V>>,
     mask: u64,
     capacity_per_shard: usize,
+    policy: PolicyKind,
+    lookups: u64,
+    cache_hits: u64,
+    chain_hits: u64,
+    misses: u64,
     insertions: u64,
     evictions: u64,
     peak_resident: usize,
@@ -145,19 +175,38 @@ pub struct SessionTable<V> {
 impl<V: Clone> SessionTable<V> {
     /// `shards` must be a power of two; each shard holds at most
     /// `capacity_per_shard` sessions over `buckets_per_shard` hash
-    /// buckets.
+    /// buckets, behind the seed one-entry address cache.
     pub fn new(shards: usize, capacity_per_shard: usize, buckets_per_shard: usize) -> Self {
+        Self::with_policy(shards, capacity_per_shard, buckets_per_shard, PolicyKind::OneEntry, 0)
+    }
+
+    /// [`SessionTable::new`] with an explicit address-cache policy.
+    /// `seed` feeds random-replacement shards (each shard's stream is
+    /// derived from `(seed, shard index)`, so runs are deterministic).
+    pub fn with_policy(
+        shards: usize,
+        capacity_per_shard: usize,
+        buckets_per_shard: usize,
+        policy: PolicyKind,
+        seed: u64,
+    ) -> Self {
         assert!(shards.is_power_of_two(), "shard count must be a power of two");
         assert!(capacity_per_shard > 0);
         SessionTable {
             shards: (0..shards)
-                .map(|_| Shard {
+                .map(|i| Shard {
                     map: Map::new(buckets_per_shard),
+                    cache: DemuxCache::new(policy, mix64(seed ^ (i as u64 + 1))),
                     order: VecDeque::with_capacity(capacity_per_shard + 1),
                 })
                 .collect(),
             mask: shards as u64 - 1,
             capacity_per_shard,
+            policy,
+            lookups: 0,
+            cache_hits: 0,
+            chain_hits: 0,
+            misses: 0,
             insertions: 0,
             evictions: 0,
             peak_resident: 0,
@@ -194,6 +243,11 @@ impl<V: Clone> SessionTable<V> {
         self.capacity_per_shard
     }
 
+    /// The address-cache policy every shard runs.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
     /// Current residency of every shard, in shard order.
     pub fn shard_occupancy(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.map.len()).collect()
@@ -214,13 +268,26 @@ impl<V: Clone> SessionTable<V> {
         ((key.hash() >> 17) & self.mask) as usize
     }
 
-    /// Demultiplex: look `key` up in its shard.  The [`LookupKind`]
-    /// tells the caller which cost path the lookup took (one-entry
-    /// cache / chain walk / miss).
+    /// Demultiplex: look `key` up in its shard — policy cache first
+    /// (the inlinable fast path), chain walk second.  The
+    /// [`LookupKind`] tells the caller which cost path the lookup took.
     pub fn lookup(&mut self, key: &DemuxKey) -> (Option<V>, LookupKind) {
         let h = key.hash();
         let s = ((h >> 17) & self.mask) as usize;
-        self.shards[s].map.lookup(h, key)
+        self.lookups += 1;
+        let shard = &mut self.shards[s];
+        if let Some(v) = shard.cache.probe(h, key) {
+            self.cache_hits += 1;
+            return (Some(v), LookupKind::CacheHit);
+        }
+        if let Some(v) = shard.map.probe(h, key) {
+            let v = v.clone();
+            self.chain_hits += 1;
+            shard.cache.fill(h, *key, v.clone());
+            return (Some(v), LookupKind::ChainHit);
+        }
+        self.misses += 1;
+        (None, LookupKind::Miss)
     }
 
     /// Insert a binding, evicting the shard's oldest binding if the
@@ -232,6 +299,7 @@ impl<V: Clone> SessionTable<V> {
         let cap = self.capacity_per_shard;
         let shard = &mut self.shards[s];
         let before = shard.map.len();
+        shard.cache.rebind(h, &key, &value);
         shard.map.bind(h, key, value);
         if shard.map.len() == before {
             return; // rebind of a live key
@@ -240,7 +308,9 @@ impl<V: Clone> SessionTable<V> {
         shard.order.push_back(key);
         if shard.map.len() > cap {
             if let Some(old) = shard.order.pop_front() {
-                shard.map.unbind(old.hash(), &old);
+                let oh = old.hash();
+                shard.map.unbind(oh, &old);
+                shard.cache.invalidate(oh, &old);
                 self.evictions += 1;
             }
         }
@@ -251,15 +321,11 @@ impl<V: Clone> SessionTable<V> {
 
     /// Aggregated statistics across all shards.
     pub fn stats(&self) -> TableStats {
-        let mut m = MapStats::default();
-        for s in &self.shards {
-            m.merge(&s.map.stats);
-        }
         TableStats {
-            lookups: m.lookups,
-            cache_hits: m.cache_hits,
-            chain_hits: m.chain_hits,
-            misses: m.misses,
+            lookups: self.lookups,
+            cache_hits: self.cache_hits,
+            chain_hits: self.chain_hits,
+            misses: self.misses,
             insertions: self.insertions,
             evictions: self.evictions,
             resident: self.len() as u64,
@@ -273,6 +339,145 @@ impl<V: Clone> SessionTable<V> {
 /// existing small configurations are bit-unchanged) and a 8192 ceiling.
 pub fn buckets_for_capacity(capacity: usize) -> usize {
     (capacity / 4).next_power_of_two().clamp(16, 8192)
+}
+
+/// Session ranks (of one worker's population) that collide in both
+/// shard space and the address-cache slot space of a direct-mapped /
+/// set-indexed policy with `slots` slots: the raw material of the
+/// adversarial conflict stream.  Ranks are returned in ascending order
+/// from the largest colliding group, truncated to `cycle` members.
+pub fn conflict_cycle(
+    sessions: u32,
+    workers: u32,
+    worker_idx: u32,
+    shards: u32,
+    slots: u32,
+    cycle: u32,
+) -> Vec<u32> {
+    assert!(slots.is_power_of_two());
+    assert!(shards.is_power_of_two());
+    let slot_mask = slots as u64 - 1;
+    let shard_mask = shards as u64 - 1;
+    let mut groups: std::collections::HashMap<(usize, usize), Vec<u32>> =
+        std::collections::HashMap::new();
+    for rank in 0..sessions.max(1) {
+        let id = rank as u64 * workers as u64 + worker_idx as u64;
+        let h = DemuxKey::for_session(id).hash();
+        let shard = ((h >> 17) & shard_mask) as usize;
+        let slot = cache_slot(h, slot_mask);
+        groups.entry((shard, slot)).or_default().push(rank);
+    }
+    // Deterministic winner: largest group, ties broken by (shard, slot).
+    let mut best: Vec<u32> = Vec::new();
+    let mut best_key = (usize::MAX, usize::MAX);
+    for (k, v) in groups {
+        if v.len() > best.len() || (v.len() == best.len() && k < best_key) {
+            best = v;
+            best_key = k;
+        }
+    }
+    best.sort_unstable();
+    best.truncate(cycle.max(2) as usize);
+    best
+}
+
+/// The seed session table, retained verbatim: each shard's address
+/// cache is the x-kernel map's *internal* one-entry cache and the
+/// statistics come from the summed [`MapStats`].  The pluggable-policy
+/// table's [`PolicyKind::OneEntry`] path must reproduce this structure
+/// bit-identically — returned values, [`LookupKind`]s and
+/// [`TableStats`] — which `traffic/tests/policy_equivalence.rs` asserts
+/// over seeded workloads.
+pub mod reference {
+    use super::*;
+
+    struct Shard<V> {
+        map: Map<DemuxKey, V>,
+        order: VecDeque<DemuxKey>,
+    }
+
+    /// The seed table: power-of-two shards, bounded residency.
+    pub struct SessionTable<V> {
+        shards: Vec<Shard<V>>,
+        mask: u64,
+        capacity_per_shard: usize,
+        insertions: u64,
+        evictions: u64,
+        peak_resident: usize,
+    }
+
+    impl<V: Clone> SessionTable<V> {
+        pub fn new(shards: usize, capacity_per_shard: usize, buckets_per_shard: usize) -> Self {
+            assert!(shards.is_power_of_two(), "shard count must be a power of two");
+            assert!(capacity_per_shard > 0);
+            SessionTable {
+                shards: (0..shards)
+                    .map(|_| Shard {
+                        map: Map::new(buckets_per_shard),
+                        order: VecDeque::with_capacity(capacity_per_shard + 1),
+                    })
+                    .collect(),
+                mask: shards as u64 - 1,
+                capacity_per_shard,
+                insertions: 0,
+                evictions: 0,
+                peak_resident: 0,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.shards.iter().map(|s| s.map.len()).sum()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        pub fn lookup(&mut self, key: &DemuxKey) -> (Option<V>, LookupKind) {
+            let h = key.hash();
+            let s = ((h >> 17) & self.mask) as usize;
+            self.shards[s].map.lookup(h, key)
+        }
+
+        pub fn insert(&mut self, key: DemuxKey, value: V) {
+            let h = key.hash();
+            let s = ((h >> 17) & self.mask) as usize;
+            let cap = self.capacity_per_shard;
+            let shard = &mut self.shards[s];
+            let before = shard.map.len();
+            shard.map.bind(h, key, value);
+            if shard.map.len() == before {
+                return; // rebind of a live key
+            }
+            self.insertions += 1;
+            shard.order.push_back(key);
+            if shard.map.len() > cap {
+                if let Some(old) = shard.order.pop_front() {
+                    shard.map.unbind(old.hash(), &old);
+                    self.evictions += 1;
+                }
+            }
+            self.peak_resident =
+                self.peak_resident.max((self.insertions - self.evictions) as usize);
+        }
+
+        pub fn stats(&self) -> TableStats {
+            let mut m = MapStats::default();
+            for s in &self.shards {
+                m.merge(&s.map.stats);
+            }
+            TableStats {
+                lookups: m.lookups,
+                cache_hits: m.cache_hits,
+                chain_hits: m.chain_hits,
+                misses: m.misses,
+                insertions: self.insertions,
+                evictions: self.evictions,
+                resident: self.len() as u64,
+                peak_resident: self.peak_resident as u64,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +570,32 @@ mod tests {
     }
 
     #[test]
+    fn rebind_updates_cached_value() {
+        let mut t: SessionTable<u32> = SessionTable::new(1, 4, 8);
+        let k = DemuxKey::for_session(9);
+        t.insert(k, 1);
+        t.lookup(&k); // chain hit fills the cache
+        t.insert(k, 2); // rebind must update the cached value
+        let (v, kind) = t.lookup(&k);
+        assert_eq!(v, Some(2));
+        assert_eq!(kind, LookupKind::CacheHit);
+    }
+
+    #[test]
+    fn eviction_invalidates_policy_cache() {
+        // Fill a cached key out of the table; the cache must not keep
+        // serving it.  FIFO's 8 slots would otherwise retain it.
+        let mut t: SessionTable<u32> =
+            SessionTable::with_policy(1, 2, 8, PolicyKind::Fifo { slots: 8 }, 0);
+        let keys: Vec<DemuxKey> = (0..3).map(DemuxKey::for_session).collect();
+        t.insert(keys[0], 0);
+        t.lookup(&keys[0]); // cached
+        t.insert(keys[1], 1);
+        t.insert(keys[2], 2); // evicts keys[0] from the table
+        assert_eq!(t.lookup(&keys[0]), (None, LookupKind::Miss));
+    }
+
+    #[test]
     fn shard_routing_spreads_sessions() {
         let t: SessionTable<u32> = SessionTable::new(8, 64, 64);
         let mut per_shard = [0usize; 8];
@@ -373,6 +604,21 @@ mod tests {
         }
         for (s, &n) in per_shard.iter().enumerate() {
             assert!(n > 20, "shard {s} got only {n}/512 sessions");
+        }
+    }
+
+    #[test]
+    fn conflict_cycle_collides_in_shard_and_slot() {
+        let (sessions, workers, widx, shards, slots) = (512, 4, 1, 8, 8);
+        let cycle = conflict_cycle(sessions, workers, widx, shards, slots, 6);
+        assert!(cycle.len() >= 2, "need a real collision group, got {cycle:?}");
+        let fingerprint = |rank: u32| {
+            let h = DemuxKey::for_session(rank as u64 * workers as u64 + widx as u64).hash();
+            (((h >> 17) & (shards as u64 - 1)) as usize, cache_slot(h, slots as u64 - 1))
+        };
+        let f0 = fingerprint(cycle[0]);
+        for &r in &cycle {
+            assert_eq!(fingerprint(r), f0, "rank {r} does not collide");
         }
     }
 }

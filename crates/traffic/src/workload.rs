@@ -18,6 +18,8 @@
 //! on few hot destinations), with the skew exponent in milli-units so
 //! workload configurations stay `Eq + Hash` for memoization.
 
+use std::sync::Arc;
+
 use netsim::rng::SplitMix64;
 use netsim::Ns;
 
@@ -78,6 +80,123 @@ impl Zipf {
     }
 }
 
+/// Which locality structure the per-lane reference stream exhibits.
+/// Integer-only fields so stream configurations stay `Eq + Hash` for
+/// memoization, mirroring [`Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// Independent Zipf(θ) draws — the seed stream, bit-identical RNG
+    /// consumption (exactly one uniform draw per arrival).
+    Zipf,
+    /// LRU-stack-depth controlled: each reference names the session at
+    /// a geometrically distributed depth of the lane's LRU stack
+    /// (P(depth = d) ∝ p^d with p = `milli_p / 1000`), then moves it to
+    /// the front.  Jain's stack-depth characterization of destination
+    /// locality: small p → tight temporal locality, p → 1 → uniform.
+    StackDepth { milli_p: u32 },
+    /// Jain's packet-train model: a train picks a Zipf destination and
+    /// keeps re-referencing it; each subsequent arrival continues the
+    /// train with probability `milli_cont / 1000`, else a new train
+    /// starts on a fresh Zipf draw.  High continuation favours even a
+    /// one-entry cache; the *inter*-train locality is what larger
+    /// policies capture.
+    Train { milli_cont: u32 },
+    /// Adversarial conflict stream: cycles through `cycle` sessions
+    /// whose demux-key hashes collide in both shard space and the
+    /// `slots`-slot address-cache index space — the classic pattern
+    /// that defeats one-entry and direct-mapped caches while fully
+    /// associative policies of ≥ `cycle` entries hold it resident.
+    Conflict { slots: u32, cycle: u32 },
+}
+
+impl StreamKind {
+    /// Stable snake_case name for bench JSON keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamKind::Zipf => "zipf",
+            StreamKind::StackDepth { .. } => "stack_depth",
+            StreamKind::Train { .. } => "train",
+            StreamKind::Conflict { .. } => "conflict",
+        }
+    }
+}
+
+/// A stateful per-lane reference stream: maps the lane's seeded RNG to
+/// a sequence of session ranks in `0..sessions` with the locality
+/// structure of its [`StreamKind`].  Deterministic: the emitted
+/// sequence is a pure function of (kind, sessions, RNG state).
+#[derive(Debug, Clone)]
+pub struct RefStream {
+    kind: StreamKind,
+    zipf: Arc<Zipf>,
+    /// LRU stack for [`StreamKind::StackDepth`] (front = most recent).
+    stack: Vec<u32>,
+    /// Current train destination for [`StreamKind::Train`].
+    train_dest: u32,
+    train_live: bool,
+    /// Precomputed colliding ranks for [`StreamKind::Conflict`].
+    cycle: Vec<u32>,
+    pos: usize,
+}
+
+impl RefStream {
+    /// A stream over the ranks of `zipf` (`0..zipf.n()`).  For
+    /// [`StreamKind::Conflict`], `cycle_ranks` supplies the colliding
+    /// rank set (see `session::conflict_cycle`); other kinds ignore it.
+    pub fn new(kind: StreamKind, zipf: Arc<Zipf>, cycle_ranks: Vec<u32>) -> Self {
+        let stack = match kind {
+            StreamKind::StackDepth { .. } => (0..zipf.n() as u32).collect(),
+            _ => Vec::new(),
+        };
+        let cycle = match kind {
+            StreamKind::Conflict { .. } => {
+                assert!(cycle_ranks.len() >= 2, "conflict stream needs ≥ 2 colliding ranks");
+                cycle_ranks
+            }
+            _ => Vec::new(),
+        };
+        RefStream { kind, zipf, stack, train_dest: 0, train_live: false, cycle, pos: 0 }
+    }
+
+    pub fn kind(&self) -> StreamKind {
+        self.kind
+    }
+
+    /// Next session rank.  RNG consumption per kind: Zipf = 1 draw
+    /// (bit-identical to the seed path), StackDepth = 1 draw, Train =
+    /// 1–2 draws, Conflict = 0 draws.
+    #[inline]
+    pub fn next(&mut self, rng: &mut SplitMix64) -> u32 {
+        match self.kind {
+            StreamKind::Zipf => self.zipf.sample(rng) as u32,
+            StreamKind::StackDepth { milli_p } => {
+                let p = (milli_p as f64 / 1000.0).clamp(0.001, 0.999);
+                let u = rng.next_f64();
+                // Geometric stack depth: P(d) ∝ p^d.
+                let depth = ((1.0 - u).ln() / p.ln()) as usize;
+                let depth = depth.min(self.stack.len() - 1);
+                let dest = self.stack.remove(depth);
+                self.stack.insert(0, dest);
+                dest
+            }
+            StreamKind::Train { milli_cont } => {
+                if self.train_live && rng.chance(milli_cont as f64 / 1000.0) {
+                    self.train_dest
+                } else {
+                    self.train_dest = self.zipf.sample(rng) as u32;
+                    self.train_live = true;
+                    self.train_dest
+                }
+            }
+            StreamKind::Conflict { .. } => {
+                let dest = self.cycle[self.pos];
+                self.pos = (self.pos + 1) % self.cycle.len();
+                dest
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +249,68 @@ mod tests {
         let total: u128 = (0..n).map(|_| exp_gap_ns(&mut rng, rate) as u128).sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 100_000.0).abs() < 4_000.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn zipf_stream_matches_raw_sampler_bit_for_bit() {
+        // StreamKind::Zipf must consume the RNG exactly like the seed
+        // path (one draw per arrival) and emit the same ranks.
+        let z = Arc::new(Zipf::new(256, 900));
+        let mut s = RefStream::new(StreamKind::Zipf, Arc::clone(&z), Vec::new());
+        let mut r1 = SplitMix64::new(77);
+        let mut r2 = SplitMix64::new(77);
+        for _ in 0..500 {
+            assert_eq!(s.next(&mut r1) as usize, z.sample(&mut r2));
+        }
+        assert_eq!(r1.next_u64(), r2.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn stack_depth_stream_stays_in_range_and_reuses_hot() {
+        let z = Arc::new(Zipf::new(64, 0));
+        let mut s = RefStream::new(StreamKind::StackDepth { milli_p: 300 }, z, Vec::new());
+        let mut rng = SplitMix64::new(9);
+        let mut repeats = 0u32;
+        let mut last = u32::MAX;
+        for _ in 0..2000 {
+            let d = s.next(&mut rng);
+            assert!(d < 64);
+            if d == last {
+                repeats += 1;
+            }
+            last = d;
+        }
+        // p = 0.3 → immediate re-reference (depth 0) dominates.
+        assert!(repeats > 800, "only {repeats}/2000 immediate repeats");
+    }
+
+    #[test]
+    fn train_stream_runs_in_trains() {
+        let z = Arc::new(Zipf::new(64, 0));
+        let mut s = RefStream::new(StreamKind::Train { milli_cont: 900 }, z, Vec::new());
+        let mut rng = SplitMix64::new(4);
+        let refs: Vec<u32> = (0..3000).map(|_| s.next(&mut rng)).collect();
+        let same: usize = refs.windows(2).filter(|w| w[0] == w[1]).count();
+        // 0.9 continuation → long trains; uniform draws alone would
+        // repeat ~1.6% of the time.
+        let frac = same as f64 / (refs.len() - 1) as f64;
+        assert!(frac > 0.8, "train continuation fraction {frac}");
+    }
+
+    #[test]
+    fn conflict_stream_cycles_without_rng() {
+        let z = Arc::new(Zipf::new(64, 0));
+        let mut s = RefStream::new(
+            StreamKind::Conflict { slots: 8, cycle: 3 },
+            z,
+            vec![5, 9, 21],
+        );
+        let mut rng = SplitMix64::new(1);
+        let before = rng.next_u64();
+        let mut rng = SplitMix64::new(1);
+        let out: Vec<u32> = (0..7).map(|_| s.next(&mut rng)).collect();
+        assert_eq!(out, vec![5, 9, 21, 5, 9, 21, 5]);
+        assert_eq!(rng.next_u64(), before, "conflict stream must not touch the RNG");
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! The pluggable-policy session table against the retained seed table
+//! (`session::reference`): with the one-entry policy, the refactored
+//! table must reproduce the seed bit-for-bit — every returned value,
+//! every `LookupKind`, every statistic — across seeded workloads.
+//! This is the same reference-twin pattern the machine, layout, run
+//! loop and engine carry.
+
+use netsim::rng::SplitMix64;
+use traffic::session::reference;
+use traffic::{
+    buckets_for_capacity, DemuxKey, PolicyKind, SessionTable, StreamKind, TableStats, Zipf,
+};
+
+/// The operations the workload driver needs, implemented by both the
+/// refactored table and the retained seed table.
+trait Table {
+    fn lookup(&mut self, k: &DemuxKey) -> (Option<u32>, xkernel::map::LookupKind);
+    fn insert(&mut self, k: DemuxKey, v: u32);
+}
+
+impl Table for SessionTable<u32> {
+    fn lookup(&mut self, k: &DemuxKey) -> (Option<u32>, xkernel::map::LookupKind) {
+        SessionTable::lookup(self, k)
+    }
+    fn insert(&mut self, k: DemuxKey, v: u32) {
+        SessionTable::insert(self, k, v)
+    }
+}
+
+impl Table for reference::SessionTable<u32> {
+    fn lookup(&mut self, k: &DemuxKey) -> (Option<u32>, xkernel::map::LookupKind) {
+        reference::SessionTable::lookup(self, k)
+    }
+    fn insert(&mut self, k: DemuxKey, v: u32) {
+        reference::SessionTable::insert(self, k, v)
+    }
+}
+
+/// Drive one seeded lookup/insert workload through a table, returning
+/// the observed (value, kind) trace.
+fn drive<T: Table>(seed: u64, ops: usize, sessions: u64, table: &mut T) -> Vec<(Option<u32>, &'static str)> {
+    use xkernel::map::LookupKind;
+    let zipf = Zipf::new(sessions as usize, 900);
+    let mut rng = SplitMix64::new(seed);
+    let mut trace = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let rank = zipf.sample(&mut rng) as u64;
+        let key = DemuxKey::for_session(rank);
+        let (v, kind) = table.lookup(&key);
+        let kind = match kind {
+            LookupKind::CacheHit => "cache",
+            LookupKind::ChainHit => "chain",
+            LookupKind::Miss => "miss",
+        };
+        if v.is_none() {
+            table.insert(key, rank as u32);
+        } else if rng.chance(0.02) {
+            // Occasional rebind of a live key (value refresh).
+            table.insert(key, rank as u32 ^ 0x8000_0000);
+        }
+        trace.push((v, kind));
+    }
+    trace
+}
+
+#[test]
+fn one_entry_policy_is_bit_identical_to_seed_table_on_64_workloads() {
+    for seed in 0..64u64 {
+        // Vary the topology with the seed so the suite sweeps shard
+        // counts, capacities (eviction pressure) and populations.
+        let shards = 1usize << (seed % 4); // 1..8
+        let capacity = 2 + (seed % 7) as usize * 4; // 2..26
+        let buckets = buckets_for_capacity(capacity);
+        let sessions = 32 + (seed % 5) * 96; // 32..416
+        let mut new = SessionTable::<u32>::new(shards, capacity, buckets);
+        let mut old = reference::SessionTable::<u32>::new(shards, capacity, buckets);
+        let trace_new = drive(seed, 4_000, sessions, &mut new);
+        let trace_old = drive(seed, 4_000, sessions, &mut old);
+        assert_eq!(trace_new, trace_old, "lookup trace diverged at seed {seed}");
+        assert_eq!(new.stats(), old.stats(), "stats diverged at seed {seed}");
+    }
+}
+
+/// A shadow model: plain HashMap residency driven by the same FIFO
+/// eviction discipline.  Checks every policy returns exactly the
+/// resident bindings — hit/miss correctness independent of the seed
+/// table.
+#[test]
+fn every_policy_agrees_with_a_shadow_residency_model() {
+    use std::collections::{HashMap, VecDeque};
+    for policy in [
+        PolicyKind::OneEntry,
+        PolicyKind::DirectMapped { slots: 8 },
+        PolicyKind::TwoWayLru { sets: 4 },
+        PolicyKind::Fifo { slots: 8 },
+        PolicyKind::Random { slots: 8 },
+    ] {
+        for seed in [3u64, 19, 77] {
+            let (shards, capacity) = (4usize, 6usize);
+            let mut table =
+                SessionTable::<u32>::with_policy(shards, capacity, 16, policy, seed);
+            let mut shadow: HashMap<DemuxKey, u32> = HashMap::new();
+            let mut order: Vec<VecDeque<DemuxKey>> = vec![VecDeque::new(); shards];
+            let zipf = Zipf::new(256, 900);
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..5_000 {
+                let rank = zipf.sample(&mut rng) as u64;
+                let key = DemuxKey::for_session(rank);
+                let (got, _) = table.lookup(&key);
+                assert_eq!(
+                    got,
+                    shadow.get(&key).copied(),
+                    "{policy:?} seed {seed}: table disagrees with shadow residency"
+                );
+                if got.is_none() {
+                    let s = table.shard_of(&key);
+                    table.insert(key, rank as u32);
+                    shadow.insert(key, rank as u32);
+                    order[s].push_back(key);
+                    if order[s].len() > capacity {
+                        let old = order[s].pop_front().expect("non-empty");
+                        shadow.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fill-on-chain-hit contract: for a fixed workload, residency —
+/// and therefore misses, total hits and evictions — is identical
+/// across policies; only the cache/chain split moves.
+#[test]
+fn misses_and_total_hits_are_policy_invariant() {
+    let run = |policy: PolicyKind| -> TableStats {
+        let mut table = SessionTable::<u32>::with_policy(4, 8, 16, policy, 42);
+        let zipf = Zipf::new(256, 900);
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..8_000 {
+            let rank = zipf.sample(&mut rng) as u64;
+            let key = DemuxKey::for_session(rank);
+            if table.lookup(&key).0.is_none() {
+                table.insert(key, rank as u32);
+            }
+        }
+        table.stats()
+    };
+    let seed = run(PolicyKind::OneEntry);
+    for policy in [
+        PolicyKind::DirectMapped { slots: 8 },
+        PolicyKind::TwoWayLru { sets: 4 },
+        PolicyKind::Fifo { slots: 8 },
+        PolicyKind::Random { slots: 8 },
+    ] {
+        let s = run(policy);
+        assert_eq!(s.lookups, seed.lookups);
+        assert_eq!(s.misses, seed.misses, "{policy:?} changed the miss trajectory");
+        assert_eq!(
+            s.cache_hits + s.chain_hits,
+            seed.cache_hits + seed.chain_hits,
+            "{policy:?} changed the total hit count"
+        );
+        assert_eq!(s.evictions, seed.evictions, "{policy:?} changed evictions");
+        assert_eq!(s.insertions, seed.insertions);
+    }
+}
+
+/// End-to-end policy equivalence: a full traffic run with the one-entry
+/// policy must produce a bit-identical report to the seed default
+/// (which *is* the one-entry policy) — the `with_policy` plumbing adds
+/// nothing to the seed path.
+#[test]
+fn traffic_run_with_explicit_one_entry_matches_default() {
+    use traffic::{run_traffic, FixedService, TrafficConfig};
+    let base = TrafficConfig::open_loop(4_000, 3_000, 128)
+        .with_workers(2)
+        .with_seed(0xABCD)
+        .with_faults(2_000, 1_000, 2_000, 1_000);
+    let explicit = base.with_policy(PolicyKind::OneEntry).with_stream(StreamKind::Zipf);
+    let a = run_traffic(&base, |_| FixedService::uniform(1_500)).expect("drains");
+    let b = run_traffic(&explicit, |_| FixedService::uniform(1_500)).expect("drains");
+    assert_eq!(a, b);
+}

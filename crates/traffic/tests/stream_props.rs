@@ -1,0 +1,187 @@
+//! Seeded property suites for the locality-controlled reference
+//! streams: each generator's emitted sequence must exhibit the locality
+//! structure its parameters promise, deterministically per seed.
+
+use std::sync::Arc;
+
+use netsim::rng::SplitMix64;
+use traffic::{cache_slot, conflict_cycle, DemuxKey, RefStream, StreamKind, Zipf};
+
+fn collect(kind: StreamKind, n_sessions: usize, seed: u64, len: usize, cycle: Vec<u32>) -> Vec<u32> {
+    let zipf = Arc::new(Zipf::new(n_sessions, 900));
+    let mut s = RefStream::new(kind, zipf, cycle);
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| s.next(&mut rng)).collect()
+}
+
+/// Observed LRU stack depth of each reference: maintain the stack the
+/// generator maintains and record where each reference hit it.
+fn stack_depths(refs: &[u32], n_sessions: usize) -> Vec<usize> {
+    let mut stack: Vec<u32> = (0..n_sessions as u32).collect();
+    refs.iter()
+        .map(|&r| {
+            let d = stack.iter().position(|&x| x == r).expect("rank in stack");
+            stack.remove(d);
+            stack.insert(0, r);
+            d
+        })
+        .collect()
+}
+
+#[test]
+fn every_stream_kind_is_cross_run_deterministic() {
+    for kind in [
+        StreamKind::Zipf,
+        StreamKind::StackDepth { milli_p: 700 },
+        StreamKind::Train { milli_cont: 930 },
+        StreamKind::Conflict { slots: 8, cycle: 4 },
+    ] {
+        let cycle = vec![3, 17, 40, 99];
+        for seed in [1u64, 42, 0xDEAD] {
+            let a = collect(kind, 128, seed, 3_000, cycle.clone());
+            let b = collect(kind, 128, seed, 3_000, cycle.clone());
+            assert_eq!(a, b, "{kind:?} not deterministic at seed {seed}");
+        }
+        let a = collect(kind, 128, 1, 3_000, cycle.clone());
+        let b = collect(kind, 128, 2, 3_000, cycle.clone());
+        if matches!(kind, StreamKind::Conflict { .. }) {
+            // The conflict cycle ignores the RNG by design.
+            assert_eq!(a, b);
+        } else {
+            assert_ne!(a, b, "{kind:?} ignored its seed");
+        }
+    }
+}
+
+#[test]
+fn stack_depth_histogram_matches_geometric_distribution() {
+    // P(depth = d) ∝ p^d: the observed depth histogram must decay
+    // geometrically with ratio ≈ p, and the mass at depth 0 must be
+    // ≈ (1 - p).
+    let p = 0.6f64;
+    let refs = collect(StreamKind::StackDepth { milli_p: 600 }, 256, 7, 60_000, Vec::new());
+    let depths = stack_depths(&refs, 256);
+    let mut hist = [0usize; 8];
+    for &d in &depths {
+        if d < hist.len() {
+            hist[d] += 1;
+        }
+    }
+    let total = depths.len() as f64;
+    let p0 = hist[0] as f64 / total;
+    assert!(
+        (p0 - (1.0 - p)).abs() < 0.03,
+        "depth-0 mass {p0:.3}, expected ≈ {:.3}",
+        1.0 - p
+    );
+    for d in 0..5 {
+        let ratio = hist[d + 1] as f64 / hist[d] as f64;
+        assert!(
+            (ratio - p).abs() < 0.08,
+            "histogram ratio at depth {d} is {ratio:.3}, expected ≈ {p}"
+        );
+    }
+}
+
+#[test]
+fn stack_depth_locality_knob_orders_working_sets() {
+    // Smaller p ⇒ tighter locality ⇒ fewer distinct sessions in any
+    // window.  Check via distinct-count over fixed windows.
+    let distinct_per_window = |milli_p: u32| {
+        let refs = collect(StreamKind::StackDepth { milli_p }, 256, 11, 20_000, Vec::new());
+        let windows = refs.chunks_exact(100);
+        let total: usize = windows
+            .map(|w| {
+                let mut s: Vec<u32> = w.to_vec();
+                s.sort_unstable();
+                s.dedup();
+                s.len()
+            })
+            .sum();
+        total
+    };
+    let tight = distinct_per_window(300);
+    let loose = distinct_per_window(950);
+    assert!(
+        tight * 2 < loose,
+        "p=0.3 windows ({tight}) not decisively tighter than p=0.95 ({loose})"
+    );
+}
+
+#[test]
+fn train_burstiness_tracks_continuation_probability() {
+    // Jain's train model: the run-length of consecutive identical
+    // destinations is geometric with mean 1/(1-c); the fraction of
+    // train-continuing arrivals must be ≈ c.
+    for (milli_cont, c) in [(800u32, 0.8f64), (950, 0.95)] {
+        let refs = collect(StreamKind::Train { milli_cont }, 128, 13, 40_000, Vec::new());
+        let cont = refs.windows(2).filter(|w| w[0] == w[1]).count() as f64;
+        let frac = cont / (refs.len() - 1) as f64;
+        // A new train can land on the same destination by chance, so
+        // observed continuation sits slightly above c.
+        assert!(
+            frac >= c - 0.02 && frac <= c + 0.06,
+            "milli_cont={milli_cont}: continuation fraction {frac:.3}, expected ≈ {c}"
+        );
+        // trains = switches + 1 = (len-1 - cont) + 1
+        let mean_run = refs.len() as f64 / (refs.len() as f64 - cont);
+        assert!(
+            mean_run > 1.0 / (1.0 - c) * 0.8,
+            "mean train length {mean_run:.1} too short for c={c}"
+        );
+    }
+}
+
+#[test]
+fn train_switches_destinations_across_trains() {
+    let refs = collect(StreamKind::Train { milli_cont: 900 }, 128, 17, 30_000, Vec::new());
+    let mut distinct: Vec<u32> = refs.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    // Inter-train Zipf draws must roam the population, not ride one
+    // destination forever.
+    assert!(distinct.len() > 30, "only {} distinct destinations", distinct.len());
+}
+
+#[test]
+fn conflict_cycle_ranks_collide_and_stream_cycles_them() {
+    let (sessions, workers, shards, slots) = (512u32, 4u32, 8u32, 8u32);
+    for worker_idx in 0..workers {
+        let ranks = conflict_cycle(sessions, workers, worker_idx, shards, slots, 6);
+        assert!(ranks.len() >= 2, "worker {worker_idx}: no collision group of size ≥ 2");
+        // Every rank maps to one (shard, slot) pair.
+        let fp = |rank: u32| {
+            let h = DemuxKey::for_session(rank as u64 * workers as u64 + worker_idx as u64).hash();
+            (((h >> 17) & (shards as u64 - 1)), cache_slot(h, slots as u64 - 1))
+        };
+        let f0 = fp(ranks[0]);
+        for &r in &ranks {
+            assert_eq!(fp(r), f0, "worker {worker_idx}: rank {r} escapes the conflict set");
+        }
+        // The stream must cycle exactly those ranks, consuming no RNG.
+        let refs = collect(
+            StreamKind::Conflict { slots, cycle: 6 },
+            sessions as usize,
+            99,
+            ranks.len() * 3,
+            ranks.clone(),
+        );
+        for (i, &r) in refs.iter().enumerate() {
+            assert_eq!(r, ranks[i % ranks.len()]);
+        }
+    }
+}
+
+#[test]
+fn zipf_stream_preserves_seed_rng_consumption() {
+    // The Zipf stream kind must be indistinguishable from the seed
+    // direct-sampling path: same outputs, same RNG positions.
+    let zipf = Arc::new(Zipf::new(512, 900));
+    let mut stream = RefStream::new(StreamKind::Zipf, Arc::clone(&zipf), Vec::new());
+    let mut r1 = SplitMix64::new(0x7EA5);
+    let mut r2 = SplitMix64::new(0x7EA5);
+    for _ in 0..10_000 {
+        assert_eq!(stream.next(&mut r1) as usize, zipf.sample(&mut r2));
+    }
+    assert_eq!(r1.next_u64(), r2.next_u64());
+}

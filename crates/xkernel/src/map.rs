@@ -154,6 +154,17 @@ impl<K: Eq + Clone, V: Clone> Map<K, V> {
         (None, LookupKind::Miss)
     }
 
+    /// Chain-walk probe that bypasses — and does not update — the
+    /// one-entry cache and the stats counters.  A caller layering its
+    /// *own* address-cache policy in front of the map (the pluggable
+    /// demux caches in `traffic::policy`) owns both the cache and the
+    /// hit/miss taxonomy; this gives it the bare chain lookup.
+    #[inline]
+    pub fn probe(&self, hash: u64, key: &K) -> Option<&V> {
+        let idx = self.index(hash);
+        self.buckets[idx].chain.iter().find(|b| b.key == *key).map(|b| &b.value)
+    }
+
     /// Remove a binding.  The bucket is *not* unlinked from the
     /// non-empty list even if it becomes empty — lazy deletion.
     pub fn unbind(&mut self, hash: u64, key: &K) -> Option<V> {
@@ -255,6 +266,18 @@ mod tests {
         let (v, kind) = m.lookup(hash_of(7), &7);
         assert_eq!(v, Some(71));
         assert_eq!(kind, LookupKind::CacheHit);
+    }
+
+    #[test]
+    fn probe_bypasses_cache_and_stats() {
+        let mut m: Map<u64, u32> = Map::new(64);
+        m.bind(hash_of(7), 7, 70);
+        assert_eq!(m.probe(hash_of(7), &7), Some(&70));
+        assert_eq!(m.probe(hash_of(8), &8), None);
+        // No stats were bumped and the cache stayed cold: the next
+        // lookup is still a chain hit.
+        assert_eq!(m.stats.lookups, 0);
+        assert_eq!(m.lookup(hash_of(7), &7).1, LookupKind::ChainHit);
     }
 
     #[test]

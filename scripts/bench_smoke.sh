@@ -16,12 +16,17 @@
 # `capacity_bench` (which climbs the offered-rate ladder per cell,
 # asserts a knee is detected with a monotone curve, that the dispatch
 # plane is bit-identical to the seed FIFO at the seed rate, and that the
-# best cell sustains >= 2x the seed 7953 msg/s plateau), then verifies
-# the JSON artifacts contain every key downstream tooling reads.  A
-# reduced-size capacity sweep also runs twice into scratch files and the
-# outputs are byte-compared — the cross-process bit-reproducibility
-# probe.  Pass --reuse to validate existing JSON files without re-running
-# the benchmarks (the two-run probe is skipped on --reuse).
+# best cell sustains >= 2x the seed 7953 msg/s plateau) and
+# `demux_bench` (which runs the policy x reference-stream demux matrix
+# and asserts the winning cache policy strictly beats the seed one-entry
+# cache on the adversarial conflict stream while costing no more on the
+# Zipf stream, with the dispatch plane bit-identical to the reference
+# runloop), then verifies the JSON artifacts contain every key
+# downstream tooling reads.  Reduced-size capacity and demux sweeps also
+# run twice into scratch files and the outputs are byte-compared — the
+# cross-process bit-reproducibility probes.  Pass --reuse to validate
+# existing JSON files without re-running the benchmarks (the two-run
+# probes are skipped on --reuse).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +48,9 @@ fi
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_capacity.json ]; then
     cargo run -q --release -p protolat-bench --bin capacity_bench
 fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_demux.json ]; then
+    cargo run -q --release -p protolat-bench --bin demux_bench
+fi
 
 if [ "${1:-}" != "--reuse" ]; then
     # Cross-process bit-reproducibility: the reduced-size smoke sweep
@@ -56,6 +64,14 @@ if [ "${1:-}" != "--reuse" ]; then
         cargo run -q --release -p protolat-bench --bin capacity_bench >/dev/null
     cmp -s "$tmpdir/cap_a.json" "$tmpdir/cap_b.json" || {
         echo "bench_smoke: capacity smoke sweep not bit-reproducible across runs" >&2
+        exit 1
+    }
+    DEMUX_SMOKE=1 BENCH_DEMUX_PATH="$tmpdir/dmx_a.json" \
+        cargo run -q --release -p protolat-bench --bin demux_bench >/dev/null
+    DEMUX_SMOKE=1 BENCH_DEMUX_PATH="$tmpdir/dmx_b.json" \
+        cargo run -q --release -p protolat-bench --bin demux_bench >/dev/null
+    cmp -s "$tmpdir/dmx_a.json" "$tmpdir/dmx_b.json" || {
+        echo "bench_smoke: demux smoke matrix not bit-reproducible across runs" >&2
         exit 1
     }
 fi
@@ -96,7 +112,8 @@ for key in bench tcpip_micro_opt_ms tcpip_micro_ref_ms tcpip_micro_speedup \
 done
 for stack in tcpip rpc; do
     for ver in bad std out clo pin all; do
-        for metric in p50_us p99_us p999_us mps; do
+        for metric in p50_us p99_us p999_us mps table_hit_rate \
+                      cache_hit_rate miss_rate evictions; do
             if ! grep -q "\"${stack}_${ver}_${metric}\"" BENCH_traffic.json; then
                 echo "bench_smoke: BENCH_traffic.json missing key \"${stack}_${ver}_${metric}\"" >&2
                 missing=1
@@ -113,7 +130,7 @@ for key in workers offered_mps min_achieved_mps single_worker_mps \
 done
 for stack in tcpip rpc; do
     for ver in bad std out clo pin all; do
-        for metric in knee_mps max_sustainable_mps curve; do
+        for metric in knee_mps max_sustainable_mps refined_knee_mps curve; do
             if ! grep -q "\"${stack}_${ver}_${metric}\"" BENCH_capacity.json; then
                 echo "bench_smoke: BENCH_capacity.json missing key \"${stack}_${ver}_${metric}\"" >&2
                 missing=1
@@ -125,6 +142,24 @@ for key in bench workers start_rate_mps slo_p99_us best_cell \
            best_max_sustainable_mps seed_plateau_mps seed_rate_bit_identical; do
     if ! grep -q "\"$key\"" BENCH_capacity.json; then
         echo "bench_smoke: BENCH_capacity.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+for policy in one_entry direct_mapped two_way_lru fifo random; do
+    for stream in zipf stack_depth train conflict; do
+        for metric in cache_hit_rate lookup_ns p99_us; do
+            if ! grep -q "\"${policy}_${stream}_${metric}\"" BENCH_demux.json; then
+                echo "bench_smoke: BENCH_demux.json missing key \"${policy}_${stream}_${metric}\"" >&2
+                missing=1
+            fi
+        done
+    done
+done
+for key in bench workers messages_per_worker sessions_per_worker rate_mps \
+           policies streams slots conflict_cycle winner_policy \
+           winner_conflict_cache_hit_rate seed_conflict_cache_hit_rate; do
+    if ! grep -q "\"$key\"" BENCH_demux.json; then
+        echo "bench_smoke: BENCH_demux.json missing key \"$key\"" >&2
         missing=1
     fi
 done
@@ -244,4 +279,28 @@ grep -q '"seed_rate_bit_identical": true' BENCH_capacity.json || {
     exit 1
 }
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau)"
+winner_rate=$(sed -n 's/.*"winner_conflict_cache_hit_rate": \([0-9.]*\).*/\1/p' BENCH_demux.json)
+seed_rate=$(sed -n 's/.*"seed_conflict_cache_hit_rate": \([0-9.]*\).*/\1/p' BENCH_demux.json)
+if [ -z "$winner_rate" ] || [ -z "$seed_rate" ]; then
+    echo "bench_smoke: could not parse demux conflict hit rates" >&2
+    exit 1
+fi
+awk -v w="$winner_rate" -v s="$seed_rate" 'BEGIN { exit !(w >= s + 0.30) }' || {
+    echo "bench_smoke: demux winner hit rate ${winner_rate} not >= seed ${seed_rate} + 0.30 on the conflict stream" >&2
+    exit 1
+}
+grep -q '"winner_beats_seed_adversarial": true' BENCH_demux.json || {
+    echo "bench_smoke: winning demux policy does not beat the seed one-entry cache on the adversarial stream" >&2
+    exit 1
+}
+grep -q '"zipf_not_slower": true' BENCH_demux.json || {
+    echo "bench_smoke: winning demux policy regresses Zipf lookup latency vs the seed" >&2
+    exit 1
+}
+grep -q '"bit_repro": true' BENCH_demux.json || {
+    echo "bench_smoke: demux dispatch plane not bit-identical to the reference runloop" >&2
+    exit 1
+}
+winner_policy=$(sed -n 's/.*"winner_policy": "\([a-z_]*\)".*/\1/p' BENCH_demux.json)
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau, demux winner ${winner_policy} ${winner_rate} vs seed ${seed_rate} on conflict)"
