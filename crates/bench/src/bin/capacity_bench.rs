@@ -26,6 +26,7 @@
 //! smoke sweep `scripts/bench_smoke.sh` drives twice for its
 //! cross-process bit-repro check).
 
+use protolat_bench::harness::JsonReport;
 use protolat_core::config::{StackKind, Version};
 use protolat_core::sweep::{CapacityCurve, CapacityRamp, SweepEngine};
 use protocols::StackOptions;
@@ -215,36 +216,34 @@ fn main() {
     );
 
     // --- JSON ----------------------------------------------------------
-    let mut json = String::from("{\n  \"bench\": \"capacity\",\n");
-    json.push_str(&format!(
-        "  \"workers\": {WORKERS},\n  \"messages_per_worker\": {messages_per_worker},\n  \
-         \"sessions_per_worker\": {SESSIONS_PER_WORKER},\n  \"start_rate_mps\": {},\n  \
-         \"growth\": \"{}x/{}\",\n  \"max_rungs\": {},\n  \"slo_p99_us\": {:.1},\n  \
-         \"min_achieved_ppt\": {},\n  \"smoke\": {smoke},\n",
-        ramp.start_rate_mps,
-        ramp.growth_num,
-        ramp.growth_den,
-        ramp.max_rungs,
-        ramp.slo_p99_ns as f64 / 1e3,
-        ramp.min_achieved_ppt,
-    ));
+    let mut report = JsonReport::new("capacity");
+    report
+        .field("workers", WORKERS)
+        .field("messages_per_worker", messages_per_worker)
+        .field("sessions_per_worker", SESSIONS_PER_WORKER)
+        .field("start_rate_mps", ramp.start_rate_mps)
+        .text("growth", format_args!("{}x/{}", ramp.growth_num, ramp.growth_den))
+        .field("max_rungs", ramp.max_rungs)
+        .field("slo_p99_us", format_args!("{:.1}", ramp.slo_p99_ns as f64 / 1e3))
+        .field("min_achieved_ppt", ramp.min_achieved_ppt)
+        .field("smoke", smoke);
     for (stack, version, curve) in &rows {
         let k = format!("{}_{}", stack_key(*stack), version.name().to_lowercase());
-        json.push_str(&format!(
-            "  \"{k}_knee_mps\": {},\n",
-            curve.knee_offered_mps.expect("knee asserted above")
-        ));
-        json.push_str(&format!(
-            "  \"{k}_max_sustainable_mps\": {:.1},\n",
-            curve.max_sustainable_mps
-        ));
-        json.push_str(&format!(
-            "  \"{k}_refined_knee_mps\": {},\n",
-            curve.refined_knee_mps.unwrap_or_else(|| curve.knee_offered_mps.expect("knee"))
-        ));
-        json.push_str(&format!("  \"{k}_curve\": [\n"));
+        report.field(
+            format!("{k}_knee_mps"),
+            curve.knee_offered_mps.expect("knee asserted above"),
+        );
+        report.field(
+            format!("{k}_max_sustainable_mps"),
+            format_args!("{:.1}", curve.max_sustainable_mps),
+        );
+        report.field(
+            format!("{k}_refined_knee_mps"),
+            curve.refined_knee_mps.unwrap_or_else(|| curve.knee_offered_mps.expect("knee")),
+        );
+        let mut arr = String::from("[\n");
         for (i, p) in curve.points.iter().enumerate() {
-            json.push_str(&format!(
+            arr.push_str(&format!(
                 "    {{\"offered_mps\": {}, \"achieved_mps\": {:.1}, \"p50_us\": {:.3}, \
                  \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"violated\": {}}}{}\n",
                 p.offered_mps,
@@ -256,15 +255,13 @@ fn main() {
                 if i + 1 == curve.points.len() { "" } else { "," }
             ));
         }
-        json.push_str("  ],\n");
+        arr.push_str("  ]");
+        report.field(format!("{k}_curve"), arr);
     }
-    json.push_str(&format!(
-        "  \"best_cell\": \"{}_{}\",\n  \"best_max_sustainable_mps\": {best_mps:.1},\n  \
-         \"seed_plateau_mps\": {SEED_PLATEAU_MPS:.1},\n  \
-         \"seed_rate_bit_identical\": {seed_rate_bit_identical}\n}}\n",
-        stack_key(best.0),
-        best.1.name().to_lowercase(),
-    ));
-    std::fs::write(&out_path, &json).expect("write capacity json");
-    println!("\nwrote {out_path}");
+    report
+        .text("best_cell", format_args!("{}_{}", stack_key(best.0), best.1.name().to_lowercase()))
+        .field("best_max_sustainable_mps", format_args!("{best_mps:.1}"))
+        .field("seed_plateau_mps", format_args!("{SEED_PLATEAU_MPS:.1}"))
+        .field("seed_rate_bit_identical", seed_rate_bit_identical);
+    report.write(&out_path);
 }

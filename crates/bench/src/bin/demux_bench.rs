@@ -32,6 +32,7 @@
 use std::time::Instant;
 
 use netsim::rng::SplitMix64;
+use protolat_bench::harness::JsonReport;
 use protolat_core::config::{StackKind, Version};
 use protolat_core::sweep::{DemuxCell, DemuxSpec, SweepEngine};
 use protocols::StackOptions;
@@ -243,30 +244,35 @@ fn main() {
     }
 
     // --- JSON ------------------------------------------------------------
-    let mut json = String::from("{\n  \"bench\": \"demux\",\n");
-    json.push_str(&format!(
-        "  \"workers\": {WORKERS},\n  \"messages_per_worker\": {messages_per_worker},\n  \
-         \"sessions_per_worker\": {SESSIONS_PER_WORKER},\n  \"rate_mps\": {RATE_MPS},\n  \
-         \"policies\": {},\n  \"streams\": {},\n  \"slots\": {SLOTS},\n  \
-         \"conflict_cycle\": {CYCLE},\n  \"smoke\": {smoke},\n",
-        POLICIES.len(),
-        STREAMS.len(),
-    ));
+    let mut report = JsonReport::new("demux");
+    report
+        .field("workers", WORKERS)
+        .field("messages_per_worker", messages_per_worker)
+        .field("sessions_per_worker", SESSIONS_PER_WORKER)
+        .field("rate_mps", RATE_MPS)
+        .field("policies", POLICIES.len())
+        .field("streams", STREAMS.len())
+        .field("slots", SLOTS)
+        .field("conflict_cycle", CYCLE)
+        .field("smoke", smoke);
     for (spec, c) in &rows {
         let k = format!("{}_{}", spec.policy.name(), spec.stream.name());
-        json.push_str(&format!("  \"{k}_cache_hit_rate\": {:.6},\n", c.cache_hit_rate));
-        json.push_str(&format!("  \"{k}_lookup_ns\": {:.3},\n", c.lookup_ns));
-        json.push_str(&format!("  \"{k}_p99_us\": {:.3},\n", c.p99_ns as f64 / 1e3));
+        report.field(format!("{k}_cache_hit_rate"), format_args!("{:.6}", c.cache_hit_rate));
+        report.field(format!("{k}_lookup_ns"), format_args!("{:.3}", c.lookup_ns));
+        report.field(format!("{k}_p99_us"), format_args!("{:.3}", c.p99_ns as f64 / 1e3));
     }
-    json.push_str(&format!(
-        "  \"winner_policy\": \"{}\",\n  \"winner_conflict_cache_hit_rate\": {:.6},\n  \
-         \"seed_conflict_cache_hit_rate\": {:.6},\n  \
-         \"winner_beats_seed_adversarial\": {winner_beats_seed_adversarial},\n  \
-         \"zipf_not_slower\": {zipf_not_slower},\n  \"bit_repro\": {bit_repro}\n}}\n",
-        winner.name(),
-        winner_conflict.cache_hit_rate,
-        seed_conflict.cache_hit_rate,
-    ));
-    std::fs::write(&out_path, &json).expect("write demux json");
-    println!("\nwrote {out_path}");
+    report
+        .text("winner_policy", winner.name())
+        .field(
+            "winner_conflict_cache_hit_rate",
+            format_args!("{:.6}", winner_conflict.cache_hit_rate),
+        )
+        .field(
+            "seed_conflict_cache_hit_rate",
+            format_args!("{:.6}", seed_conflict.cache_hit_rate),
+        )
+        .field("winner_beats_seed_adversarial", winner_beats_seed_adversarial)
+        .field("zipf_not_slower", zipf_not_slower)
+        .field("bit_repro", bit_repro);
+    report.write(&out_path);
 }

@@ -26,6 +26,7 @@ use std::time::Instant;
 use netsim::engine::reference;
 use netsim::rng::SplitMix64;
 use netsim::{Engine, EventQueue};
+use protolat_bench::harness::JsonReport;
 use protolat_core::config::{StackKind, Version};
 use protolat_core::sweep::{SweepEngine, SweepJob};
 use protocols::StackOptions;
@@ -217,21 +218,22 @@ fn main() {
     );
 
     // --- JSON ----------------------------------------------------------
-    let json = format!(
-        "{{\n  \"bench\": \"engine\",\n  \"pending_events\": {PENDING},\n  \
-         \"churn_ops\": {CHURN_OPS},\n  \
-         \"fill_drain_wheel_ms\": {fd_wheel:.3},\n  \"fill_drain_heap_ms\": {fd_heap:.3},\n  \
-         \"fill_drain_speedup\": {fd_speedup:.3},\n  \
-         \"churn_wheel_ms\": {churn_wheel:.3},\n  \"churn_heap_ms\": {churn_heap:.3},\n  \
-         \"churn_speedup\": {churn_speedup:.3},\n  \
-         \"traffic_cells\": {},\n  \
-         \"traffic_wheel_ms\": {traffic_wheel:.1},\n  \"traffic_heap_ms\": {traffic_heap:.1},\n  \
-         \"traffic_speedup\": {traffic_speedup:.3},\n  \
-         \"traffic_bit_identical\": {identical}\n}}\n",
-        prepared.len()
-    );
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
-    println!("\nwrote BENCH_engine.json");
+    let mut report = JsonReport::new("engine");
+    report
+        .field("pending_events", PENDING)
+        .field("churn_ops", CHURN_OPS)
+        .field("fill_drain_wheel_ms", format_args!("{fd_wheel:.3}"))
+        .field("fill_drain_heap_ms", format_args!("{fd_heap:.3}"))
+        .field("fill_drain_speedup", format_args!("{fd_speedup:.3}"))
+        .field("churn_wheel_ms", format_args!("{churn_wheel:.3}"))
+        .field("churn_heap_ms", format_args!("{churn_heap:.3}"))
+        .field("churn_speedup", format_args!("{churn_speedup:.3}"))
+        .field("traffic_cells", prepared.len())
+        .field("traffic_wheel_ms", format_args!("{traffic_wheel:.1}"))
+        .field("traffic_heap_ms", format_args!("{traffic_heap:.1}"))
+        .field("traffic_speedup", format_args!("{traffic_speedup:.3}"))
+        .field("traffic_bit_identical", identical);
+    report.write("BENCH_engine.json");
 
     // --- acceptance ----------------------------------------------------
     assert!(

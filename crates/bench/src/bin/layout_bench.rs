@@ -19,9 +19,9 @@
 //! contract.
 
 use std::collections::HashSet;
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use protolat_bench::harness::JsonReport;
 use protolat_bench::{RpcCtx, TcpCtx};
 use kcode::layout::{micro_position, reference, LayoutRequest, LayoutStrategy};
 use protolat_core::config::{StackKind, Version};
@@ -130,21 +130,20 @@ fn main() {
         layout_hit_rate * 100.0
     );
 
-    let mut json = String::from("{\n  \"bench\": \"layout\",\n");
-    let _ = writeln!(json, "  \"tcpip_micro_opt_ms\": {:.4},", tcp_micro.opt_ms);
-    let _ = writeln!(json, "  \"tcpip_micro_ref_ms\": {:.4},", tcp_micro.ref_ms);
-    let _ = writeln!(json, "  \"tcpip_micro_speedup\": {tcp_speedup:.3},");
-    let _ = writeln!(json, "  \"rpc_micro_opt_ms\": {:.4},", rpc_micro.opt_ms);
-    let _ = writeln!(json, "  \"rpc_micro_ref_ms\": {:.4},", rpc_micro.ref_ms);
-    let _ = writeln!(json, "  \"rpc_micro_speedup\": {rpc_speedup:.3},");
-    let _ = writeln!(json, "  \"cells_serial_ms\": {cells_serial_ms:.3},");
-    let _ = writeln!(json, "  \"cells_parallel_ms\": {cells_parallel_ms:.3},");
-    let _ = writeln!(json, "  \"layout_requests\": {layout_requests},");
-    let _ = writeln!(json, "  \"layout_computed\": {layout_computed},");
-    let _ = writeln!(json, "  \"layout_hit_rate\": {layout_hit_rate:.3}");
-    json.push_str("}\n");
-    std::fs::write("BENCH_layout.json", &json).expect("write BENCH_layout.json");
-    println!("\nwrote BENCH_layout.json");
+    let mut report = JsonReport::new("layout");
+    report
+        .field("tcpip_micro_opt_ms", format_args!("{:.4}", tcp_micro.opt_ms))
+        .field("tcpip_micro_ref_ms", format_args!("{:.4}", tcp_micro.ref_ms))
+        .field("tcpip_micro_speedup", format_args!("{tcp_speedup:.3}"))
+        .field("rpc_micro_opt_ms", format_args!("{:.4}", rpc_micro.opt_ms))
+        .field("rpc_micro_ref_ms", format_args!("{:.4}", rpc_micro.ref_ms))
+        .field("rpc_micro_speedup", format_args!("{rpc_speedup:.3}"))
+        .field("cells_serial_ms", format_args!("{cells_serial_ms:.3}"))
+        .field("cells_parallel_ms", format_args!("{cells_parallel_ms:.3}"))
+        .field("layout_requests", layout_requests)
+        .field("layout_computed", layout_computed)
+        .field("layout_hit_rate", format_args!("{layout_hit_rate:.3}"));
+    report.write("BENCH_layout.json");
 
     assert!(
         rpc_speedup >= 2.0,

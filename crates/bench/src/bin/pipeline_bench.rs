@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use protolat_bench::harness::JsonReport;
 use protolat_core::config::{StackKind, Version};
 use protolat_core::harness::{run_rpc, run_tcpip};
 use protolat_core::sweep::SweepEngine;
@@ -159,23 +160,31 @@ fn main() {
         counters.runs, counters.images, counters.timings, counters.cold_stats
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"timing_consumers\": {TIMING_CONSUMERS},\n  \
-         \"cold_consumers\": {COLD_CONSUMERS},\n  \"fresh_serial_ms\": {fresh_serial_ms:.3},\n  \
-         \"memoized_parallel_ms\": {memoized_parallel_ms:.3},\n  \"speedup\": {speedup:.3},\n  \
-         \"rows\": {},\n  \"counters\": {{\"runs\": {}, \"images\": {}, \"timings\": {}, \
-         \"cold_stats\": {}}},\n  \"stages\": {{\n    \"functional_run_ms\": \
-         {functional_run_ms:.3},\n    \"image_build_ms\": {image_build_ms:.3},\n    \
-         \"replay_materialized_ms\": {replay_materialized_ms:.3},\n    \"replay_fused_ms\": \
-         {replay_fused_ms:.3}\n  }}\n}}\n",
-        rows.len(),
-        counters.runs,
-        counters.images,
-        counters.timings,
-        counters.cold_stats,
-    );
-    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
-    println!("\nwrote BENCH_pipeline.json");
+    let mut report = JsonReport::new("pipeline");
+    report
+        .field("timing_consumers", TIMING_CONSUMERS)
+        .field("cold_consumers", COLD_CONSUMERS)
+        .field("fresh_serial_ms", format_args!("{fresh_serial_ms:.3}"))
+        .field("memoized_parallel_ms", format_args!("{memoized_parallel_ms:.3}"))
+        .field("speedup", format_args!("{speedup:.3}"))
+        .field("rows", rows.len())
+        .field(
+            "counters",
+            format_args!(
+                "{{\"runs\": {}, \"images\": {}, \"timings\": {}, \"cold_stats\": {}}}",
+                counters.runs, counters.images, counters.timings, counters.cold_stats
+            ),
+        )
+        .field(
+            "stages",
+            format_args!(
+                "{{\n    \"functional_run_ms\": {functional_run_ms:.3},\n    \
+                 \"image_build_ms\": {image_build_ms:.3},\n    \
+                 \"replay_materialized_ms\": {replay_materialized_ms:.3},\n    \
+                 \"replay_fused_ms\": {replay_fused_ms:.3}\n  }}"
+            ),
+        );
+    report.write("BENCH_pipeline.json");
 
     assert!(
         speedup >= 2.0,

@@ -14,11 +14,11 @@
 //! Writes `BENCH_replay.json` and asserts the optimized fresh path is
 //! at least 2x the reference throughput on every cell.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use alpha_machine::{reference, Machine};
 use kcode::{Image, Replayer};
+use protolat_bench::harness::JsonReport;
 use protolat_core::config::Version;
 use protolat_core::harness::{run_rpc, run_tcpip, RoundtripEpisodes};
 use protolat_core::world::{RpcWorld, TcpIpWorld};
@@ -160,26 +160,29 @@ fn main() {
     println!("  min fresh speedup vs reference: {min_fresh_speedup:.2}x");
     println!("  min warm  speedup vs reference: {min_warm_speedup:.2}x");
 
-    let mut json = String::from("{\n  \"bench\": \"replay\",\n");
+    let mut report = JsonReport::new("replay");
     for c in &cells {
-        let _ = writeln!(json, "  \"{}_fused_fresh_ips\": {:.0},", c.label, c.fused_fresh_ips);
-        let _ = writeln!(json, "  \"{}_fused_warm_ips\": {:.0},", c.label, c.fused_warm_ips);
-        let _ = writeln!(
-            json,
-            "  \"{}_materialized_fresh_ips\": {:.0},",
-            c.label, c.materialized_fresh_ips
+        report.field(
+            format!("{}_fused_fresh_ips", c.label),
+            format_args!("{:.0}", c.fused_fresh_ips),
         );
-        let _ = writeln!(
-            json,
-            "  \"{}_materialized_warm_ips\": {:.0},",
-            c.label, c.materialized_warm_ips
+        report.field(
+            format!("{}_fused_warm_ips", c.label),
+            format_args!("{:.0}", c.fused_warm_ips),
+        );
+        report.field(
+            format!("{}_materialized_fresh_ips", c.label),
+            format_args!("{:.0}", c.materialized_fresh_ips),
+        );
+        report.field(
+            format!("{}_materialized_warm_ips", c.label),
+            format_args!("{:.0}", c.materialized_warm_ips),
         );
     }
-    let _ = writeln!(json, "  \"min_fresh_speedup\": {min_fresh_speedup:.3},");
-    let _ = writeln!(json, "  \"min_warm_speedup\": {min_warm_speedup:.3}");
-    json.push_str("}\n");
-    std::fs::write("BENCH_replay.json", &json).expect("write BENCH_replay.json");
-    println!("\nwrote BENCH_replay.json");
+    report
+        .field("min_fresh_speedup", format_args!("{min_fresh_speedup:.3}"))
+        .field("min_warm_speedup", format_args!("{min_warm_speedup:.3}"));
+    report.write("BENCH_replay.json");
 
     assert!(
         min_fresh_speedup >= 2.0,

@@ -16,6 +16,7 @@
 //!
 //! Writes `BENCH_traffic.json` for `scripts/bench_smoke.sh`.
 
+use protolat_bench::harness::JsonReport;
 use protolat_core::config::{StackKind, Version};
 use protolat_core::sweep::SweepEngine;
 use protocols::StackOptions;
@@ -142,37 +143,52 @@ fn main() {
     );
 
     // --- JSON ----------------------------------------------------------
-    let mut json = String::from("{\n  \"bench\": \"traffic\",\n");
-    json.push_str(&format!(
-        "  \"workers\": {WORKERS},\n  \"messages_per_worker\": {MESSAGES_PER_WORKER},\n  \
-         \"sessions_per_worker\": {SESSIONS_PER_WORKER},\n  \"rate_mps\": {RATE_MPS},\n  \
-         \"offered_mps\": {offered_mps:.1},\n  \"min_achieved_mps\": {min_achieved_mps:.1},\n"
-    ));
+    let mut report = JsonReport::new("traffic");
+    report
+        .field("workers", WORKERS)
+        .field("messages_per_worker", MESSAGES_PER_WORKER)
+        .field("sessions_per_worker", SESSIONS_PER_WORKER)
+        .field("rate_mps", RATE_MPS)
+        .field("offered_mps", format_args!("{offered_mps:.1}"))
+        .field("min_achieved_mps", format_args!("{min_achieved_mps:.1}"));
     for (stack, version, r) in &cells {
         let k = format!("{}_{}", stack_key(*stack), version.name().to_lowercase());
-        json.push_str(&format!("  \"{k}_p50_us\": {:.3},\n", us(r.hist.p50())));
-        json.push_str(&format!("  \"{k}_p99_us\": {:.3},\n", us(r.hist.p99())));
-        json.push_str(&format!("  \"{k}_p999_us\": {:.3},\n", us(r.hist.p999())));
-        json.push_str(&format!("  \"{k}_mps\": {:.1},\n", r.msgs_per_sec()));
+        report.field(format!("{k}_p50_us"), format_args!("{:.3}", us(r.hist.p50())));
+        report.field(format!("{k}_p99_us"), format_args!("{:.3}", us(r.hist.p99())));
+        report.field(format!("{k}_p999_us"), format_args!("{:.3}", us(r.hist.p999())));
+        report.field(format!("{k}_mps"), format_args!("{:.1}", r.msgs_per_sec()));
         // Session-table demux behaviour per cell, so address-cache
         // policy wins are visible in this contract too.
-        json.push_str(&format!("  \"{k}_table_hit_rate\": {:.6},\n", r.table.hit_rate()));
-        json.push_str(&format!(
-            "  \"{k}_cache_hit_rate\": {:.6},\n",
-            r.table.cache_hit_rate()
-        ));
-        json.push_str(&format!("  \"{k}_miss_rate\": {:.6},\n", {
+        report.field(format!("{k}_table_hit_rate"), format_args!("{:.6}", r.table.hit_rate()));
+        report.field(
+            format!("{k}_cache_hit_rate"),
+            format_args!("{:.6}", r.table.cache_hit_rate()),
+        );
+        report.field(format!("{k}_miss_rate"), format_args!("{:.6}", {
             let t = &r.table;
             if t.lookups == 0 { 0.0 } else { t.misses as f64 / t.lookups as f64 }
         }));
-        json.push_str(&format!("  \"{k}_evictions\": {},\n", r.table.evictions));
+        report.field(format!("{k}_evictions"), r.table.evictions);
+        // Replay-service memo behaviour per cell: how much simulation
+        // the steady-state memo eliminated, how the limit-cycle
+        // detector classified each lane's warm cost sequence, and how
+        // many times the memo was invalidated (always 0 for these
+        // static cells — the adaptive loop in BENCH_adapt.json is what
+        // drives it).
+        report.field(
+            format!("{k}_memo_hit_rate"),
+            format_args!("{:.6}", r.service.memo_hit_rate()),
+        );
+        report.field(format!("{k}_memo_invalidations"), r.service.invalidations);
+        for (p, n) in r.service.period_detections.iter().enumerate() {
+            report.field(format!("{k}_memo_period_p{}", p + 1), n);
+        }
     }
-    json.push_str(&format!(
-        "  \"single_worker_mps\": {single_mps:.1},\n  \"multi_worker_mps\": {multi_mps:.1},\n  \
-         \"worker_speedup\": {worker_speedup:.3}\n}}\n"
-    ));
-    std::fs::write("BENCH_traffic.json", &json).expect("write BENCH_traffic.json");
-    println!("\nwrote BENCH_traffic.json");
+    report
+        .field("single_worker_mps", format_args!("{single_mps:.1}"))
+        .field("multi_worker_mps", format_args!("{multi_mps:.1}"))
+        .field("worker_speedup", format_args!("{worker_speedup:.3}"));
+    report.write("BENCH_traffic.json");
 
     // --- acceptance ----------------------------------------------------
     let p99 = |stack: StackKind, v: Version| {

@@ -13,6 +13,63 @@
 use std::fmt::Display;
 use std::time::Instant;
 
+/// Ordered, dependency-free writer for the `BENCH_*.json` contract
+/// files every bench binary emits: insertion-ordered `"key": value`
+/// lines, one field per line, so `scripts/bench_smoke.sh` can grep/sed
+/// individual keys and two deterministic runs render byte-identical
+/// files.  Values are pre-rendered by the caller (numbers with explicit
+/// precision, booleans, nested arrays/objects as raw strings) — the
+/// writer owns only ordering, punctuation and the trailing-comma rule.
+#[derive(Debug, Clone, Default)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// A report for one bench target; `"bench": "<name>"` is always
+    /// the first field.
+    pub fn new(bench: &str) -> Self {
+        let mut r = JsonReport { fields: Vec::new() };
+        r.text("bench", bench);
+        r
+    }
+
+    /// Append a field with a pre-rendered JSON value — a number
+    /// (callers keep full control of formatting precision), a boolean,
+    /// or a raw array/object string.
+    pub fn field(&mut self, key: impl Into<String>, value: impl Display) -> &mut Self {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Append a string-valued field (quoted; bench keys and values are
+    /// plain ASCII identifiers, so no escaping).
+    pub fn text(&mut self, key: impl Into<String>, value: impl Display) -> &mut Self {
+        self.fields.push((key.into(), format!("\"{value}\"")));
+        self
+    }
+
+    /// The rendered JSON object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(k);
+            out.push_str("\": ");
+            out.push_str(v);
+            out.push_str(if i + 1 == self.fields.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Write to `path` and log it the way every bench binary does.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}
+
 /// One finished measurement.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -179,6 +236,30 @@ impl Bencher {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_report_renders_ordered_fields() {
+        let mut r = JsonReport::new("demo");
+        r.field("count", 3)
+            .field("rate", format_args!("{:.3}", 0.5f64))
+            .field("flag", true)
+            .text("label", "all")
+            .field("curve", "[\n    {\"x\": 1}\n  ]");
+        let s = r.render();
+        assert!(s.starts_with("{\n  \"bench\": \"demo\",\n"));
+        assert!(s.ends_with("\n}\n"));
+        assert!(s.contains("  \"count\": 3,\n"));
+        assert!(s.contains("  \"rate\": 0.500,\n"));
+        assert!(s.contains("  \"flag\": true,\n"));
+        assert!(s.contains("  \"label\": \"all\",\n"));
+        // Insertion order is preserved and the last field has no comma.
+        let count_at = s.find("\"count\"").unwrap();
+        let flag_at = s.find("\"flag\"").unwrap();
+        assert!(count_at < flag_at);
+        assert!(s.contains("  \"curve\": [\n    {\"x\": 1}\n  ]\n}"));
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(s, r.render());
+    }
 
     #[test]
     fn records_results_with_plausible_timings() {

@@ -31,6 +31,7 @@ pub mod world;
 pub use config::{StackKind, Version};
 pub use harness::{RoundtripEpisodes, RpcRun, TcpIpRun};
 pub use sweep::{
-    CapacityCurve, CapacityPoint, CapacityRamp, SweepCounters, SweepEngine, SweepJob, SweepRow,
+    AdaptOutcome, AdaptSpec, CapacityCurve, CapacityPoint, CapacityRamp, DemuxCell, DemuxSpec,
+    EnginePlanCache, SweepCounters, SweepEngine, SweepJob, SweepRow, VersionSet,
 };
 pub use world::{RpcWorld, TcpIpWorld};

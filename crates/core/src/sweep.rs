@@ -34,8 +34,9 @@ use kcode::{Image, LayoutPlan, NullSink, ReplayStats, Replayer};
 use protocols::StackOptions;
 use traffic::workload::Scenario;
 use traffic::{
-    run_traffic, run_traffic_reference, PolicyKind, ReplayService, StreamKind, TrafficConfig,
-    TrafficReport, DEMUX_CACHE_HIT_NS, DEMUX_CHAIN_HIT_NS, SESSION_SETUP_NS,
+    run_adaptive, run_traffic, run_traffic_reference, AdaptConfig, AdaptReport, Candidate,
+    PlanCache, PolicyKind, ReplayService, StreamKind, TrafficConfig, TrafficReport,
+    DEMUX_CACHE_HIT_NS, DEMUX_CHAIN_HIT_NS, SESSION_SETUP_NS,
 };
 
 use crate::config::{StackKind, Version};
@@ -116,6 +117,7 @@ pub struct SweepCounters {
     pub traffics: u64,
     pub capacities: u64,
     pub demuxes: u64,
+    pub adapts: u64,
 }
 
 /// A load-ramp specification for the capacity stage: sweep offered
@@ -293,6 +295,86 @@ impl DemuxCell {
     }
 }
 
+/// The static candidate pool of an adaptive cell, as a set of
+/// [`Version`]s — a bitmask over the canonical Table-4 order, so the
+/// spec stays `Copy + Eq + Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VersionSet(u8);
+
+impl VersionSet {
+    fn bit(v: Version) -> u8 {
+        let idx = Version::all().iter().position(|&x| x == v).expect("canonical version");
+        1 << idx
+    }
+
+    /// The set holding exactly `versions`.
+    pub fn of(versions: &[Version]) -> Self {
+        VersionSet(versions.iter().fold(0, |mask, &v| mask | Self::bit(v)))
+    }
+
+    /// All six versions.
+    pub fn all() -> Self {
+        Self::of(&Version::all())
+    }
+
+    pub fn contains(&self, v: Version) -> bool {
+        self.0 & Self::bit(v) != 0
+    }
+
+    /// Members in canonical Table-4 order — the candidate-pool order,
+    /// which fixes the pool indices the adaptive loop uses as ids.
+    pub fn members(&self) -> Vec<Version> {
+        Version::all().into_iter().filter(|&v| self.contains(v)).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One cell of the adaptive re-layout stage: a serving scenario (phase
+/// schedule included — [`TrafficConfig`] carries its `PhasePlan`), the
+/// adaptive loop's tuning, the static candidate pool, and the layout
+/// the run starts on.  All-integer, so `Copy + Eq + Hash` keys the
+/// memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdaptSpec {
+    /// The serving scenario the adaptive loop runs under.
+    pub base: TrafficConfig,
+    /// Profiler / re-layout / hot-swap tuning.
+    pub adapt: AdaptConfig,
+    /// Static candidates the background worker scores; must contain
+    /// `initial`.
+    pub candidates: VersionSet,
+    /// The layout every lane starts on.
+    pub initial: Version,
+}
+
+impl AdaptSpec {
+    /// A spec over the full six-version candidate pool.
+    pub fn new(base: TrafficConfig, adapt: AdaptConfig, initial: Version) -> Self {
+        AdaptSpec { base, adapt, candidates: VersionSet::all(), initial }
+    }
+
+    /// Restrict the candidate pool.
+    pub fn with_candidates(mut self, versions: &[Version]) -> Self {
+        self.candidates = VersionSet::of(versions);
+        self
+    }
+}
+
+/// Result of one adaptive cell: the ordinary serving report plus the
+/// adaptation timeline.
+#[derive(Debug, PartialEq)]
+pub struct AdaptOutcome {
+    pub report: TrafficReport,
+    pub adapt: AdaptReport,
+}
+
 type RunKey = (StackOptions, usize);
 type VersionKey = (StackKind, StackOptions, usize, Version);
 /// Layout-plan cache key.  Strategy and outline are derived from the
@@ -308,6 +390,66 @@ type TrafficKey = (StackKind, StackOptions, usize, Version, TrafficConfig);
 type CapacityKey = (StackKind, StackOptions, usize, Version, CapacityRamp);
 /// Demux-stage key: the (policy × stream) cell over a base scenario.
 type DemuxStageKey = (StackKind, StackOptions, usize, Version, DemuxSpec);
+/// Adapt-stage key: the full adaptive spec over one functional cell.
+type AdaptKey = (StackKind, StackOptions, usize, AdaptSpec);
+/// Synthesized-plan key: the functional cell, the image config the JIT
+/// candidate is assembled under (named by its version), and the profile
+/// fingerprint the plan answers.
+type JitPlanKey = (StackKind, StackOptions, usize, Version, u64);
+
+/// The engine's cross-run store of JIT-synthesized layout plans.  Not a
+/// [`Memo`]: the adaptive worker probes before deciding whether to
+/// synthesize, so the store must distinguish "absent" from "computing".
+struct PlanStore {
+    map: Mutex<HashMap<JitPlanKey, LayoutPlan>>,
+    requests: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl PlanStore {
+    fn new() -> Self {
+        PlanStore { map: Mutex::new(HashMap::new()), requests: AtomicU64::new(0), hits: AtomicU64::new(0) }
+    }
+}
+
+/// A [`PlanCache`] rooted at one cell prefix of the engine's plan
+/// store: adaptive runs inject this into [`traffic::run_adaptive`] so
+/// micro-positioned plans for recurring profile fingerprints are reused
+/// across runs and specs instead of re-synthesized.
+pub struct EnginePlanCache<'e> {
+    engine: &'e SweepEngine,
+    stack: StackKind,
+    opts: StackOptions,
+    warmup: usize,
+    version: Version,
+}
+
+impl EnginePlanCache<'_> {
+    fn key(&self, fp: u64) -> JitPlanKey {
+        (self.stack, self.opts, self.warmup, self.version, fp)
+    }
+}
+
+impl PlanCache for EnginePlanCache<'_> {
+    fn get(&mut self, key: u64) -> Option<LayoutPlan> {
+        let store = &self.engine.jit_plans;
+        store.requests.fetch_add(1, Ordering::Relaxed);
+        let got = store.map.lock().expect("plan store poisoned").get(&self.key(key)).cloned();
+        if got.is_some() {
+            store.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    fn put(&mut self, key: u64, plan: &LayoutPlan) {
+        self.engine
+            .jit_plans
+            .map
+            .lock()
+            .expect("plan store poisoned")
+            .insert(self.key(key), plan.clone());
+    }
+}
 
 /// One unit of prefetchable sweep work.
 #[derive(Debug, Clone, Copy)]
@@ -326,6 +468,8 @@ pub enum SweepJob {
     Capacity(StackKind, StackOptions, usize, Version, CapacityRamp),
     /// One (policy × stream) cell of the demux-locality matrix.
     Demux(StackKind, StackOptions, usize, Version, DemuxSpec),
+    /// A full adaptive re-layout run (profiler + worker + hot swap).
+    Adapt(StackKind, StackOptions, usize, AdaptSpec),
 }
 
 /// One row of the canonical sweep result.
@@ -348,6 +492,8 @@ pub struct SweepEngine {
     traffics: Memo<TrafficKey, Arc<TrafficReport>>,
     capacities: Memo<CapacityKey, Arc<CapacityCurve>>,
     demuxes: Memo<DemuxStageKey, DemuxCell>,
+    adapts: Memo<AdaptKey, Arc<AdaptOutcome>>,
+    jit_plans: PlanStore,
 }
 
 impl Default for SweepEngine {
@@ -371,6 +517,8 @@ impl SweepEngine {
             traffics: Memo::new(),
             capacities: Memo::new(),
             demuxes: Memo::new(),
+            adapts: Memo::new(),
+            jit_plans: PlanStore::new(),
         }
     }
 
@@ -733,6 +881,77 @@ impl SweepEngine {
             .collect()
     }
 
+    /// A [`PlanCache`] rooted at this engine for one cell: inject into
+    /// [`traffic::run_adaptive`] to share JIT-synthesized plans across
+    /// runs (what [`SweepEngine::adapt`] does internally).
+    pub fn plan_cache(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+    ) -> EnginePlanCache<'_> {
+        EnginePlanCache { engine: self, stack, opts, warmup, version }
+    }
+
+    /// Plan-store traffic: `(requests, hits)`.  The difference is the
+    /// number of micro-positioned syntheses the store saved.
+    pub fn jit_plan_stats(&self) -> (u64, u64) {
+        (self.jit_plans.requests.load(Ordering::Relaxed), self.jit_plans.hits.load(Ordering::Relaxed))
+    }
+
+    /// The memoized adaptive re-layout run for one (cell, spec): the
+    /// full serving loop with per-lane sampling profilers, the shared
+    /// background re-layout worker scoring the spec's candidate images
+    /// (every one pulled from the engine's image memo), and epoch-based
+    /// hot swaps.  Synthesized plans land in the engine-wide plan
+    /// store, so later specs over the same cell reuse them.
+    ///
+    /// The *simulated* outcome — serving report, swap timeline, lane
+    /// counters — is a pure function of the key.  The worker's cache
+    /// counters (`jit_builds` vs `plan_cache_hits`) additionally
+    /// reflect how warm the shared plan store already was when the cell
+    /// was first computed, so drivers that print them should compute
+    /// their cells in a deterministic order (as `adapt_bench` does).
+    pub fn adapt(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        spec: AdaptSpec,
+    ) -> Arc<AdaptOutcome> {
+        self.adapts.get_or_compute((stack, opts, warmup, spec), || {
+            let versions = spec.candidates.members();
+            let initial = versions
+                .iter()
+                .position(|&v| v == spec.initial)
+                .expect("initial version must be in the candidate set");
+            let candidates: Vec<Candidate> = versions
+                .iter()
+                .map(|&v| Candidate::new(v.name(), self.image(stack, opts, warmup, v)))
+                .collect();
+            let program = match stack {
+                StackKind::TcpIp => Arc::clone(&self.tcpip(opts, warmup).run.world.program),
+                StackKind::Rpc => Arc::clone(&self.rpc(opts, warmup).run.world.program),
+            };
+            let episode = self.server_episode(stack, opts, warmup);
+            let image_config = spec.initial.image_config();
+            let cache = self.plan_cache(stack, opts, warmup, spec.initial);
+            let (report, adapt) = run_adaptive(
+                &spec.base,
+                &spec.adapt,
+                &program,
+                &episode,
+                &image_config,
+                &candidates,
+                initial,
+                cache,
+            )
+            .expect("adaptive scenario must drain within its event budget");
+            Arc::new(AdaptOutcome { report, adapt })
+        })
+    }
+
     /// The canonical 6-version × 2-stack traffic sweep under one
     /// serving scenario, prefetched in parallel and returned in
     /// deterministic (stack, version) order.
@@ -770,6 +989,7 @@ impl SweepEngine {
             traffics: self.traffics.computed(),
             capacities: self.capacities.computed(),
             demuxes: self.demuxes.computed(),
+            adapts: self.adapts.computed(),
         }
     }
 
@@ -828,6 +1048,9 @@ impl SweepEngine {
             }
             SweepJob::Demux(stack, opts, warmup, v, spec) => {
                 self.demux(stack, opts, warmup, v, spec);
+            }
+            SweepJob::Adapt(stack, opts, warmup, spec) => {
+                self.adapt(stack, opts, warmup, spec);
             }
         }
     }

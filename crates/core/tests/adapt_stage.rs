@@ -1,0 +1,184 @@
+//! The sweep engine's adaptive re-layout stage: memoization, the
+//! stride-0 passthrough contract, determinism of the full loop, the
+//! engine-backed plan store, and the headline behaviour — an adaptive
+//! run started on a pessimal layout swaps itself onto a better one.
+//!
+//! Sizes are kept small — tier-1 runs these in debug mode.
+
+use std::sync::Arc;
+
+use protocols::StackOptions;
+use protolat_core::{AdaptSpec, StackKind, SweepEngine, Version, VersionSet};
+use traffic::{AdaptConfig, PlanCache, TrafficConfig};
+
+fn small_cfg() -> TrafficConfig {
+    TrafficConfig::open_loop(2_000, 400, 48)
+        .with_workers(2)
+        .with_shards(4, 16)
+        .with_seed(0x7A)
+        .with_faults(3_000, 1_500, 3_000, 1_500)
+}
+
+/// An adapt tuning that reacts quickly at test scale, static pool only.
+fn eager_adapt() -> AdaptConfig {
+    AdaptConfig {
+        stride: 2,
+        window: 16,
+        min_dwell_ns: 1_000_000,
+        relayout_latency_ns: 1_000_000,
+        jit: false,
+    }
+}
+
+#[test]
+fn version_set_is_ordered_and_exact() {
+    let set = VersionSet::of(&[Version::All, Version::Bad]);
+    assert_eq!(set.len(), 2);
+    assert!(!set.is_empty());
+    assert!(set.contains(Version::Bad) && set.contains(Version::All));
+    assert!(!set.contains(Version::Std));
+    // Members come back in canonical Table-4 order, not insertion order.
+    assert_eq!(set.members(), vec![Version::Bad, Version::All]);
+    assert_eq!(VersionSet::all().len(), 6);
+}
+
+#[test]
+fn adapt_stage_is_memoized() {
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+    let spec = AdaptSpec::new(small_cfg(), eager_adapt(), Version::Bad)
+        .with_candidates(&[Version::Bad, Version::All]);
+    let a = eng.adapt(StackKind::TcpIp, opts, 2, spec);
+    let b = eng.adapt(StackKind::TcpIp, opts, 2, spec);
+    assert!(Arc::ptr_eq(&a, &b), "second request must hit the cache");
+    assert_eq!(eng.counters().adapts, 1);
+
+    // A different tuning is a different cell.
+    let mut other = spec;
+    other.adapt.stride = 4;
+    let c = eng.adapt(StackKind::TcpIp, opts, 2, other);
+    assert!(!Arc::ptr_eq(&a, &c));
+    assert_eq!(eng.counters().adapts, 2);
+}
+
+#[test]
+fn stride_zero_is_a_bit_identical_passthrough() {
+    // With sampling off the adaptive wrapper must vanish: the whole
+    // report — latencies, counters, service statistics — equals the
+    // plain traffic stage on the initial layout, and the adaptation
+    // timeline is empty.
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let cfg = small_cfg();
+    let spec = AdaptSpec::new(cfg, AdaptConfig { stride: 0, ..eager_adapt() }, Version::Std);
+    let adaptive = eng.adapt(StackKind::TcpIp, opts, 2, spec);
+    let fixed = eng.traffic(StackKind::TcpIp, opts, 2, Version::Std, cfg);
+    assert_eq!(adaptive.report, *fixed, "stride 0 must not change a bit");
+    assert_eq!(adaptive.adapt.counters.samples, 0);
+    assert_eq!(adaptive.adapt.counters.requests, 0);
+    assert!(adaptive.adapt.swaps.is_empty());
+    assert_eq!(adaptive.adapt.worker.responses, 0);
+}
+
+#[test]
+fn adapt_stage_is_deterministic_across_engines() {
+    // Same spec computed by two independent engines (cold caches, cold
+    // plan stores) must produce identical outcomes — serving report,
+    // swap timeline and worker statistics alike.
+    let opts = StackOptions::improved();
+    let spec = AdaptSpec::new(small_cfg(), eager_adapt(), Version::Bad)
+        .with_candidates(&[Version::Bad, Version::All]);
+    let a = SweepEngine::new().adapt(StackKind::TcpIp, opts, 2, spec);
+    let b = SweepEngine::new().adapt(StackKind::TcpIp, opts, 2, spec);
+    assert_eq!(*a, *b);
+}
+
+#[test]
+fn adaptive_run_swaps_off_a_pessimal_layout() {
+    // Started on BAD with ALL in the pool, the loop must profile, post
+    // a request, and hot-swap onto ALL — invalidating the incoming
+    // service — and must not end up with a worse tail than static BAD.
+    let eng = SweepEngine::global();
+    let opts = StackOptions::improved();
+    let cfg = small_cfg();
+    let spec = AdaptSpec::new(cfg, eager_adapt(), Version::Bad)
+        .with_candidates(&[Version::Bad, Version::All]);
+    let out = eng.adapt(StackKind::TcpIp, opts, 2, spec);
+
+    assert!(out.adapt.counters.samples > 0, "profiler must sample");
+    assert!(out.adapt.counters.windows > 0, "windows must close");
+    assert!(out.adapt.counters.requests >= 1, "first window departs from the empty baseline");
+    assert_eq!(out.adapt.worker.responses, out.adapt.counters.requests);
+    assert_eq!(out.adapt.worker.jit_builds, 0, "jit disabled: static scoring only");
+    assert!(out.adapt.counters.swaps_applied >= 1, "the verdict must move off BAD");
+    let first = out.adapt.swaps.iter().find(|s| !s.noop).expect("an applied swap");
+    assert_eq!(first.from, "BAD");
+    assert_eq!(first.to, "ALL", "ALL must out-score BAD on every depth mix");
+    assert!(
+        out.report.service.invalidations >= 1,
+        "a real swap restarts the incoming service cold"
+    );
+
+    let bad = eng.traffic(StackKind::TcpIp, opts, 2, Version::Bad, cfg);
+    assert_eq!(out.report.completed, bad.completed, "same offered load");
+    assert!(
+        out.report.hist.p99() <= bad.hist.p99(),
+        "adaptive p99 {} must not lose to static BAD {}",
+        out.report.hist.p99(),
+        bad.hist.p99()
+    );
+}
+
+#[test]
+fn engine_plan_store_is_prefix_isolated_and_shared() {
+    // Direct contract of the SweepEngine-backed PlanCache: plans land
+    // under their cell prefix, reads from another prefix miss, and the
+    // hit/request counters track store traffic.
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+    let plan = eng.layout(StackKind::TcpIp, opts, 2, Version::Std);
+
+    let mut std_cache = eng.plan_cache(StackKind::TcpIp, opts, 2, Version::Std);
+    assert!(std_cache.get(0xFEED).is_none(), "cold store");
+    std_cache.put(0xFEED, &plan);
+    assert!(std_cache.get(0xFEED).is_some(), "roundtrip through the store");
+
+    let mut all_cache = eng.plan_cache(StackKind::TcpIp, opts, 2, Version::All);
+    assert!(all_cache.get(0xFEED).is_none(), "different prefix, different plans");
+
+    let (requests, hits) = eng.jit_plan_stats();
+    assert_eq!(requests, 3);
+    assert_eq!(hits, 1);
+}
+
+#[test]
+fn jit_plans_are_reused_across_specs() {
+    // Two specs over the same cell share the engine's plan store: the
+    // second run's worker finds the first run's synthesized plans by
+    // fingerprint instead of re-synthesizing.  The profile stream is a
+    // pure function of the workload (sampling never looks at the active
+    // layout), so the first posted fingerprint of each run coincides.
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+    let adapt = AdaptConfig { jit: true, ..eager_adapt() };
+    let spec_a = AdaptSpec::new(small_cfg(), adapt, Version::Std)
+        .with_candidates(&[Version::Std, Version::All]);
+    let a = eng.adapt(StackKind::TcpIp, opts, 2, spec_a);
+    assert!(a.adapt.worker.jit_builds >= 1, "cold store: the first profile must synthesize");
+    // Worker-side consistency: every non-memoized response either hit
+    // the plan store or built a plan.
+    assert_eq!(
+        a.adapt.worker.jit_builds + a.adapt.worker.plan_cache_hits,
+        a.adapt.worker.responses - a.adapt.worker.fp_memo_hits
+    );
+
+    let mut spec_b = spec_a;
+    spec_b.adapt.relayout_latency_ns = 2_000_000; // same workload, new cell
+    let b = eng.adapt(StackKind::TcpIp, opts, 2, spec_b);
+    assert!(
+        b.adapt.worker.plan_cache_hits >= 1,
+        "the shared store must answer recurring fingerprints"
+    );
+    let (_, hits) = eng.jit_plan_stats();
+    assert!(hits >= 1);
+}

@@ -1,0 +1,178 @@
+//! Streaming 64-bit trace fingerprints.
+//!
+//! The online re-layout loop (`traffic::adapt`) keys its synthesized
+//! layouts and memoized scoring decisions by *what the workload looks
+//! like*, not by object identity: two profile windows that sampled the
+//! same episode shape and locality mix must map to the same key so the
+//! background re-layout worker — and the SweepEngine's cross-run memo —
+//! can reuse an already-synthesized plan instead of running the
+//! micro-positioner again.
+//!
+//! The hash is FNV-1a over a canonical word encoding of each event
+//! (variant tag, then ids/operands), finished with a SplitMix64-style
+//! avalanche so low-entropy streams still spread across the key space.
+//! It is a fingerprint, not a cryptographic hash: collisions only cost
+//! a suboptimal (never incorrect) layout reuse.
+
+use crate::events::{Ev, EventStream};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental fingerprint builder: feed words or whole events as they
+/// are observed, read the digest at any point.
+#[derive(Debug, Clone)]
+pub struct TraceFingerprint {
+    h: u64,
+}
+
+impl Default for TraceFingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFingerprint {
+    pub fn new() -> Self {
+        TraceFingerprint { h: FNV_OFFSET }
+    }
+
+    /// Mix one 64-bit word (byte-at-a-time FNV-1a).
+    #[inline]
+    pub fn push(&mut self, word: u64) {
+        let mut h = self.h;
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.h = h;
+    }
+
+    /// Mix one recorded event.
+    pub fn push_event(&mut self, ev: &Ev) {
+        match ev {
+            Ev::CallSite { seg } => {
+                self.push(1);
+                self.push(seg.0 as u64);
+            }
+            Ev::Enter { func, ops } => {
+                self.push(2);
+                self.push(func.0 as u64);
+                for &op in ops {
+                    self.push(op);
+                }
+            }
+            Ev::Straight { seg } => {
+                self.push(3);
+                self.push(seg.0 as u64);
+            }
+            Ev::Cond { seg, taken } => {
+                self.push(4);
+                self.push((seg.0 as u64) << 1 | *taken as u64);
+            }
+            Ev::Loop { seg, iters } => {
+                self.push(5);
+                self.push((seg.0 as u64) << 32 | *iters as u64);
+            }
+            Ev::Leave => self.push(6),
+        }
+    }
+
+    /// Final digest (avalanched; the builder remains usable).
+    pub fn finish(&self) -> u64 {
+        let mut z = self.h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Fingerprint a whole recorded stream.
+pub fn fingerprint_stream(events: &EventStream) -> u64 {
+    let mut fp = TraceFingerprint::new();
+    for ev in &events.events {
+        fp.push_event(ev);
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FuncId, SegId};
+
+    fn stream(evs: Vec<Ev>) -> EventStream {
+        EventStream { events: evs }
+    }
+
+    #[test]
+    fn identical_streams_agree() {
+        let a = stream(vec![
+            Ev::Enter { func: FuncId(3), ops: vec![0x9000] },
+            Ev::Straight { seg: SegId(7) },
+            Ev::Leave,
+        ]);
+        assert_eq!(fingerprint_stream(&a), fingerprint_stream(&a.clone()));
+    }
+
+    #[test]
+    fn every_field_matters() {
+        let base = stream(vec![
+            Ev::Enter { func: FuncId(1), ops: vec![] },
+            Ev::Cond { seg: SegId(2), taken: true },
+            Ev::Loop { seg: SegId(3), iters: 4 },
+            Ev::Leave,
+        ]);
+        let variants = [
+            stream(vec![
+                Ev::Enter { func: FuncId(2), ops: vec![] },
+                Ev::Cond { seg: SegId(2), taken: true },
+                Ev::Loop { seg: SegId(3), iters: 4 },
+                Ev::Leave,
+            ]),
+            stream(vec![
+                Ev::Enter { func: FuncId(1), ops: vec![] },
+                Ev::Cond { seg: SegId(2), taken: false },
+                Ev::Loop { seg: SegId(3), iters: 4 },
+                Ev::Leave,
+            ]),
+            stream(vec![
+                Ev::Enter { func: FuncId(1), ops: vec![] },
+                Ev::Cond { seg: SegId(2), taken: true },
+                Ev::Loop { seg: SegId(3), iters: 5 },
+                Ev::Leave,
+            ]),
+            stream(vec![
+                Ev::Enter { func: FuncId(1), ops: vec![0xBEEF] },
+                Ev::Cond { seg: SegId(2), taken: true },
+                Ev::Loop { seg: SegId(3), iters: 4 },
+                Ev::Leave,
+            ]),
+        ];
+        let h0 = fingerprint_stream(&base);
+        for v in &variants {
+            assert_ne!(h0, fingerprint_stream(v));
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let s = stream(vec![
+            Ev::CallSite { seg: SegId(9) },
+            Ev::Enter { func: FuncId(0), ops: vec![1, 2] },
+            Ev::Leave,
+        ]);
+        let mut fp = TraceFingerprint::new();
+        for ev in &s.events {
+            fp.push_event(ev);
+        }
+        assert_eq!(fp.finish(), fingerprint_stream(&s));
+    }
+
+    #[test]
+    fn order_matters() {
+        let a = stream(vec![Ev::Straight { seg: SegId(1) }, Ev::Straight { seg: SegId(2) }]);
+        let b = stream(vec![Ev::Straight { seg: SegId(2) }, Ev::Straight { seg: SegId(1) }]);
+        assert_ne!(fingerprint_stream(&a), fingerprint_stream(&b));
+    }
+}

@@ -50,6 +50,7 @@ pub mod body;
 pub mod classifier;
 pub mod datalayout;
 pub mod events;
+pub mod fingerprint;
 pub mod func;
 pub mod ids;
 pub mod image;
@@ -63,6 +64,7 @@ pub use body::{Body, DataRef};
 pub use classifier::{Classifier, ClassifierProgram};
 pub use datalayout::DataLayout;
 pub use events::{Ev, EventStream, Recorder};
+pub use fingerprint::{fingerprint_stream, TraceFingerprint};
 pub use func::{
     Block, BlockRole, FuncKind, Function, FunctionBuilder, Predict, SegKind, Segment,
 };
@@ -71,5 +73,5 @@ pub use image::{Image, ImageConfig};
 pub use layout::{Directive, LayoutPlan, LayoutStrategy};
 pub use program::{Program, ProgramBuilder};
 pub use bitset::PcBitmap;
-pub use replay::{InstSink, NullSink, ReplayOutput, ReplayStats, Replayer};
+pub use replay::{InstSink, NullSink, ReplayOutput, ReplayPlan, ReplayStats, Replayer};
 pub use symbolize::Symbolizer;

@@ -236,11 +236,34 @@ fn build_plans(image: &Image) -> Vec<Vec<BlockPlan>> {
         .collect()
 }
 
+/// The precomputed, image-derived half of a [`Replayer`], split out so
+/// owners of a long-lived image handle (e.g. an `Arc<Image>`-holding
+/// service that hot-swaps layouts at run time) can keep the plan beside
+/// the handle and build a borrowing `Replayer` per replay for free —
+/// [`Replayer::with_plan`] is two pointer copies, not an O(program)
+/// rebuild.
+pub struct ReplayPlan {
+    plans: Vec<Vec<BlockPlan>>,
+    stack_base: u64,
+}
+
+impl ReplayPlan {
+    /// Precompute the emission plan for `image`.
+    pub fn new(image: &Image) -> Self {
+        ReplayPlan { plans: build_plans(image), stack_base: image.data.stack_top() }
+    }
+}
+
+enum Plans<'a> {
+    Owned(Vec<Vec<BlockPlan>>),
+    Borrowed(&'a [Vec<BlockPlan>]),
+}
+
 /// Replays event streams against one image.
 pub struct Replayer<'a> {
     image: &'a Image,
     stack_base: u64,
-    plans: Vec<Vec<BlockPlan>>,
+    plans: Plans<'a>,
 }
 
 impl<'a> Replayer<'a> {
@@ -248,7 +271,17 @@ impl<'a> Replayer<'a> {
         Replayer {
             image,
             stack_base: image.data.stack_top(),
-            plans: build_plans(image),
+            plans: Plans::Owned(build_plans(image)),
+        }
+    }
+
+    /// Borrow a precomputed [`ReplayPlan`] (built from the same image)
+    /// instead of rebuilding it.  Construction cost is O(1).
+    pub fn with_plan(image: &'a Image, plan: &'a ReplayPlan) -> Self {
+        Replayer {
+            image,
+            stack_base: plan.stack_base,
+            plans: Plans::Borrowed(&plan.plans),
         }
     }
 
@@ -260,6 +293,13 @@ impl<'a> Replayer<'a> {
 
     pub fn image(&self) -> &Image {
         self.image
+    }
+
+    fn plans(&self) -> &[Vec<BlockPlan>] {
+        match &self.plans {
+            Plans::Owned(p) => p,
+            Plans::Borrowed(p) => p,
+        }
     }
 
     /// Replay one event stream into a materialized instruction trace.
@@ -307,7 +347,7 @@ impl<'a> Replayer<'a> {
         };
         let mut st = ReplayState {
             image: self.image,
-            plans: &self.plans,
+            plans: self.plans(),
             sink,
             stats,
             track_sets,
@@ -1053,6 +1093,18 @@ mod tests {
         let a = Replayer::new(&image).replay(&ev).unwrap();
         let b = Replayer::new(&image).replay(&ev).unwrap();
         assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn borrowed_plan_matches_owned_plan() {
+        let fxx = fx();
+        let image = img(&fxx, true);
+        let ev = record(&fxx, false, 3);
+        let plan = ReplayPlan::new(&image);
+        let owned = Replayer::new(&image).replay(&ev).unwrap();
+        let borrowed = Replayer::with_plan(&image, &plan).replay(&ev).unwrap();
+        assert_eq!(owned.trace, borrowed.trace);
+        assert_eq!(owned.stats.instructions, borrowed.stats.instructions);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! * [`ring`] — lock-free bounded SPSC/MPSC rings (cache-line-padded
 //!   atomics, batch push/pop) for the traffic dispatch plane's
 //!   generator→worker hand-off and work-stealing injectors.
+//! * [`sample`] — allocation-free stride/reservoir sampling primitives
+//!   for the online layout profiler (`traffic::adapt`).
 
 pub mod engine;
 pub mod fault;
@@ -33,11 +35,13 @@ pub mod lance;
 pub mod pcap;
 pub mod ring;
 pub mod rng;
+pub mod sample;
 pub mod sched;
 pub mod wire;
 
 pub use engine::{Engine, Overrun};
 pub use ring::{spsc, CachePadded, MpscRing, SpscConsumer, SpscProbe, SpscProducer};
+pub use sample::{Reservoir, StrideSampler};
 pub use sched::{CancelToken, EventQueue, Wheel};
 pub use fault::{FaultInjector, FaultStats, Fate};
 pub use frame::{EtherType, Frame, MacAddr};

@@ -67,9 +67,9 @@ use netsim::ring::{spsc, MpscRing, SpscConsumer, SpscProbe, SpscProducer};
 use netsim::rng::SplitMix64;
 use netsim::{Engine, Ns, Overrun};
 
-use crate::runloop::{lane_stream, lane_streams, make_zipf, Ev, TrafficConfig, TrafficReport, Worker};
+use crate::runloop::{lane_stream, lane_streams, make_zipfs, Ev, TrafficConfig, TrafficReport, Worker};
 use crate::service::Service;
-use crate::workload::{exp_gap_ns, RefStream, Scenario, Zipf};
+use crate::workload::{exp_gap_ns, PhasedStream, Scenario, Zipf};
 
 /// Arrival ring depth per lane (power of two).
 const LANE_RING_CAP: usize = 1024;
@@ -353,7 +353,7 @@ struct GenLane {
     rng: SplitMix64,
     /// The lane's reference stream — the identical stateful stream the
     /// reference loop draws its pre-schedule from.
-    stream: RefStream,
+    stream: PhasedStream,
     t: Ns,
     remaining: u32,
     tx: SpscProducer<Arrival>,
@@ -380,7 +380,7 @@ fn generator<S>(plane: Plane<'_, S>, mut gens: Vec<GenLane>, rate_mps: u64) {
                 for _ in 0..n {
                     // Exact reference draw order: gap, then session.
                     gl.t += exp_gap_ns(&mut gl.rng, rate_mps);
-                    let session = gl.stream.next(&mut gl.rng);
+                    let session = gl.stream.next(gl.t, &mut gl.rng);
                     gl.staged.push(Arrival { at: gl.t, session });
                 }
                 gl.remaining -= n as u32;
@@ -428,10 +428,10 @@ fn build_core<S: Service>(
     cfg: &TrafficConfig,
     idx: u32,
     svc: S,
-    zipf: Arc<Zipf>,
+    zipfs: &[Arc<Zipf>],
     rx: Option<SpscConsumer<Arrival>>,
 ) -> LaneCore<S> {
-    let mut w = Worker::new(cfg, idx, svc, zipf);
+    let mut w = Worker::new(cfg, idx, svc, zipfs);
     let mut eng = Engine::default();
     match cfg.scenario {
         Scenario::OpenLoop { .. } => w.mark_open_loop_issued(),
@@ -464,7 +464,7 @@ where
 {
     assert!(cfg.workers >= 1, "need at least one worker");
     let lanes = cfg.workers as usize;
-    let zipf = make_zipf(cfg);
+    let zipfs = make_zipfs(cfg);
     let open_rate = match cfg.scenario {
         Scenario::OpenLoop { rate_mps } => Some(rate_mps),
         Scenario::ClosedLoop { .. } => None,
@@ -480,7 +480,7 @@ where
             gens.push(GenLane {
                 lane: i as u32,
                 rng: lane_streams(cfg.seed, i as u32).0,
-                stream: lane_stream(cfg, i as u32, Arc::clone(&zipf)),
+                stream: lane_stream(cfg, i as u32, &zipfs),
                 t: 0,
                 remaining: cfg.messages_per_worker,
                 tx,
@@ -498,16 +498,16 @@ where
     // (episode replay), so parallelize it exactly like the reference's
     // per-worker threads.
     let cores: Vec<LaneCore<S>> = if lanes == 1 {
-        vec![build_core(cfg, 0, make(0), zipf.clone(), rxs.pop().flatten())]
+        vec![build_core(cfg, 0, make(0), &zipfs, rxs.pop().flatten())]
     } else {
         let make = &make;
-        let zipf_ref = &zipf;
+        let zipfs_ref = &zipfs;
         thread::scope(|s| {
             let handles: Vec<_> = rxs
                 .into_iter()
                 .enumerate()
                 .map(|(i, rx)| {
-                    s.spawn(move || build_core(cfg, i as u32, make(i as u32), Arc::clone(zipf_ref), rx))
+                    s.spawn(move || build_core(cfg, i as u32, make(i as u32), zipfs_ref, rx))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("lane setup panicked")).collect()

@@ -185,6 +185,73 @@ impl LatencyHistogram {
     pub fn p999(&self) -> u64 {
         self.quantile(0.999)
     }
+
+    /// Zero all buckets and counters, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.sum = 0;
+    }
+
+    /// Windowed snapshot: return everything recorded since the last
+    /// `take()` (or construction) and reset to empty.  The full bucket
+    /// array moves out; only the fresh replacement is a new allocation
+    /// (window rolls are per-phase, not per-sample).
+    pub fn take(&mut self) -> LatencyHistogram {
+        std::mem::take(self)
+    }
+}
+
+/// A histogram split into a *cumulative* part and a live *window*, so
+/// per-phase (or per-epoch) tails can be reported without perturbing
+/// the run-wide distribution.  `record` lands in the window only;
+/// [`roll`](Self::roll) closes the window — merging it into the
+/// cumulative part and returning the window's own histogram.  At any
+/// instant `cumulative ⊎ window == everything recorded`, which is the
+/// merge==concat property the `hist_props` suite pins.
+#[derive(Clone, Default, Debug)]
+pub struct WindowedHistogram {
+    cumulative: LatencyHistogram,
+    window: LatencyHistogram,
+}
+
+impl WindowedHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record into the open window.  Never allocates.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.window.record(v);
+    }
+
+    /// Close the window: fold it into the cumulative histogram and
+    /// return the window's samples as their own histogram.
+    pub fn roll(&mut self) -> LatencyHistogram {
+        let w = self.window.take();
+        self.cumulative.merge(&w);
+        w
+    }
+
+    /// The still-open window.
+    pub fn window(&self) -> &LatencyHistogram {
+        &self.window
+    }
+
+    /// Everything recorded before the open window.
+    pub fn cumulative(&self) -> &LatencyHistogram {
+        &self.cumulative
+    }
+
+    /// Everything ever recorded (cumulative plus the open window).
+    pub fn merged(&self) -> LatencyHistogram {
+        let mut all = self.cumulative.clone();
+        all.merge(&self.window);
+        all
+    }
 }
 
 impl fmt::Debug for LatencyHistogram {
@@ -267,6 +334,44 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.min(), 0);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn windowed_roll_partitions_without_loss() {
+        let mut w = WindowedHistogram::new();
+        let mut direct = LatencyHistogram::new();
+        for v in [10u64, 99, 5_000] {
+            w.record(v);
+            direct.record(v);
+        }
+        let first = w.roll();
+        assert_eq!(first.count(), 3);
+        for v in [7u64, u64::MAX, 0] {
+            w.record(v);
+            direct.record(v);
+        }
+        // Open window holds only the post-roll samples...
+        assert_eq!(w.window().count(), 3);
+        assert_eq!(w.window().max(), u64::MAX);
+        // ...and cumulative ⊎ window reconstructs the direct recording.
+        assert_eq!(w.merged(), direct);
+        let second = w.roll();
+        assert_eq!(second.min(), 0);
+        assert_eq!(w.cumulative(), &direct);
+        assert!(w.window().is_empty());
+    }
+
+    #[test]
+    fn take_and_reset_clear_state() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        let snap = h.take();
+        assert_eq!(snap.count(), 1);
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        h.record(7);
+        h.reset();
+        assert_eq!(h, LatencyHistogram::new());
     }
 
     #[test]

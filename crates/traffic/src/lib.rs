@@ -37,6 +37,7 @@
 //!   that runs the identical lane code bit-identically to the
 //!   reference for any executor count.
 
+pub mod adapt;
 pub mod dispatch;
 pub mod hist;
 pub mod policy;
@@ -45,12 +46,21 @@ pub mod service;
 pub mod session;
 pub mod workload;
 
-pub use hist::{bucket_index, bucket_lower, bucket_upper, LatencyHistogram, BUCKET_COUNT, SUB_BUCKET_BITS};
+pub use adapt::{
+    run_adaptive, AdaptConfig, AdaptCounters, AdaptReport, AdaptiveService, Candidate,
+    LocalPlanCache, PlanCache, Profile, RelayoutStats, SwapEvent,
+};
+pub use hist::{
+    bucket_index, bucket_lower, bucket_upper, LatencyHistogram, WindowedHistogram, BUCKET_COUNT,
+    SUB_BUCKET_BITS,
+};
 pub use runloop::{
     run_traffic, run_traffic_reference, TrafficConfig, TrafficReport, DEMUX_CACHE_HIT_NS,
     DEMUX_CHAIN_HIT_NS, DUPLICATE_DELAY_NS, REORDER_DELAY_NS, RTO_NS, SESSION_SETUP_NS,
 };
 pub use policy::{cache_slot, DemuxCache, PolicyKind};
-pub use service::{FixedService, ReplayService, Service, ServiceStats};
+pub use service::{detect_cycle, FixedService, ReplayService, Service, ServiceStats, MAX_PERIOD};
 pub use session::{buckets_for_capacity, conflict_cycle, DemuxKey, SessionTable, TableStats};
-pub use workload::{exp_gap_ns, RefStream, Scenario, StreamKind, Zipf};
+pub use workload::{
+    exp_gap_ns, Phase, PhasePlan, PhasedStream, RefStream, Scenario, StreamKind, Zipf, MAX_PHASES,
+};

@@ -63,7 +63,7 @@ use crate::hist::LatencyHistogram;
 use crate::policy::PolicyKind;
 use crate::service::{Service, ServiceStats};
 use crate::session::{buckets_for_capacity, conflict_cycle, DemuxKey, SessionTable, TableStats};
-use crate::workload::{exp_gap_ns, RefStream, Scenario, StreamKind, Zipf};
+use crate::workload::{exp_gap_ns, PhasePlan, PhasedStream, RefStream, Scenario, StreamKind, Zipf};
 
 /// Demux cost of a one-entry-cache hit (the paper's inlined fast-path
 /// compare: a handful of instructions).
@@ -117,6 +117,10 @@ pub struct TrafficConfig {
     pub policy: PolicyKind,
     /// Locality structure of the per-lane reference stream.
     pub stream: StreamKind,
+    /// Optional phase-shifting schedule.  When non-empty it overrides
+    /// `stream`/`milli_theta` per simulated-time phase; when empty the
+    /// run is bit-identical to a build without phasing.
+    pub phases: PhasePlan,
 }
 
 impl TrafficConfig {
@@ -140,6 +144,7 @@ impl TrafficConfig {
             duplicate_ppm: 0,
             policy: PolicyKind::OneEntry,
             stream: StreamKind::Zipf,
+            phases: PhasePlan::none(),
         }
     }
 
@@ -204,6 +209,12 @@ impl TrafficConfig {
         self
     }
 
+    /// Install a phase-shifting schedule (see [`PhasePlan`]).
+    pub fn with_phases(mut self, phases: PhasePlan) -> Self {
+        self.phases = phases;
+        self
+    }
+
     /// Set all four fault probabilities, parts per million.
     pub fn with_faults(mut self, drop: u32, corrupt: u32, reorder: u32, duplicate: u32) -> Self {
         self.drop_ppm = drop;
@@ -247,6 +258,13 @@ pub struct TrafficReport {
     pub faults: FaultStats,
     pub table: TableStats,
     pub service: ServiceStats,
+    /// Per-phase latency histograms (all recorded completions, keyed by
+    /// the arrival's *born* instant).  Empty unless the configuration
+    /// carries a [`PhasePlan`].
+    pub phase_hists: Vec<LatencyHistogram>,
+    /// Per-phase steady-state histograms: completions born at least the
+    /// phase's `settle_ns` past its start.  Empty without a plan.
+    pub phase_steady: Vec<LatencyHistogram>,
 }
 
 impl TrafficReport {
@@ -270,6 +288,8 @@ impl TrafficReport {
             faults: FaultStats::default(),
             table: TableStats::default(),
             service: ServiceStats::default(),
+            phase_hists: Vec::new(),
+            phase_steady: Vec::new(),
         };
         for o in &outs {
             r.hist.merge(&o.hist);
@@ -280,8 +300,22 @@ impl TrafficReport {
             r.faults.merge(&o.faults);
             r.table.merge(&o.table);
             r.service.merge(&o.service);
+            merge_phase_hists(&mut r.phase_hists, &o.phase_full);
+            merge_phase_hists(&mut r.phase_steady, &o.phase_steady);
         }
         r
+    }
+}
+
+/// Element-wise merge of per-lane phase histogram vectors (all lanes of
+/// one run share the plan, so lengths agree; lanes without phases
+/// contribute nothing).
+fn merge_phase_hists(into: &mut Vec<LatencyHistogram>, from: &[LatencyHistogram]) {
+    if into.len() < from.len() {
+        into.resize_with(from.len(), LatencyHistogram::new);
+    }
+    for (dst, src) in into.iter_mut().zip(from) {
+        dst.merge(src);
     }
 }
 
@@ -295,6 +329,8 @@ pub(crate) struct WorkerOut {
     pub(crate) faults: FaultStats,
     pub(crate) table: TableStats,
     pub(crate) service: ServiceStats,
+    pub(crate) phase_full: Vec<LatencyHistogram>,
+    pub(crate) phase_steady: Vec<LatencyHistogram>,
 }
 
 /// Lane-local events.
@@ -321,26 +357,55 @@ pub(crate) fn lane_streams(seed: u64, worker_idx: u32) -> (SplitMix64, u64) {
     (rng, inj_seed)
 }
 
-/// The lane's reference stream over its Zipf population.  For the
+/// One phase's reference stream over its Zipf population.  For the
 /// adversarial conflict kind this precomputes the rank cycle that
 /// collides in this worker's shard/cache-slot space.
-pub(crate) fn lane_stream(cfg: &TrafficConfig, worker_idx: u32, zipf: Arc<Zipf>) -> RefStream {
-    let cycle_ranks = match cfg.stream {
+fn phase_ref_stream(
+    cfg: &TrafficConfig,
+    worker_idx: u32,
+    kind: StreamKind,
+    zipf: Arc<Zipf>,
+) -> RefStream {
+    let cycle_ranks = match kind {
         StreamKind::Conflict { slots, cycle } => {
             conflict_cycle(cfg.sessions, cfg.workers, worker_idx, cfg.shards, slots, cycle)
         }
         _ => Vec::new(),
     };
-    RefStream::new(cfg.stream, zipf, cycle_ranks)
+    RefStream::new(kind, zipf, cycle_ranks)
+}
+
+/// The lane's (possibly phase-shifting) reference stream.  `zipfs` is
+/// [`make_zipfs`]' per-phase sampler vector; without a plan this is the
+/// degenerate single stream, bit-identical to the unphased build.
+pub(crate) fn lane_stream(cfg: &TrafficConfig, worker_idx: u32, zipfs: &[Arc<Zipf>]) -> PhasedStream {
+    if cfg.phases.is_empty() {
+        PhasedStream::single(phase_ref_stream(cfg, worker_idx, cfg.stream, Arc::clone(&zipfs[0])))
+    } else {
+        let streams = cfg
+            .phases
+            .iter()
+            .zip(zipfs)
+            .map(|(p, z)| phase_ref_stream(cfg, worker_idx, p.stream, Arc::clone(z)))
+            .collect();
+        PhasedStream::new(streams, cfg.phases.starts())
+    }
 }
 
 pub(crate) struct Worker<S> {
     svc: S,
     table: SessionTable<u32>,
-    pub(crate) stream: RefStream,
+    pub(crate) stream: PhasedStream,
     pub(crate) rng: SplitMix64,
     inj: FaultInjector,
     hist: LatencyHistogram,
+    /// Phase bookkeeping — all empty without a [`PhasePlan`], so the
+    /// unphased hot path pays one `is_empty` branch per completion.
+    phase_starts: Vec<Ns>,
+    /// Absolute settle threshold per phase (start + settle window).
+    phase_settled: Vec<Ns>,
+    phase_full: Vec<LatencyHistogram>,
+    phase_steady: Vec<LatencyHistogram>,
     /// When the (single-queue) server frees up.
     idle_at: Ns,
     end_ns: Ns,
@@ -356,7 +421,7 @@ pub(crate) struct Worker<S> {
 }
 
 impl<S: Service> Worker<S> {
-    pub(crate) fn new(cfg: &TrafficConfig, worker_idx: u32, svc: S, zipf: Arc<Zipf>) -> Self {
+    pub(crate) fn new(cfg: &TrafficConfig, worker_idx: u32, svc: S, zipfs: &[Arc<Zipf>]) -> Self {
         let (rng, inj_seed) = lane_streams(cfg.seed, worker_idx);
         let inj = FaultInjector::new(
             cfg.drop_ppm as f64 / 1e6,
@@ -373,6 +438,13 @@ impl<S: Service> Worker<S> {
         // The table seed only feeds random-replacement caches; any
         // per-worker-distinct derivation works (it is mixed per shard).
         let table_seed = cfg.seed ^ ((worker_idx as u64 + 1) << 16);
+        let phase_starts = if cfg.phases.is_empty() { Vec::new() } else { cfg.phases.starts() };
+        let phase_settled: Vec<Ns> = phase_starts
+            .iter()
+            .zip(cfg.phases.iter())
+            .map(|(&s, p)| s.saturating_add(p.settle_ns))
+            .collect();
+        let n_phases = phase_starts.len();
         Worker {
             svc,
             table: SessionTable::with_policy(
@@ -382,10 +454,14 @@ impl<S: Service> Worker<S> {
                 cfg.policy,
                 table_seed,
             ),
-            stream: lane_stream(cfg, worker_idx, zipf),
+            stream: lane_stream(cfg, worker_idx, zipfs),
             rng,
             inj,
             hist: LatencyHistogram::new(),
+            phase_starts,
+            phase_settled,
+            phase_full: (0..n_phases).map(|_| LatencyHistogram::new()).collect(),
+            phase_steady: (0..n_phases).map(|_| LatencyHistogram::new()).collect(),
             idle_at: 0,
             end_ns: 0,
             completed: 0,
@@ -418,7 +494,7 @@ impl<S: Service> Worker<S> {
             Ev::Request => {
                 if self.issued < self.quota {
                     self.issued += 1;
-                    let session = self.stream.next(&mut self.rng);
+                    let session = self.stream.next(t, &mut self.rng);
                     self.arrive(eng, t, session, t);
                 }
             }
@@ -471,13 +547,26 @@ impl<S: Service> Worker<S> {
         if state.is_none() {
             self.table.insert(key, session);
         }
-        let service_ns = self.svc.serve(kind);
+        // Service begins once the (single-queue) server drains to this
+        // message; that instant — not the arrival — anchors adaptive
+        // epoch transitions, so compute it before serving.
         let start = t.max(self.idle_at);
+        let service_ns = self.svc.serve(kind, start);
         let done = start + demux_ns + service_ns;
         self.idle_at = done;
         self.end_ns = self.end_ns.max(done);
         if record {
             self.hist.record(done - born);
+            if !self.phase_starts.is_empty() {
+                // Attribute by *born* instant: a completion belongs to
+                // the phase that generated its arrival, even when
+                // queueing delays push `done` past the boundary.
+                let i = self.phase_starts.partition_point(|&s| s <= born) - 1;
+                self.phase_full[i].record(done - born);
+                if born >= self.phase_settled[i] {
+                    self.phase_steady[i].record(done - born);
+                }
+            }
             self.completed += 1;
             if self.closed_loop {
                 // The response releases the client, which thinks and
@@ -499,14 +588,22 @@ impl<S: Service> Worker<S> {
             retransmits: self.retransmits,
             duplicates_served: self.duplicates_served,
             faults: self.inj.stats,
+            phase_full: self.phase_full,
+            phase_steady: self.phase_steady,
         }
     }
 }
 
-/// The shared Zipf sampler every lane of `cfg` uses (identical for all
-/// lanes: same population size and skew).
-pub(crate) fn make_zipf(cfg: &TrafficConfig) -> Arc<Zipf> {
-    Arc::new(Zipf::new(cfg.sessions.max(1) as usize, cfg.milli_theta))
+/// The shared per-phase Zipf samplers every lane of `cfg` uses
+/// (identical for all lanes: same population size, per-phase skew).
+/// Without a [`PhasePlan`] this is the single base sampler.
+pub(crate) fn make_zipfs(cfg: &TrafficConfig) -> Vec<Arc<Zipf>> {
+    let n = cfg.sessions.max(1) as usize;
+    if cfg.phases.is_empty() {
+        vec![Arc::new(Zipf::new(n, cfg.milli_theta))]
+    } else {
+        cfg.phases.iter().map(|p| Arc::new(Zipf::new(n, p.milli_theta))).collect()
+    }
 }
 
 /// The seed execution: one thread per lane, the whole arrival schedule
@@ -520,13 +617,13 @@ pub mod reference {
         cfg: &TrafficConfig,
         worker_idx: u32,
         svc: S,
-        zipf: Arc<Zipf>,
+        zipfs: &[Arc<Zipf>],
     ) -> Result<WorkerOut, Overrun>
     where
         S: Service,
         Q: EventQueue<Ev> + Default,
     {
-        let mut w = Worker::new(cfg, worker_idx, svc, zipf);
+        let mut w = Worker::new(cfg, worker_idx, svc, zipfs);
         let mut eng = Q::default();
         match cfg.scenario {
             Scenario::OpenLoop { rate_mps } => {
@@ -536,7 +633,7 @@ pub mod reference {
                 let mut t: Ns = 0;
                 for _ in 0..cfg.messages_per_worker {
                     t += exp_gap_ns(&mut w.rng, rate_mps);
-                    let session = w.stream.next(&mut w.rng);
+                    let session = w.stream.next(t, &mut w.rng);
                     eng.schedule(t, Ev::Arrive { session, born: t });
                 }
                 w.mark_open_loop_issued();
@@ -562,9 +659,9 @@ pub mod reference {
     {
         assert!(cfg.workers >= 1, "need at least one worker");
         if cfg.workers == 1 {
-            let zipf = make_zipf(cfg);
+            let zipfs = make_zipfs(cfg);
             return Ok(TrafficReport::from_workers(
-                vec![run_worker::<S, Q>(cfg, 0, make(0), zipf)?],
+                vec![run_worker::<S, Q>(cfg, 0, make(0), &zipfs)?],
                 1,
             ));
         }
@@ -572,7 +669,7 @@ pub mod reference {
             let handles: Vec<_> = (0..cfg.workers)
                 .map(|i| {
                     let make = &make;
-                    s.spawn(move || run_worker::<S, Q>(cfg, i, make(i), make_zipf(cfg)))
+                    s.spawn(move || run_worker::<S, Q>(cfg, i, make(i), &make_zipfs(cfg)))
                 })
                 .collect();
             handles

@@ -20,17 +20,42 @@
 //! while learning, and the memoized and unmemoized services produce
 //! identical reports (asserted in `protolat-core`'s traffic-stage
 //! test).
+//!
+//! [`ReplayService`] is generic over how it holds the image (`&Image`
+//! or `Arc<Image>`), so the adaptive re-layout service
+//! ([`crate::adapt`]) can own a pool of candidate services whose images
+//! outlive any one run scope.  [`ReplayService::invalidate`] supports
+//! hot layout swaps: it discards the learned memo and forces a cold
+//! restart, exactly what a code-image change does to a real i-cache.
+
+use std::borrow::Borrow;
+use std::sync::Arc;
 
 use alpha_machine::Machine;
 use kcode::events::EventStream;
-use kcode::{Image, Replayer};
+use kcode::{Image, ReplayPlan, Replayer};
 use netsim::{cycles_to_ns, Ns};
 use xkernel::map::LookupKind;
 
 /// Longest per-depth cost cycle the memo will recognise as steady
 /// state.  Period 1 is the classic flat fixed point; period 2 is the
 /// alternating-line pattern some pinned layouts produce.
-const MAX_PERIOD: usize = 4;
+pub const MAX_PERIOD: usize = 4;
+
+/// Find the steady-state limit cycle in a learned per-depth cost table:
+/// the last `2p` entries each match the entry `p` before them — three
+/// full periods of a `p`-cycle (for `p = 1`, the classic
+/// three-equal-costs rule).  Returns `(base, period)` such that a depth
+/// `d >= base` costs `memo[base + (d - base) % period]`.
+pub fn detect_cycle(memo: &[u64]) -> Option<(usize, usize)> {
+    let n = memo.len();
+    for p in 1..=MAX_PERIOD {
+        if n >= 3 * p && (n - 2 * p..n).all(|i| memo[i] == memo[i - p]) {
+            return Some((n - p, p));
+        }
+    }
+    None
+}
 
 /// Counters a service exposes to the traffic report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,20 +64,43 @@ pub struct ServiceStats {
     pub simulated_replays: u64,
     /// Messages served from the learned steady-state memo.
     pub fast_path_serves: u64,
+    /// Memo invalidations (hot layout swaps / phase changes).
+    pub invalidations: u64,
+    /// Limit-cycle detections by period: `period_detections[p - 1]`
+    /// counts stabilizations with period `p`.  Re-learning after an
+    /// invalidation detects (and counts) again.
+    pub period_detections: [u64; MAX_PERIOD],
 }
 
 impl ServiceStats {
     pub fn merge(&mut self, other: &ServiceStats) {
         self.simulated_replays += other.simulated_replays;
         self.fast_path_serves += other.fast_path_serves;
+        self.invalidations += other.invalidations;
+        for (d, s) in self.period_detections.iter_mut().zip(&other.period_detections) {
+            *d += s;
+        }
+    }
+
+    /// Fraction of serves answered from the steady-state memo.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.simulated_replays + self.fast_path_serves;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_path_serves as f64 / total as f64
+        }
     }
 }
 
 /// One message's worth of server processing.
 pub trait Service {
     /// Service time for a message whose session lookup took `kind`
-    /// (miss means the session state is cold).
-    fn serve(&mut self, kind: LookupKind) -> Ns;
+    /// (miss means the session state is cold), starting service at
+    /// simulated instant `now` (arrival or queue-drain time, whichever
+    /// is later).  `now` is deterministic simulation time — adaptive
+    /// services key epoch transitions off it, fixed services ignore it.
+    fn serve(&mut self, kind: LookupKind, now: Ns) -> Ns;
 
     fn stats(&self) -> ServiceStats {
         ServiceStats::default()
@@ -76,7 +124,7 @@ impl FixedService {
 }
 
 impl Service for FixedService {
-    fn serve(&mut self, kind: LookupKind) -> Ns {
+    fn serve(&mut self, kind: LookupKind, _now: Ns) -> Ns {
         match kind {
             LookupKind::CacheHit => self.cache_hit_ns,
             LookupKind::ChainHit => self.chain_hit_ns,
@@ -86,13 +134,21 @@ impl Service for FixedService {
 }
 
 /// The machine-model service: replays a server-turn episode per message
-/// against a laid-out image.
-pub struct ReplayService<'a> {
-    replayer: Replayer<'a>,
+/// against a laid-out image.  `H` is how the image is held — `&Image`
+/// (the default, for run-scoped borrows) or `Arc<Image>` (for adaptive
+/// candidate pools).
+pub struct ReplayService<'a, H: Borrow<Image> = &'a Image> {
+    image: H,
+    /// Block plans precomputed once; each replay borrows them through
+    /// [`Replayer::with_plan`], so swap-heavy services never rebuild.
+    plan: ReplayPlan,
     episode: &'a EventStream,
     machine: Machine,
     clock_mhz: u64,
     memoize: bool,
+    /// Set by [`invalidate`](Self::invalidate): the next serve starts
+    /// cold (machine reset, depth 0) regardless of lookup kind.
+    fresh: bool,
     /// Replays since the last machine reset.
     depth: usize,
     /// `memo[d]` = cycle cost of the replay at depth `d` (learned by
@@ -106,12 +162,34 @@ pub struct ReplayService<'a> {
 
 impl<'a> ReplayService<'a> {
     pub fn new(image: &'a Image, episode: &'a EventStream) -> Self {
+        Self::with_image(image, episode)
+    }
+}
+
+impl<'a> ReplayService<'a, Arc<Image>> {
+    /// A service owning its image — the form the adaptive layout pool
+    /// uses, where candidate images outlive any single run scope.
+    pub fn shared(image: Arc<Image>, episode: &'a EventStream) -> Self {
+        Self::with_image(image, episode)
+    }
+
+    /// The owning handle (cheap to clone for re-staging swaps).
+    pub fn image_arc(&self) -> &Arc<Image> {
+        &self.image
+    }
+}
+
+impl<'a, H: Borrow<Image>> ReplayService<'a, H> {
+    fn with_image(image: H, episode: &'a EventStream) -> Self {
+        let plan = ReplayPlan::new(image.borrow());
         ReplayService {
-            replayer: Replayer::new(image),
+            image,
+            plan,
             episode,
             machine: Machine::dec3000_600(),
             clock_mhz: alpha_machine::MachineConfig::dec3000_600().cpu.clock_mhz,
             memoize: true,
+            fresh: false,
             depth: 0,
             memo: Vec::new(),
             stable: None,
@@ -126,10 +204,42 @@ impl<'a> ReplayService<'a> {
         self
     }
 
+    /// The image this service replays against.
+    pub fn image(&self) -> &Image {
+        self.image.borrow()
+    }
+
+    /// Learned per-depth cycle costs (shared with the adaptive layer's
+    /// scoring model).
+    pub fn memo(&self) -> &[u64] {
+        &self.memo
+    }
+
+    /// Converged `(base, period)` limit cycle, if detected.
+    pub fn stable(&self) -> Option<(usize, usize)> {
+        self.stable
+    }
+
+    pub fn clock_mhz(&self) -> u64 {
+        self.clock_mhz
+    }
+
+    /// Declare the learned steady state void — the layout image the
+    /// machine's caches were warmed on has been swapped out (or the
+    /// workload phase changed).  The memo clears, limit-cycle detection
+    /// restarts, and the next serve begins from a cold machine whatever
+    /// its lookup kind says.
+    pub fn invalidate(&mut self) {
+        self.memo.clear();
+        self.stable = None;
+        self.fresh = true;
+        self.stats.invalidations += 1;
+    }
+
     /// Cycle cost of one replay at the machine's current state.
     fn simulate_once(&mut self) -> u64 {
         let before = self.machine.cpu.cycles() + self.machine.mem.stall_cycles();
-        self.replayer
+        Replayer::with_plan(self.image.borrow(), &self.plan)
             .replay_into_lean(self.episode, &mut self.machine)
             .expect("episode must replay cleanly");
         self.stats.simulated_replays += 1;
@@ -137,9 +247,9 @@ impl<'a> ReplayService<'a> {
     }
 }
 
-impl Service for ReplayService<'_> {
-    fn serve(&mut self, kind: LookupKind) -> Ns {
-        let miss = kind == LookupKind::Miss;
+impl<H: Borrow<Image>> Service for ReplayService<'_, H> {
+    fn serve(&mut self, kind: LookupKind, _now: Ns) -> Ns {
+        let miss = kind == LookupKind::Miss || std::mem::take(&mut self.fresh);
         if miss {
             self.depth = 0;
         } else {
@@ -178,15 +288,9 @@ impl Service for ReplayService<'_> {
         }
 
         if self.memoize {
-            // Steady state: the last 2p entries each match the entry p
-            // before them, i.e. three full periods of a p-cycle (for
-            // p = 1 this is the classic three-equal-costs rule).
-            let n = self.memo.len();
-            for p in 1..=MAX_PERIOD {
-                if n >= 3 * p && (n - 2 * p..n).all(|i| self.memo[i] == self.memo[i - p]) {
-                    self.stable = Some((n - p, p));
-                    break;
-                }
+            if let Some((base, period)) = detect_cycle(&self.memo) {
+                self.stable = Some((base, period));
+                self.stats.period_detections[period - 1] += 1;
             }
         }
 
@@ -205,9 +309,9 @@ mod tests {
     #[test]
     fn fixed_service_costs_by_lookup_class() {
         let mut s = FixedService { cache_hit_ns: 1, chain_hit_ns: 2, miss_ns: 3 };
-        assert_eq!(s.serve(LookupKind::CacheHit), 1);
-        assert_eq!(s.serve(LookupKind::ChainHit), 2);
-        assert_eq!(s.serve(LookupKind::Miss), 3);
+        assert_eq!(s.serve(LookupKind::CacheHit, 0), 1);
+        assert_eq!(s.serve(LookupKind::ChainHit, 0), 2);
+        assert_eq!(s.serve(LookupKind::Miss, 0), 3);
         assert_eq!(s.stats(), ServiceStats::default());
     }
 
@@ -215,7 +319,48 @@ mod tests {
     fn uniform_is_uniform() {
         let mut s = FixedService::uniform(50);
         for k in [LookupKind::CacheHit, LookupKind::ChainHit, LookupKind::Miss] {
-            assert_eq!(s.serve(k), 50);
+            assert_eq!(s.serve(k, 7), 50);
         }
+    }
+
+    #[test]
+    fn detect_cycle_finds_flat_and_periodic_tails() {
+        // Too short / no repetition: nothing detected.
+        assert_eq!(detect_cycle(&[5, 4]), None);
+        assert_eq!(detect_cycle(&[5, 4, 3, 2, 1]), None);
+        // Three equal tail entries: flat fixed point at the first of
+        // the final period.
+        assert_eq!(detect_cycle(&[9, 3, 3, 3]), Some((3, 1)));
+        // Alternating tail: period 2 once three full periods repeat.
+        assert_eq!(detect_cycle(&[9, 7, 4, 5, 4, 5, 4, 5]), Some((6, 2)));
+        // A period-4 cycle (not reducible to shorter periods).
+        let mut v = vec![100];
+        for _ in 0..3 {
+            v.extend_from_slice(&[8, 6, 7, 5]);
+        }
+        assert_eq!(detect_cycle(&v), Some((9, 4)));
+    }
+
+    #[test]
+    fn merge_sums_all_counters() {
+        let mut a = ServiceStats {
+            simulated_replays: 3,
+            fast_path_serves: 7,
+            invalidations: 1,
+            period_detections: [1, 0, 0, 2],
+        };
+        let b = ServiceStats {
+            simulated_replays: 2,
+            fast_path_serves: 8,
+            invalidations: 4,
+            period_detections: [0, 5, 0, 1],
+        };
+        a.merge(&b);
+        assert_eq!(a.simulated_replays, 5);
+        assert_eq!(a.fast_path_serves, 15);
+        assert_eq!(a.invalidations, 5);
+        assert_eq!(a.period_detections, [1, 5, 0, 3]);
+        assert!((a.memo_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ServiceStats::default().memo_hit_rate(), 0.0);
     }
 }

@@ -197,6 +197,152 @@ impl RefStream {
     }
 }
 
+/// One segment of a phase-shifting workload: a locality structure plus
+/// its Zipf skew, held for `duration_ns` of simulated time.  All-integer
+/// fields so phased configurations stay `Copy + Eq + Hash` and can key
+/// memo caches like everything else in [`TrafficConfig`]
+/// (`crate::TrafficConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Phase {
+    /// Locality structure of the reference stream during this phase.
+    pub stream: StreamKind,
+    /// Zipf skew θ × 1000 for this phase's session selection.
+    pub milli_theta: u32,
+    /// Simulated length of the phase; 0 means "until the run ends" and
+    /// is only legal on the final phase.
+    pub duration_ns: u64,
+    /// Settle window at the head of the phase: completions *born*
+    /// within it are excluded from the phase's steady-state histogram
+    /// (they measure the transition, not the converged regime).
+    pub settle_ns: u64,
+}
+
+/// Maximum phases in a [`PhasePlan`] — fixed so the plan stays `Copy`.
+pub const MAX_PHASES: usize = 4;
+
+/// A fixed-capacity schedule of up to [`MAX_PHASES`] workload phases,
+/// laid end to end from simulated time 0.  The empty plan means "no
+/// phase shifting": the run draws from the base configuration's single
+/// stream, bit-identically to a build without this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhasePlan {
+    phases: [Option<Phase>; MAX_PHASES],
+}
+
+impl Default for PhasePlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl PhasePlan {
+    /// The empty plan (no phase shifting).
+    pub const fn none() -> Self {
+        PhasePlan { phases: [None; MAX_PHASES] }
+    }
+
+    /// A plan running `phases` back to back.  Every phase except the
+    /// last needs a positive duration; a trailing 0 means "rest of the
+    /// run".
+    pub fn new(phases: &[Phase]) -> Self {
+        assert!(phases.len() <= MAX_PHASES, "at most {MAX_PHASES} phases");
+        for (i, p) in phases.iter().enumerate() {
+            assert!(
+                p.duration_ns > 0 || i + 1 == phases.len(),
+                "phase {i} has zero duration but is not last"
+            );
+        }
+        let mut slots = [None; MAX_PHASES];
+        for (slot, p) in slots.iter_mut().zip(phases) {
+            *slot = Some(*p);
+        }
+        PhasePlan { phases: slots }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.phases[0].is_none()
+    }
+
+    pub fn len(&self) -> usize {
+        self.phases.iter().take_while(|p| p.is_some()).count()
+    }
+
+    /// The phases in schedule order.
+    pub fn iter(&self) -> impl Iterator<Item = &Phase> {
+        self.phases.iter().map_while(|p| p.as_ref())
+    }
+
+    /// Absolute start instant of each phase (`starts()[0] == 0`).
+    pub fn starts(&self) -> Vec<Ns> {
+        let mut starts = Vec::with_capacity(self.len());
+        let mut t: Ns = 0;
+        for p in self.iter() {
+            starts.push(t);
+            t = t.saturating_add(p.duration_ns);
+        }
+        starts
+    }
+
+    /// Index of the phase containing instant `t` (times past the last
+    /// boundary belong to the last phase, whatever its duration says).
+    pub fn phase_at(&self, t: Ns) -> usize {
+        let starts = self.starts();
+        starts.partition_point(|&s| s <= t).saturating_sub(1)
+    }
+}
+
+/// A sequence of [`RefStream`]s switched by simulated time: the stream
+/// a draw comes from is selected by the arrival instant against the
+/// plan's phase boundaries.  Draw instants within a lane are
+/// non-decreasing (engines pop in time order, generators advance a
+/// clock), so a monotone cursor suffices — and every execution plane
+/// runs this identical code, preserving the bit-identity argument.
+///
+/// A single-phase stream (the empty plan) delegates straight to its one
+/// [`RefStream`], consuming the RNG identically to a build without
+/// phasing.
+#[derive(Debug, Clone)]
+pub struct PhasedStream {
+    streams: Vec<RefStream>,
+    /// Absolute start instant of each stream; `starts[0] == 0`.
+    starts: Vec<Ns>,
+    cur: usize,
+}
+
+impl PhasedStream {
+    /// The degenerate single-phase stream (no shifting).
+    pub fn single(stream: RefStream) -> Self {
+        PhasedStream { streams: vec![stream], starts: vec![0], cur: 0 }
+    }
+
+    /// A stream per phase, switched at the given start instants
+    /// (`starts[0]` must be 0, instants strictly increasing).
+    pub fn new(streams: Vec<RefStream>, starts: Vec<Ns>) -> Self {
+        assert_eq!(streams.len(), starts.len());
+        assert!(!streams.is_empty(), "need at least one phase");
+        assert_eq!(starts[0], 0, "first phase must start at 0");
+        assert!(starts.windows(2).all(|w| w[0] < w[1]), "phase starts must increase");
+        PhasedStream { streams, starts, cur: 0 }
+    }
+
+    /// Locality kind of the phase active at the cursor.
+    pub fn kind(&self) -> StreamKind {
+        self.streams[self.cur].kind()
+    }
+
+    /// Next session rank for an arrival at instant `t`.  RNG consumption
+    /// is exactly the active phase's [`RefStream::next`]; phase state
+    /// (LRU stacks, trains, conflict cursors) is per-phase and survives
+    /// across a phase's own draws only.
+    #[inline]
+    pub fn next(&mut self, t: Ns, rng: &mut SplitMix64) -> u32 {
+        while self.cur + 1 < self.starts.len() && t >= self.starts[self.cur + 1] {
+            self.cur += 1;
+        }
+        self.streams[self.cur].next(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +457,78 @@ mod tests {
         let out: Vec<u32> = (0..7).map(|_| s.next(&mut rng)).collect();
         assert_eq!(out, vec![5, 9, 21, 5, 9, 21, 5]);
         assert_eq!(rng.next_u64(), before, "conflict stream must not touch the RNG");
+    }
+
+    #[test]
+    fn phase_plan_starts_and_lookup() {
+        let p = |dur: u64| Phase {
+            stream: StreamKind::Zipf,
+            milli_theta: 900,
+            duration_ns: dur,
+            settle_ns: 10,
+        };
+        let plan = PhasePlan::new(&[p(100), p(50), p(0)]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.starts(), vec![0, 100, 150]);
+        assert_eq!(plan.phase_at(0), 0);
+        assert_eq!(plan.phase_at(99), 0);
+        assert_eq!(plan.phase_at(100), 1);
+        assert_eq!(plan.phase_at(149), 1);
+        assert_eq!(plan.phase_at(150), 2);
+        assert_eq!(plan.phase_at(u64::MAX), 2);
+        assert!(PhasePlan::none().is_empty());
+        assert_eq!(PhasePlan::none().len(), 0);
+        assert_eq!(PhasePlan::default(), PhasePlan::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn phase_plan_rejects_zero_duration_mid_plan() {
+        let p = |dur: u64| Phase {
+            stream: StreamKind::Zipf,
+            milli_theta: 0,
+            duration_ns: dur,
+            settle_ns: 0,
+        };
+        PhasePlan::new(&[p(0), p(100)]);
+    }
+
+    #[test]
+    fn single_phased_stream_is_bit_identical_to_its_ref_stream() {
+        let z = Arc::new(Zipf::new(128, 900));
+        let mut plain = RefStream::new(StreamKind::Zipf, Arc::clone(&z), Vec::new());
+        let mut phased =
+            PhasedStream::single(RefStream::new(StreamKind::Zipf, Arc::clone(&z), Vec::new()));
+        let mut r1 = SplitMix64::new(31);
+        let mut r2 = SplitMix64::new(31);
+        let mut t = 0u64;
+        for _ in 0..400 {
+            t += 17;
+            assert_eq!(plain.next(&mut r1), phased.next(t, &mut r2));
+        }
+        assert_eq!(r1.next_u64(), r2.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn phased_stream_switches_at_boundaries() {
+        // Phase 1: conflict cycle (no RNG); phase 2: Zipf.  Draws before
+        // the boundary come from the cycle, draws at/after it from Zipf.
+        let z = Arc::new(Zipf::new(64, 0));
+        let s1 = RefStream::new(StreamKind::Conflict { slots: 8, cycle: 3 }, Arc::clone(&z), vec![5, 9, 21]);
+        let s2 = RefStream::new(StreamKind::Zipf, Arc::clone(&z), Vec::new());
+        let mut ps = PhasedStream::new(vec![s1, s2], vec![0, 1000]);
+        let mut rng = SplitMix64::new(2);
+        assert_eq!(ps.next(0, &mut rng), 5);
+        assert_eq!(ps.next(400, &mut rng), 9);
+        assert_eq!(ps.kind(), StreamKind::Conflict { slots: 8, cycle: 3 });
+        let mut twin = SplitMix64::new(2);
+        // The conflict phase consumed no RNG, so the Zipf phase's first
+        // draw matches a fresh sampler on the same seed.
+        assert_eq!(ps.next(1000, &mut rng) as usize, z.sample(&mut twin));
+        assert_eq!(ps.kind(), StreamKind::Zipf);
+        // The cursor is monotone: later instants never fall back.
+        assert_eq!(ps.next(5000, &mut rng) as usize, z.sample(&mut twin));
     }
 
     #[test]

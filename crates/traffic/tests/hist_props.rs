@@ -7,7 +7,10 @@
 //! boundaries.
 
 use netsim::rng::SplitMix64;
-use traffic::{bucket_index, bucket_lower, bucket_upper, LatencyHistogram, BUCKET_COUNT, SUB_BUCKET_BITS};
+use traffic::{
+    bucket_index, bucket_lower, bucket_upper, LatencyHistogram, WindowedHistogram, BUCKET_COUNT,
+    SUB_BUCKET_BITS,
+};
 
 /// A latency-shaped random sample: log-uniform magnitude (ns..minutes)
 /// so all bucket blocks get exercised, not just one octave.
@@ -197,6 +200,73 @@ fn saturating_record_never_wraps_counters() {
     rev.merge(&h);
     assert_eq!(rev.count(), u64::MAX);
     assert_eq!(rev.min(), 5);
+}
+
+#[test]
+fn windowed_rolls_reconstruct_the_concatenated_run() {
+    // Property: splitting a sample stream into windows (rolled at
+    // random points) loses nothing — merging every rolled window plus
+    // the open remainder equals the direct single-histogram recording,
+    // and the cumulative side never sees open-window samples.  64
+    // seeded trials with random roll points.
+    for trial in 0..64u64 {
+        let mut rng = SplitMix64::new(0xD01_57AB ^ (trial << 8));
+        let n = 1 + rng.below(500) as usize;
+        let mut w = WindowedHistogram::new();
+        let mut direct = LatencyHistogram::new();
+        let mut rolled: Vec<LatencyHistogram> = Vec::new();
+        for _ in 0..n {
+            let v = sample(&mut rng);
+            w.record(v);
+            direct.record(v);
+            if rng.below(20) == 0 {
+                rolled.push(w.roll());
+            }
+        }
+
+        // merged() == concatenation of everything, at any instant.
+        assert_eq!(w.merged(), direct, "trial {trial}: merged != direct");
+
+        // cumulative == sum of closed windows only.
+        let mut closed = LatencyHistogram::new();
+        for h in &rolled {
+            closed.merge(h);
+        }
+        assert_eq!(w.cumulative(), &closed, "trial {trial}: cumulative != Σ windows");
+
+        // Closing the last window accounts for every sample.
+        rolled.push(w.roll());
+        let mut all = LatencyHistogram::new();
+        for h in &rolled {
+            all.merge(h);
+        }
+        assert_eq!(all, direct, "trial {trial}: window partition lost samples");
+        assert!(w.window().is_empty());
+    }
+}
+
+#[test]
+fn windowed_extremes_stay_per_window() {
+    // Extremal samples: a u64::MAX in one window must not leak into the
+    // next window's max, while the cumulative histogram keeps it.
+    let mut w = WindowedHistogram::new();
+    w.record(u64::MAX);
+    w.record(0);
+    let first = w.roll();
+    assert_eq!(first.max(), u64::MAX);
+    assert_eq!(first.min(), 0);
+    w.record(42);
+    assert_eq!(w.window().max(), 42);
+    assert_eq!(w.window().min(), 42);
+    assert_eq!(w.merged().max(), u64::MAX);
+    assert_eq!(w.merged().min(), 0);
+
+    // Rolling an empty window is a no-op on the cumulative side.
+    let before = w.merged();
+    w.roll();
+    let empty = w.roll();
+    assert!(empty.is_empty());
+    assert_eq!(w.cumulative(), &before);
 }
 
 #[test]

@@ -21,12 +21,16 @@
 # and asserts the winning cache policy strictly beats the seed one-entry
 # cache on the adversarial conflict stream while costing no more on the
 # Zipf stream, with the dispatch plane bit-identical to the reference
-# runloop), then verifies the JSON artifacts contain every key
-# downstream tooling reads.  Reduced-size capacity and demux sweeps also
-# run twice into scratch files and the outputs are byte-compared — the
-# cross-process bit-reproducibility probes.  Pass --reuse to validate
-# existing JSON files without re-running the benchmarks (the two-run
-# probes are skipped on --reuse).
+# runloop) and `adapt_bench` (which runs the online re-layout loop under
+# phase-shifting workloads and asserts the adaptive run converges within
+# 5% of the per-phase-best static layout after every shift, never loses
+# to BAD, and that sampling adds zero simulated overhead), then verifies
+# the JSON artifacts contain every key downstream tooling reads.
+# Reduced-size capacity, demux and adapt sweeps also run twice into
+# scratch files and the outputs are byte-compared — the cross-process
+# bit-reproducibility probes.  Pass --reuse to validate existing JSON
+# files without re-running the benchmarks (the two-run probes are
+# skipped on --reuse).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +55,9 @@ fi
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_demux.json ]; then
     cargo run -q --release -p protolat-bench --bin demux_bench
 fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_adapt.json ]; then
+    cargo run -q --release -p protolat-bench --bin adapt_bench
+fi
 
 if [ "${1:-}" != "--reuse" ]; then
     # Cross-process bit-reproducibility: the reduced-size smoke sweep
@@ -72,6 +79,14 @@ if [ "${1:-}" != "--reuse" ]; then
         cargo run -q --release -p protolat-bench --bin demux_bench >/dev/null
     cmp -s "$tmpdir/dmx_a.json" "$tmpdir/dmx_b.json" || {
         echo "bench_smoke: demux smoke matrix not bit-reproducible across runs" >&2
+        exit 1
+    }
+    ADAPT_SMOKE=1 BENCH_ADAPT_PATH="$tmpdir/adp_a.json" \
+        cargo run -q --release -p protolat-bench --bin adapt_bench >/dev/null
+    ADAPT_SMOKE=1 BENCH_ADAPT_PATH="$tmpdir/adp_b.json" \
+        cargo run -q --release -p protolat-bench --bin adapt_bench >/dev/null
+    cmp -s "$tmpdir/adp_a.json" "$tmpdir/adp_b.json" || {
+        echo "bench_smoke: adapt smoke run not bit-reproducible across runs" >&2
         exit 1
     }
 fi
@@ -113,7 +128,9 @@ done
 for stack in tcpip rpc; do
     for ver in bad std out clo pin all; do
         for metric in p50_us p99_us p999_us mps table_hit_rate \
-                      cache_hit_rate miss_rate evictions; do
+                      cache_hit_rate miss_rate evictions memo_hit_rate \
+                      memo_invalidations memo_period_p1 memo_period_p2 \
+                      memo_period_p3 memo_period_p4; do
             if ! grep -q "\"${stack}_${ver}_${metric}\"" BENCH_traffic.json; then
                 echo "bench_smoke: BENCH_traffic.json missing key \"${stack}_${ver}_${metric}\"" >&2
                 missing=1
@@ -169,6 +186,33 @@ for key in bench pending_events churn_ops fill_drain_wheel_ms \
            traffic_heap_ms traffic_speedup traffic_bit_identical; do
     if ! grep -q "\"$key\"" BENCH_engine.json; then
         echo "bench_smoke: BENCH_engine.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+for sched in mix theta; do
+    for key in samples windows requests swaps_applied swaps_noop \
+               memo_invalidations; do
+        if ! grep -q "\"${sched}_${key}\"" BENCH_adapt.json; then
+            echo "bench_smoke: BENCH_adapt.json missing key \"${sched}_${key}\"" >&2
+            missing=1
+        fi
+    done
+    for phase in p0 p1 p2; do
+        for metric in adaptive_p99_us best_static_p99_us best_static \
+                      bad_p99_us ratio; do
+            if ! grep -q "\"${sched}_${phase}_${metric}\"" BENCH_adapt.json; then
+                echo "bench_smoke: BENCH_adapt.json missing key \"${sched}_${phase}_${metric}\"" >&2
+                missing=1
+            fi
+        done
+    done
+done
+for key in bench workers stride window relayout_latency_ms jit_responses \
+           jit_builds jit_plan_cache_hits converged_within_5pct \
+           never_loses_to_bad stride_zero_bit_identical \
+           single_candidate_bit_identical; do
+    if ! grep -q "\"$key\"" BENCH_adapt.json; then
+        echo "bench_smoke: BENCH_adapt.json missing key \"$key\"" >&2
         missing=1
     fi
 done
@@ -303,4 +347,30 @@ grep -q '"bit_repro": true' BENCH_demux.json || {
 }
 winner_policy=$(sed -n 's/.*"winner_policy": "\([a-z_]*\)".*/\1/p' BENCH_demux.json)
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau, demux winner ${winner_policy} ${winner_rate} vs seed ${seed_rate} on conflict)"
+max_ratio=$(sed -n 's/.*_ratio": \([0-9.]*\).*/\1/p' BENCH_adapt.json | sort -g | tail -1)
+if [ -z "$max_ratio" ]; then
+    echo "bench_smoke: could not parse adapt convergence ratios" >&2
+    exit 1
+fi
+awk -v r="$max_ratio" 'BEGIN { exit !(r <= 1.05) }' || {
+    echo "bench_smoke: adaptive steady p99 drifted ${max_ratio}x above the per-phase best static layout" >&2
+    exit 1
+}
+grep -q '"converged_within_5pct": true' BENCH_adapt.json || {
+    echo "bench_smoke: adaptive loop failed to converge within 5% of the per-phase best static layout" >&2
+    exit 1
+}
+grep -q '"never_loses_to_bad": true' BENCH_adapt.json || {
+    echo "bench_smoke: adaptive loop lost to static BAD in some phase" >&2
+    exit 1
+}
+grep -q '"stride_zero_bit_identical": true' BENCH_adapt.json || {
+    echo "bench_smoke: sampling-off adaptive run not bit-identical to the static service" >&2
+    exit 1
+}
+grep -q '"single_candidate_bit_identical": true' BENCH_adapt.json || {
+    echo "bench_smoke: sampling perturbed the simulation (single-candidate run diverged)" >&2
+    exit 1
+}
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau, demux winner ${winner_policy} ${winner_rate} vs seed ${seed_rate} on conflict, adapt worst phase ratio ${max_ratio} <= 1.05)"
