@@ -169,6 +169,15 @@ fn main() {
             if t.lookups == 0 { 0.0 } else { t.misses as f64 / t.lookups as f64 }
         }));
         report.field(format!("{k}_evictions"), r.table.evictions);
+        // Anomaly provenance per cell: how many messages each injected
+        // fault fate claimed and how many RTO timers fired — exactly
+        // the nondeterministic decisions a recorded trace captures, so
+        // a replayed run must reproduce these counters bit-for-bit.
+        report.field(format!("{k}_drops"), r.faults.dropped);
+        report.field(format!("{k}_corruptions"), r.faults.corrupted);
+        report.field(format!("{k}_reorders"), r.faults.reordered);
+        report.field(format!("{k}_duplicates"), r.faults.duplicated);
+        report.field(format!("{k}_rto_fires"), r.retransmits);
         // Replay-service memo behaviour per cell: how much simulation
         // the steady-state memo eliminated, how the limit-cycle
         // detector classified each lane's warm cost sequence, and how

@@ -32,11 +32,12 @@ use kcode::events::EventStream;
 use kcode::layout::LayoutStrategy;
 use kcode::{Image, LayoutPlan, NullSink, ReplayStats, Replayer};
 use protocols::StackOptions;
+use trace::TraceEvent;
 use traffic::workload::Scenario;
 use traffic::{
-    run_adaptive, run_traffic, run_traffic_reference, AdaptConfig, AdaptReport, Candidate,
-    PlanCache, PolicyKind, ReplayService, StreamKind, TrafficConfig, TrafficReport,
-    DEMUX_CACHE_HIT_NS, DEMUX_CHAIN_HIT_NS, SESSION_SETUP_NS,
+    record_traffic, replay_traffic, run_adaptive, run_traffic, run_traffic_reference, AdaptConfig,
+    AdaptReport, Candidate, PlanCache, PolicyKind, ReplayService, StreamKind, TraceStream,
+    TrafficConfig, TrafficReport, DEMUX_CACHE_HIT_NS, DEMUX_CHAIN_HIT_NS, SESSION_SETUP_NS,
 };
 
 use crate::config::{StackKind, Version};
@@ -118,6 +119,7 @@ pub struct SweepCounters {
     pub capacities: u64,
     pub demuxes: u64,
     pub adapts: u64,
+    pub replays: u64,
 }
 
 /// A load-ramp specification for the capacity stage: sweep offered
@@ -392,6 +394,12 @@ type CapacityKey = (StackKind, StackOptions, usize, Version, CapacityRamp);
 type DemuxStageKey = (StackKind, StackOptions, usize, Version, DemuxSpec);
 /// Adapt-stage key: the full adaptive spec over one functional cell.
 type AdaptKey = (StackKind, StackOptions, usize, AdaptSpec);
+/// Replay-stage key: the functional cell plus the trace fingerprint.
+/// The fingerprint covers every event (config record included), so two
+/// loads of the same artifact — or the same artifact re-sliced to a
+/// different executor count, replay being executor-invariant — share
+/// one computation.
+type ReplayKey = (StackKind, StackOptions, usize, Version, u64);
 /// Synthesized-plan key: the functional cell, the image config the JIT
 /// candidate is assembled under (named by its version), and the profile
 /// fingerprint the plan answers.
@@ -493,6 +501,7 @@ pub struct SweepEngine {
     capacities: Memo<CapacityKey, Arc<CapacityCurve>>,
     demuxes: Memo<DemuxStageKey, DemuxCell>,
     adapts: Memo<AdaptKey, Arc<AdaptOutcome>>,
+    replays: Memo<ReplayKey, Arc<TrafficReport>>,
     jit_plans: PlanStore,
 }
 
@@ -518,6 +527,7 @@ impl SweepEngine {
             capacities: Memo::new(),
             demuxes: Memo::new(),
             adapts: Memo::new(),
+            replays: Memo::new(),
             jit_plans: PlanStore::new(),
         }
     }
@@ -729,6 +739,51 @@ impl SweepEngine {
         let episode = self.server_episode(stack, opts, warmup);
         run_traffic_reference(&cfg, |_worker| ReplayService::new(&img, &episode))
             .expect("traffic scenario must drain within its event budget")
+    }
+
+    /// The traffic stage run *recording*: the same serving run as
+    /// [`SweepEngine::traffic`] but with the capture tap on, returning
+    /// the report plus the complete trace-event log (ready for
+    /// [`trace::write_events`]).  Deliberately not memoized — the
+    /// caller wants the artifact itself, and `trace_bench` times this
+    /// path against the memo-bypassing live run to measure recording
+    /// overhead; it still shares the memoized image and episode.
+    pub fn traffic_recorded(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+        cfg: TrafficConfig,
+    ) -> (TrafficReport, Vec<TraceEvent>) {
+        let img = self.image(stack, opts, warmup, version);
+        let episode = self.server_episode(stack, opts, warmup);
+        record_traffic(&cfg, |_worker| ReplayService::new(&img, &episode))
+            .expect("traffic scenario must drain within its event budget")
+    }
+
+    /// The memoized replay of a recorded trace against one cell's
+    /// service, keyed by the trace fingerprint: replaying the same
+    /// artifact twice — even after re-slicing it to a different
+    /// executor count, replay being executor-invariant — computes the
+    /// report once.  Panics if the trace diverges from the cell: a
+    /// trace is only meaningful against the service it recorded.
+    pub fn replay_trace(
+        &self,
+        stack: StackKind,
+        opts: StackOptions,
+        warmup: usize,
+        version: Version,
+        stream: &TraceStream,
+    ) -> Arc<TrafficReport> {
+        let key = (stack, opts, warmup, version, stream.fingerprint());
+        self.replays.get_or_compute(key, || {
+            let img = self.image(stack, opts, warmup, version);
+            let episode = self.server_episode(stack, opts, warmup);
+            let report = replay_traffic(stream, |_worker| ReplayService::new(&img, &episode))
+                .expect("recorded trace must replay without divergence");
+            Arc::new(report)
+        })
     }
 
     /// The memoized capacity curve for one (cell, ramp): climb the
@@ -990,6 +1045,7 @@ impl SweepEngine {
             capacities: self.capacities.computed(),
             demuxes: self.demuxes.computed(),
             adapts: self.adapts.computed(),
+            replays: self.replays.computed(),
         }
     }
 

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use protocols::StackOptions;
 use protolat_core::{StackKind, SweepEngine, Version};
-use traffic::{run_traffic, ReplayService, TrafficConfig};
+use traffic::{run_traffic, ReplayService, TraceStream, TrafficConfig};
 
 fn small_cfg() -> TrafficConfig {
     TrafficConfig::open_loop(2_000, 400, 48)
@@ -115,6 +115,42 @@ fn traffic_stage_agrees_across_schedulers() {
             }
         }
     }
+}
+
+#[test]
+fn replay_stage_is_memoized_and_bit_identical() {
+    // Record a cell with the capture tap on, then replay the trace
+    // through the engine's replay stage: the replayed report must be
+    // bit-identical to both the recording run and the memoized live
+    // traffic stage, and re-replaying the same fingerprint — even
+    // re-sliced to a different executor count — must hit the cache.
+    let eng = SweepEngine::new();
+    let opts = StackOptions::improved();
+    let cfg = small_cfg();
+    let (recorded, events) =
+        eng.traffic_recorded(StackKind::TcpIp, opts, 2, Version::All, cfg);
+    assert_eq!(eng.counters().replays, 0, "recording is not a replay");
+
+    let stream = TraceStream::from_events(&events).expect("recorded log must validate");
+    let a = eng.replay_trace(StackKind::TcpIp, opts, 2, Version::All, &stream);
+    assert_eq!(*a, recorded, "replay must reproduce the recording run");
+    assert_eq!(*a, *eng.traffic(StackKind::TcpIp, opts, 2, Version::All, cfg));
+
+    let b = eng.replay_trace(StackKind::TcpIp, opts, 2, Version::All, &stream);
+    assert!(Arc::ptr_eq(&a, &b), "second replay must hit the cache");
+
+    // Replay is executor-invariant, so a re-sliced stream keeps its
+    // fingerprint and shares the memo cell.
+    let resliced = TraceStream::from_events(&events).unwrap().with_executors(3);
+    let c = eng.replay_trace(StackKind::TcpIp, opts, 2, Version::All, &resliced);
+    assert!(Arc::ptr_eq(&a, &c), "re-sliced replay must share the cell");
+    assert_eq!(eng.counters().replays, 1);
+
+    // A different cell (layout) replays the same trace independently —
+    // arrivals and fates are layout-invariant, so it must not diverge.
+    let bad = eng.replay_trace(StackKind::TcpIp, opts, 2, Version::Bad, &stream);
+    assert_eq!(bad.faults, recorded.faults, "fate sequence rides the trace");
+    assert_eq!(eng.counters().replays, 2);
 }
 
 #[test]

@@ -19,6 +19,54 @@ pub enum Fate {
     Duplicated,
 }
 
+impl Fate {
+    /// Wire-stable numeric code for trace codecs.
+    pub fn code(self) -> u8 {
+        match self {
+            Fate::Delivered => 0,
+            Fate::Dropped => 1,
+            Fate::Corrupted => 2,
+            Fate::Reordered => 3,
+            Fate::Duplicated => 4,
+        }
+    }
+
+    /// Inverse of [`Fate::code`].
+    pub fn from_code(code: u8) -> Option<Fate> {
+        match code {
+            0 => Some(Fate::Delivered),
+            1 => Some(Fate::Dropped),
+            2 => Some(Fate::Corrupted),
+            3 => Some(Fate::Reordered),
+            4 => Some(Fate::Duplicated),
+            _ => None,
+        }
+    }
+
+    /// Wire-stable lowercase name for the JSON trace codec.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fate::Delivered => "delivered",
+            Fate::Dropped => "dropped",
+            Fate::Corrupted => "corrupted",
+            Fate::Reordered => "reordered",
+            Fate::Duplicated => "duplicated",
+        }
+    }
+
+    /// Inverse of [`Fate::name`].
+    pub fn from_name(name: &str) -> Option<Fate> {
+        match name {
+            "delivered" => Some(Fate::Delivered),
+            "dropped" => Some(Fate::Dropped),
+            "corrupted" => Some(Fate::Corrupted),
+            "reordered" => Some(Fate::Reordered),
+            "duplicated" => Some(Fate::Duplicated),
+            _ => None,
+        }
+    }
+}
+
 /// Fault statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
@@ -126,6 +174,21 @@ impl FaultInjector {
             return Fate::Duplicated;
         }
         Fate::Delivered
+    }
+
+    /// Apply a pre-decided (recorded) fate: update the statistics as
+    /// [`process`](Self::process) would have, drawing no randomness.
+    /// Trace replay uses this so the injector's counters match the
+    /// live run while its RNG stays untouched.
+    pub fn apply(&mut self, fate: Fate) {
+        self.stats.seen += 1;
+        match fate {
+            Fate::Delivered => {}
+            Fate::Dropped => self.stats.dropped += 1,
+            Fate::Corrupted => self.stats.corrupted += 1,
+            Fate::Reordered => self.stats.reordered += 1,
+            Fate::Duplicated => self.stats.duplicated += 1,
+        }
     }
 }
 
@@ -262,6 +325,34 @@ mod tests {
         let mut big = vec![0u8; 200];
         assert_eq!(inj.process(&mut small), Fate::Delivered);
         assert_eq!(inj.process(&mut big), Fate::Dropped);
+    }
+
+    #[test]
+    fn fate_codes_and_names_round_trip() {
+        for fate in [Fate::Delivered, Fate::Dropped, Fate::Corrupted, Fate::Reordered, Fate::Duplicated] {
+            assert_eq!(Fate::from_code(fate.code()), Some(fate));
+            assert_eq!(Fate::from_name(fate.name()), Some(fate));
+        }
+        assert_eq!(Fate::from_code(5), None);
+        assert_eq!(Fate::from_name("mangled"), None);
+    }
+
+    #[test]
+    fn apply_matches_process_stats_without_rng() {
+        // Replaying the fate sequence of a live injector through
+        // `apply` must reproduce its counters exactly.
+        let mut live = FaultInjector::new(0.15, 0.1, 77).with_reorder(0.15).with_duplicate(0.15);
+        let fates: Vec<Fate> = (0..300)
+            .map(|_| {
+                let mut b = vec![0u8; 64];
+                live.process(&mut b)
+            })
+            .collect();
+        let mut replay = FaultInjector::new(0.15, 0.1, 77).with_reorder(0.15).with_duplicate(0.15);
+        for f in &fates {
+            replay.apply(*f);
+        }
+        assert_eq!(replay.stats, live.stats);
     }
 
     #[test]

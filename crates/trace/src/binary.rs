@@ -1,0 +1,377 @@
+//! Versioned, length-prefixed binary codec.
+//!
+//! Layout: a 6-byte header (`b"PLTR"` magic + format version as u16
+//! little-endian), then a sequence of records, each
+//! `[tag: u8][len: u32 LE][payload: len bytes]`.  All integers are
+//! little-endian.  The last record of a complete log is the
+//! end-of-log trailer (tag 6) carrying the event count; a file that
+//! stops before it is detectably truncated even when the cut lands on
+//! a record boundary.
+//!
+//! The length prefix lets a reader skip records it cannot interpret
+//! in *future* minor revisions; in version 1 an unknown tag is an
+//! error, because no such records exist yet.
+
+use std::io::{Read, Write};
+
+use netsim::Fate;
+
+use crate::error::TraceError;
+use crate::event::{ConfigRecord, PhaseRec, StreamRec, TraceEvent, MAX_PHASES};
+
+/// File magic: "Protocol-Latency TRace".
+pub const MAGIC: [u8; 4] = *b"PLTR";
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+/// Upper bound on a single record's payload; anything larger is a
+/// corrupt length prefix, not a real record.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+const TAG_CONFIG: u8 = 1;
+const TAG_ARRIVAL: u8 = 2;
+const TAG_FATE: u8 = 3;
+const TAG_RTO: u8 = 4;
+const TAG_VERDICT: u8 = 5;
+const TAG_END: u8 = 6;
+
+/// One decoded binary record: either a trace event or the end-of-log
+/// trailer.
+#[derive(Debug)]
+pub enum Record {
+    Event(TraceEvent),
+    End { events: u64 },
+}
+
+// ---------------------------------------------------------------- encode
+
+pub fn write_header(w: &mut impl Write) -> std::io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())
+}
+
+fn put_stream(buf: &mut Vec<u8>, s: &StreamRec) {
+    buf.push(s.kind);
+    buf.extend_from_slice(&s.a.to_le_bytes());
+    buf.extend_from_slice(&s.b.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("trace string over 64 KiB");
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn payload(ev: &TraceEvent) -> (u8, Vec<u8>) {
+    let mut buf = Vec::with_capacity(32);
+    let tag = match ev {
+        TraceEvent::Config(c) => {
+            buf.push(c.scenario_kind);
+            buf.extend_from_slice(&c.scenario_a.to_le_bytes());
+            buf.extend_from_slice(&c.scenario_b.to_le_bytes());
+            for v in [
+                c.messages_per_worker,
+                c.sessions,
+                c.shards,
+                c.shard_capacity,
+                c.shard_budget_bytes,
+                c.milli_theta,
+                c.workers,
+                c.executors,
+            ] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            buf.extend_from_slice(&c.seed.to_le_bytes());
+            for v in [c.drop_ppm, c.corrupt_ppm, c.reorder_ppm, c.duplicate_ppm] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            buf.push(c.policy_kind);
+            buf.extend_from_slice(&c.policy_param.to_le_bytes());
+            put_stream(&mut buf, &c.stream);
+            buf.extend_from_slice(&c.n_phases.to_le_bytes());
+            for p in c.phases() {
+                put_stream(&mut buf, &p.stream);
+                buf.extend_from_slice(&p.milli_theta.to_le_bytes());
+                buf.extend_from_slice(&p.duration_ns.to_le_bytes());
+                buf.extend_from_slice(&p.settle_ns.to_le_bytes());
+            }
+            TAG_CONFIG
+        }
+        TraceEvent::Arrival { lane, at, session } => {
+            buf.extend_from_slice(&lane.to_le_bytes());
+            buf.extend_from_slice(&at.to_le_bytes());
+            buf.extend_from_slice(&session.to_le_bytes());
+            TAG_ARRIVAL
+        }
+        TraceEvent::Fate { lane, fate } => {
+            buf.extend_from_slice(&lane.to_le_bytes());
+            buf.push(fate.code());
+            TAG_FATE
+        }
+        TraceEvent::Rto { lane, at, session, born } => {
+            buf.extend_from_slice(&lane.to_le_bytes());
+            buf.extend_from_slice(&at.to_le_bytes());
+            buf.extend_from_slice(&session.to_le_bytes());
+            buf.extend_from_slice(&born.to_le_bytes());
+            TAG_RTO
+        }
+        TraceEvent::Verdict(v) => {
+            buf.extend_from_slice(&v.lane.to_le_bytes());
+            buf.extend_from_slice(&v.at.to_le_bytes());
+            buf.extend_from_slice(&v.trigger_fp.to_le_bytes());
+            buf.push(u8::from(v.noop));
+            put_str(&mut buf, &v.from);
+            put_str(&mut buf, &v.to);
+            TAG_VERDICT
+        }
+    };
+    (tag, buf)
+}
+
+fn write_record(w: &mut impl Write, tag: u8, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&[tag])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+pub fn write_event(w: &mut impl Write, ev: &TraceEvent) -> std::io::Result<()> {
+    let (tag, buf) = payload(ev);
+    write_record(w, tag, &buf)
+}
+
+pub fn write_end(w: &mut impl Write, events: u64) -> std::io::Result<()> {
+    write_record(w, TAG_END, &events.to_le_bytes())
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Byte-cursor over one record's payload.  Every read is
+/// bounds-checked; running off the end is `Malformed` at the record's
+/// file offset, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    offset: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceError> {
+        if self.buf.len() - self.pos < n {
+            return Err(TraceError::Malformed { offset: self.offset, what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, TraceError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, TraceError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| TraceError::Malformed { offset: self.offset, what })
+    }
+
+    fn stream(&mut self, what: &'static str) -> Result<StreamRec, TraceError> {
+        Ok(StreamRec { kind: self.u8(what)?, a: self.u32(what)?, b: self.u32(what)? })
+    }
+
+    fn done(&self, what: &'static str) -> Result<(), TraceError> {
+        if self.pos != self.buf.len() {
+            return Err(TraceError::Malformed { offset: self.offset, what });
+        }
+        Ok(())
+    }
+}
+
+fn decode_config(c: &mut Cursor<'_>) -> Result<ConfigRecord, TraceError> {
+    const W: &str = "config record";
+    let scenario_kind = c.u8(W)?;
+    let scenario_a = c.u64(W)?;
+    let scenario_b = c.u64(W)?;
+    let messages_per_worker = c.u32(W)?;
+    let sessions = c.u32(W)?;
+    let shards = c.u32(W)?;
+    let shard_capacity = c.u32(W)?;
+    let shard_budget_bytes = c.u32(W)?;
+    let milli_theta = c.u32(W)?;
+    let workers = c.u32(W)?;
+    let executors = c.u32(W)?;
+    let seed = c.u64(W)?;
+    let drop_ppm = c.u32(W)?;
+    let corrupt_ppm = c.u32(W)?;
+    let reorder_ppm = c.u32(W)?;
+    let duplicate_ppm = c.u32(W)?;
+    let policy_kind = c.u8(W)?;
+    let policy_param = c.u32(W)?;
+    let stream = c.stream(W)?;
+    let n_phases = c.u32(W)?;
+    if n_phases as usize > MAX_PHASES {
+        return Err(TraceError::Malformed { offset: c.offset, what: "config phase count" });
+    }
+    let mut phases = [PhaseRec::default(); MAX_PHASES];
+    for slot in phases.iter_mut().take(n_phases as usize) {
+        *slot = PhaseRec {
+            stream: c.stream(W)?,
+            milli_theta: c.u32(W)?,
+            duration_ns: c.u64(W)?,
+            settle_ns: c.u64(W)?,
+        };
+    }
+    Ok(ConfigRecord {
+        scenario_kind,
+        scenario_a,
+        scenario_b,
+        messages_per_worker,
+        sessions,
+        shards,
+        shard_capacity,
+        shard_budget_bytes,
+        milli_theta,
+        workers,
+        executors,
+        seed,
+        drop_ppm,
+        corrupt_ppm,
+        reorder_ppm,
+        duplicate_ppm,
+        policy_kind,
+        policy_param,
+        stream,
+        n_phases,
+        phases,
+    })
+}
+
+fn decode_payload(tag: u8, c: &mut Cursor<'_>) -> Result<Record, TraceError> {
+    let rec = match tag {
+        TAG_CONFIG => {
+            let cfg = decode_config(c)?;
+            c.done("config record")?;
+            Record::Event(TraceEvent::Config(Box::new(cfg)))
+        }
+        TAG_ARRIVAL => {
+            const W: &str = "arrival record";
+            let ev = TraceEvent::Arrival { lane: c.u32(W)?, at: c.u64(W)?, session: c.u32(W)? };
+            c.done(W)?;
+            Record::Event(ev)
+        }
+        TAG_FATE => {
+            const W: &str = "fate record";
+            let lane = c.u32(W)?;
+            let code = c.u8(W)?;
+            c.done(W)?;
+            let fate = Fate::from_code(code)
+                .ok_or(TraceError::Malformed { offset: c.offset, what: "fate code" })?;
+            Record::Event(TraceEvent::Fate { lane, fate })
+        }
+        TAG_RTO => {
+            const W: &str = "rto record";
+            let ev = TraceEvent::Rto {
+                lane: c.u32(W)?,
+                at: c.u64(W)?,
+                session: c.u32(W)?,
+                born: c.u64(W)?,
+            };
+            c.done(W)?;
+            Record::Event(ev)
+        }
+        TAG_VERDICT => {
+            const W: &str = "verdict record";
+            let lane = c.u32(W)?;
+            let at = c.u64(W)?;
+            let trigger_fp = c.u64(W)?;
+            let noop = c.u8(W)? != 0;
+            let from = c.string(W)?;
+            let to = c.string(W)?;
+            c.done(W)?;
+            Record::Event(TraceEvent::Verdict(Box::new(crate::event::VerdictRec {
+                lane,
+                at,
+                trigger_fp,
+                from,
+                to,
+                noop,
+            })))
+        }
+        TAG_END => {
+            const W: &str = "end record";
+            let events = c.u64(W)?;
+            c.done(W)?;
+            Record::End { events }
+        }
+        _ => unreachable!("caller screens tags"),
+    };
+    Ok(rec)
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8], offset: u64) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { offset }
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+/// Read and validate the 6-byte header; advances `offset` past it.
+pub fn read_header(r: &mut impl Read, offset: &mut u64) -> Result<(), TraceError> {
+    let mut magic = [0u8; 4];
+    read_exact(r, &mut magic, *offset)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic { offset: *offset });
+    }
+    *offset += 4;
+    let mut ver = [0u8; 2];
+    read_exact(r, &mut ver, *offset)?;
+    let found = u16::from_le_bytes(ver);
+    if found != FORMAT_VERSION {
+        return Err(TraceError::Version { found, supported: FORMAT_VERSION, offset: *offset });
+    }
+    *offset += 2;
+    Ok(())
+}
+
+/// Read the next record, advancing `offset` past it.  `Ok(None)` means
+/// clean end-of-file at a record boundary — the caller decides whether
+/// that is legal (it is not, unless the end trailer was already seen).
+pub fn read_record(r: &mut impl Read, offset: &mut u64) -> Result<Option<Record>, TraceError> {
+    let rec_offset = *offset;
+    let mut tag = [0u8; 1];
+    match r.read(&mut tag) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(TraceError::Io(e)),
+    }
+    let tag = tag[0];
+    if !(TAG_CONFIG..=TAG_END).contains(&tag) {
+        return Err(TraceError::BadTag { tag, offset: rec_offset });
+    }
+    let mut len = [0u8; 4];
+    read_exact(r, &mut len, rec_offset)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_RECORD_LEN {
+        return Err(TraceError::Malformed { offset: rec_offset, what: "record length" });
+    }
+    let mut buf = vec![0u8; len as usize];
+    read_exact(r, &mut buf, rec_offset)?;
+    let mut cursor = Cursor { buf: &buf, pos: 0, offset: rec_offset };
+    let rec = decode_payload(tag, &mut cursor)?;
+    *offset = rec_offset + 1 + 4 + u64::from(len);
+    Ok(Some(rec))
+}

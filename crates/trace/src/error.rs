@@ -1,0 +1,89 @@
+//! Typed trace-codec errors.
+//!
+//! Every decode failure carries the byte offset (and, for JSON, the
+//! line) where it was detected, so a corrupted artifact names the
+//! damage instead of panicking.  The contract the fuzz suite pins
+//! down: any byte-level mutilation of a trace file — truncation,
+//! version skew, bit flips, garbage — yields `Err(TraceError)` or a
+//! clean (possibly wrong-data) decode, never a panic.
+
+use std::fmt;
+
+/// Why a trace could not be read, written, or validated.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the trace magic / JSON header.
+    BadMagic { offset: u64 },
+    /// The file's format version is not one this build reads.
+    Version { found: u16, supported: u16, offset: u64 },
+    /// The file ends mid-record (or mid-header).
+    Truncated { offset: u64 },
+    /// Unknown record tag.
+    BadTag { tag: u8, offset: u64 },
+    /// A record's payload could not be decoded.
+    Malformed { offset: u64, what: &'static str },
+    /// A JSON line could not be parsed.
+    BadJson { line: u64, offset: u64, what: &'static str },
+    /// The end-of-log trailer's event count disagrees with the events
+    /// actually read — a spliced or resized file.
+    CountMismatch { declared: u64, seen: u64, offset: u64 },
+    /// The file ends without its end-of-log trailer — truncation at a
+    /// record boundary.
+    MissingEnd { offset: u64 },
+    /// The event log is well-formed bytes but semantically unusable
+    /// (bad enum code, lane out of range, arrival counts that cannot
+    /// drive a replay, ...).
+    Invalid { what: String },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic { offset } => {
+                write!(f, "not a trace file (bad magic at byte {offset})")
+            }
+            TraceError::Version { found, supported, offset } => write!(
+                f,
+                "unsupported trace format version {found} (this build reads {supported}) at byte {offset}"
+            ),
+            TraceError::Truncated { offset } => {
+                write!(f, "trace truncated mid-record at byte {offset}")
+            }
+            TraceError::BadTag { tag, offset } => {
+                write!(f, "unknown trace record tag {tag} at byte {offset}")
+            }
+            TraceError::Malformed { offset, what } => {
+                write!(f, "malformed trace record at byte {offset}: {what}")
+            }
+            TraceError::BadJson { line, offset, what } => {
+                write!(f, "bad trace JSON on line {line} (byte {offset}): {what}")
+            }
+            TraceError::CountMismatch { declared, seen, offset } => write!(
+                f,
+                "trace trailer declares {declared} events but {seen} were read (byte {offset})"
+            ),
+            TraceError::MissingEnd { offset } => {
+                write!(f, "trace ends without its end-of-log trailer at byte {offset}")
+            }
+            TraceError::Invalid { what } => write!(f, "invalid trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

@@ -58,7 +58,9 @@ use netsim::sample::StrideSampler;
 use netsim::{Ns, Overrun};
 use xkernel::map::LookupKind;
 
-use crate::runloop::{run_traffic, TrafficConfig, TrafficReport};
+use crate::capture::{Mode, RunOut};
+use crate::dispatch::run_dispatch_mode;
+use crate::runloop::{TrafficConfig, TrafficReport};
 use crate::service::{detect_cycle, ReplayService, Service, ServiceStats};
 
 /// Log₂ depth buckets in a quantized profile (depth 0 .. ~4k).
@@ -695,35 +697,69 @@ pub fn run_adaptive(
     initial: usize,
     cache: impl PlanCache,
 ) -> Result<(TrafficReport, AdaptReport), Overrun> {
+    let (out, report) = run_adaptive_mode(
+        cfg,
+        adapt,
+        program,
+        episode,
+        image_config,
+        candidates,
+        initial,
+        cache,
+        Mode::Live,
+    )?;
+    Ok((out.report, report))
+}
+
+/// [`run_adaptive`] with a trace mode threaded through to the serving
+/// runner.  Under `Replay` the adaptation machinery still runs live —
+/// its verdicts are deterministic functions of the (replayed) arrivals
+/// and fates, so the capture layer validates them after the run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_adaptive_mode(
+    cfg: &TrafficConfig,
+    adapt: &AdaptConfig,
+    program: &Arc<Program>,
+    episode: &EventStream,
+    image_config: &ImageConfig,
+    candidates: &[Candidate],
+    initial: usize,
+    cache: impl PlanCache,
+    mode: Mode,
+) -> Result<(RunOut, AdaptReport), Overrun> {
     assert!(initial < candidates.len(), "initial candidate out of range");
     let (req_tx, req_rx) = channel::<RelayoutRequest>();
     let sink: Arc<Mutex<Vec<LaneAdapt>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let (report, worker_stats) = thread::scope(|s| {
+    let (run, worker_stats) = thread::scope(|s| {
         let worker = s.spawn(|| {
             relayout_worker(req_rx, program, episode, image_config, candidates, adapt, cache)
         });
         let sink_ref = &sink;
         let init = &candidates[initial];
         let req_tx_ref = &req_tx;
-        let report = run_traffic(cfg, move |lane| {
-            AdaptiveService::new(
-                lane,
-                init,
-                initial as u64,
-                episode,
-                *adapt,
-                Some(req_tx_ref.clone()),
-                Some(Arc::clone(sink_ref)),
-            )
-        });
+        let run = run_dispatch_mode(
+            cfg,
+            move |lane| {
+                AdaptiveService::new(
+                    lane,
+                    init,
+                    initial as u64,
+                    episode,
+                    *adapt,
+                    Some(req_tx_ref.clone()),
+                    Some(Arc::clone(sink_ref)),
+                )
+            },
+            mode,
+        );
         // All lane-held senders are gone once the run returns; dropping
         // the original lets the worker drain and exit.
         drop(req_tx);
         let stats = worker.join().expect("re-layout worker panicked");
-        (report, stats)
+        (run, stats)
     });
-    let report = report?;
+    let run = run?;
 
     let mut lanes = std::mem::take(&mut *sink.lock().expect("adapt sink poisoned"));
     lanes.sort_by_key(|l| l.lane);
@@ -732,7 +768,7 @@ pub fn run_adaptive(
         out.counters.merge(&lane.counters);
         out.swaps.extend(lane.swaps.iter().cloned());
     }
-    Ok((report, out))
+    Ok((run, out))
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@ use netsim::ring::{spsc, MpscRing, SpscConsumer, SpscProbe, SpscProducer};
 use netsim::rng::SplitMix64;
 use netsim::{Engine, Ns, Overrun};
 
+use crate::capture::{collect, LaneLog, Mode, RunOut, Tap};
 use crate::runloop::{lane_stream, lane_streams, make_zipfs, Ev, TrafficConfig, TrafficReport, Worker};
 use crate::service::Service;
 use crate::workload::{exp_gap_ns, PhasedStream, Scenario, Zipf};
@@ -346,15 +347,19 @@ fn executor<S: Service>(plane: Plane<'_, S>, idx: usize) {
     }
 }
 
-/// The generator's per-lane stream state: the same seeded RNG stream
-/// the reference loop draws its pre-schedule from.
+/// Where the generator gets a lane's arrival schedule from.
+enum GenSource {
+    /// Live/record: the seeded RNG stream — the identical stateful
+    /// stream the reference loop draws its pre-schedule from.
+    Draw { rng: SplitMix64, stream: PhasedStream, t: Ns },
+    /// Replay: the recorded schedule, read straight from the trace.
+    Log { log: Arc<Vec<LaneLog>>, at: usize },
+}
+
+/// The generator's per-lane stream state.
 struct GenLane {
     lane: u32,
-    rng: SplitMix64,
-    /// The lane's reference stream — the identical stateful stream the
-    /// reference loop draws its pre-schedule from.
-    stream: PhasedStream,
-    t: Ns,
+    source: GenSource,
     remaining: u32,
     tx: SpscProducer<Arrival>,
     staged: Vec<Arrival>,
@@ -377,11 +382,26 @@ fn generator<S>(plane: Plane<'_, S>, mut gens: Vec<GenLane>, rate_mps: u64) {
                 gl.staged.clear();
                 gl.staged_at = 0;
                 let n = (gl.remaining as usize).min(GEN_BATCH);
-                for _ in 0..n {
-                    // Exact reference draw order: gap, then session.
-                    gl.t += exp_gap_ns(&mut gl.rng, rate_mps);
-                    let session = gl.stream.next(gl.t, &mut gl.rng);
-                    gl.staged.push(Arrival { at: gl.t, session });
+                match &mut gl.source {
+                    GenSource::Draw { rng, stream, t } => {
+                        for _ in 0..n {
+                            // Exact reference draw order: gap, then
+                            // session.
+                            *t += exp_gap_ns(rng, rate_mps);
+                            let session = stream.next(*t, rng);
+                            gl.staged.push(Arrival { at: *t, session });
+                        }
+                    }
+                    GenSource::Log { log, at } => {
+                        // Bounds are pre-validated by `TraceStream`:
+                        // each lane's log holds exactly the configured
+                        // quota.
+                        let lane = &log[gl.lane as usize];
+                        for &(at_ns, session) in &lane.arrivals[*at..*at + n] {
+                            gl.staged.push(Arrival { at: at_ns, session });
+                        }
+                        *at += n;
+                    }
                 }
                 gl.remaining -= n as u32;
             }
@@ -430,8 +450,9 @@ fn build_core<S: Service>(
     svc: S,
     zipfs: &[Arc<Zipf>],
     rx: Option<SpscConsumer<Arrival>>,
+    tap: Tap,
 ) -> LaneCore<S> {
-    let mut w = Worker::new(cfg, idx, svc, zipfs);
+    let mut w = Worker::new(cfg, idx, svc, zipfs, tap);
     let mut eng = Engine::default();
     match cfg.scenario {
         Scenario::OpenLoop { .. } => w.mark_open_loop_issued(),
@@ -462,6 +483,21 @@ where
     S: Service + Send,
     F: Fn(u32) -> S + Sync,
 {
+    Ok(run_dispatch_mode(cfg, make, Mode::Live)?.report)
+}
+
+/// [`run_dispatch`] with a trace mode threaded through: `Record` taps
+/// every lane, `Replay` feeds the generator from the recorded
+/// schedule and the lanes from the recorded fates.
+pub(crate) fn run_dispatch_mode<S, F>(
+    cfg: &TrafficConfig,
+    make: F,
+    mode: Mode,
+) -> Result<RunOut, Overrun>
+where
+    S: Service + Send,
+    F: Fn(u32) -> S + Sync,
+{
     assert!(cfg.workers >= 1, "need at least one worker");
     let lanes = cfg.workers as usize;
     let zipfs = make_zipfs(cfg);
@@ -479,9 +515,14 @@ where
             let (tx, rx) = spsc::<Arrival>(LANE_RING_CAP);
             gens.push(GenLane {
                 lane: i as u32,
-                rng: lane_streams(cfg.seed, i as u32).0,
-                stream: lane_stream(cfg, i as u32, &zipfs),
-                t: 0,
+                source: match mode.replay_log() {
+                    Some(log) => GenSource::Log { log: Arc::clone(log), at: 0 },
+                    None => GenSource::Draw {
+                        rng: lane_streams(cfg.seed, i as u32).0,
+                        stream: lane_stream(cfg, i as u32, &zipfs),
+                        t: 0,
+                    },
+                },
                 remaining: cfg.messages_per_worker,
                 tx,
                 staged: Vec::with_capacity(GEN_BATCH),
@@ -498,16 +539,19 @@ where
     // (episode replay), so parallelize it exactly like the reference's
     // per-worker threads.
     let cores: Vec<LaneCore<S>> = if lanes == 1 {
-        vec![build_core(cfg, 0, make(0), &zipfs, rxs.pop().flatten())]
+        vec![build_core(cfg, 0, make(0), &zipfs, rxs.pop().flatten(), mode.tap(0))]
     } else {
         let make = &make;
         let zipfs_ref = &zipfs;
+        let mode_ref = &mode;
         thread::scope(|s| {
             let handles: Vec<_> = rxs
                 .into_iter()
                 .enumerate()
                 .map(|(i, rx)| {
-                    s.spawn(move || build_core(cfg, i as u32, make(i as u32), zipfs_ref, rx))
+                    s.spawn(move || {
+                        build_core(cfg, i as u32, make(i as u32), zipfs_ref, rx, mode_ref.tap(i as u32))
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("lane setup panicked")).collect()
@@ -550,5 +594,5 @@ where
         return Err(e);
     }
     let outs = slots.into_iter().map(|slot| slot.core.into_inner().w.finish()).collect();
-    Ok(TrafficReport::from_workers(outs, cfg.workers))
+    Ok(collect(outs, cfg, matches!(mode, Mode::Record)))
 }

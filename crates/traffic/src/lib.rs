@@ -38,6 +38,7 @@
 //!   reference for any executor count.
 
 pub mod adapt;
+pub mod capture;
 pub mod dispatch;
 pub mod hist;
 pub mod policy;
@@ -49,6 +50,11 @@ pub mod workload;
 pub use adapt::{
     run_adaptive, AdaptConfig, AdaptCounters, AdaptReport, AdaptiveService, Candidate,
     LocalPlanCache, PlanCache, Profile, RelayoutStats, SwapEvent,
+};
+pub use capture::{
+    config_from_record, config_to_record, record_adaptive, record_traffic,
+    record_traffic_reference, replay_adaptive, replay_traffic, replay_traffic_reference,
+    ReplayError, TraceStream,
 };
 pub use hist::{
     bucket_index, bucket_lower, bucket_upper, LatencyHistogram, WindowedHistogram, BUCKET_COUNT,

@@ -59,6 +59,7 @@ use netsim::rng::SplitMix64;
 use netsim::{Engine, EventQueue, Fate, FaultInjector, FaultStats, Ns, Overrun};
 use xkernel::map::LookupKind;
 
+use crate::capture::{collect, LaneLog, Mode, RunOut, Tap};
 use crate::hist::LatencyHistogram;
 use crate::policy::PolicyKind;
 use crate::service::{Service, ServiceStats};
@@ -331,6 +332,10 @@ pub(crate) struct WorkerOut {
     pub(crate) service: ServiceStats,
     pub(crate) phase_full: Vec<LatencyHistogram>,
     pub(crate) phase_steady: Vec<LatencyHistogram>,
+    /// The lane's recorded decisions (empty unless recording).
+    pub(crate) log: LaneLog,
+    /// First replay divergence, if any (always `None` outside replay).
+    pub(crate) diverged: Option<String>,
 }
 
 /// Lane-local events.
@@ -338,8 +343,13 @@ pub(crate) struct WorkerOut {
 pub(crate) enum Ev {
     /// A closed-loop client slot issues its next message.
     Request,
-    /// A message (first send or retransmit) reaches the injector.
+    /// A fresh message reaches the injector.
     Arrive { session: u32, born: Ns },
+    /// The retransmission timer fires: the message re-enters the
+    /// injector.  Distinct from [`Ev::Arrive`] so the trace tap can
+    /// tell fresh workload arrivals from derived retransmissions; the
+    /// handler path is identical.
+    Rto { session: u32, born: Ns },
     /// A message reaches the server directly (reordered redelivery or
     /// duplicate copy), bypassing the injector.
     Deliver { session: u32, born: Ns, record: bool },
@@ -418,10 +428,18 @@ pub(crate) struct Worker<S> {
     workers: u32,
     closed_loop: bool,
     think_ns: Ns,
+    /// Trace endpoint: off, recording decisions, or replaying them.
+    tap: Tap,
 }
 
 impl<S: Service> Worker<S> {
-    pub(crate) fn new(cfg: &TrafficConfig, worker_idx: u32, svc: S, zipfs: &[Arc<Zipf>]) -> Self {
+    pub(crate) fn new(
+        cfg: &TrafficConfig,
+        worker_idx: u32,
+        svc: S,
+        zipfs: &[Arc<Zipf>],
+        tap: Tap,
+    ) -> Self {
         let (rng, inj_seed) = lane_streams(cfg.seed, worker_idx);
         let inj = FaultInjector::new(
             cfg.drop_ppm as f64 / 1e6,
@@ -473,6 +491,7 @@ impl<S: Service> Worker<S> {
             workers: cfg.workers,
             closed_loop,
             think_ns,
+            tap,
         }
     }
 
@@ -494,11 +513,37 @@ impl<S: Service> Worker<S> {
             Ev::Request => {
                 if self.issued < self.quota {
                     self.issued += 1;
-                    let session = self.stream.next(t, &mut self.rng);
+                    // Replay substitutes the recorded draw for the
+                    // workload stream; the RNG is never consulted.
+                    let session = match &mut self.tap {
+                        Tap::Replay(r) => r.next_arrival(t),
+                        _ => self.stream.next(t, &mut self.rng),
+                    };
+                    if let Tap::Record(rec) = &mut self.tap {
+                        rec.arrivals.push((t, session));
+                    }
                     self.arrive(eng, t, session, t);
                 }
             }
-            Ev::Arrive { session, born } => self.arrive(eng, t, session, born),
+            Ev::Arrive { session, born } => {
+                match &mut self.tap {
+                    Tap::Record(rec) => rec.arrivals.push((t, session)),
+                    // The open-loop source injected this arrival from
+                    // the log; the cursor re-validates it in handling
+                    // order.
+                    Tap::Replay(r) => r.check_arrival(t, session),
+                    Tap::Off => {}
+                }
+                self.arrive(eng, t, session, born)
+            }
+            Ev::Rto { session, born } => {
+                match &mut self.tap {
+                    Tap::Record(rec) => rec.rtos.push((t, session, born)),
+                    Tap::Replay(r) => r.check_rto(t, session, born),
+                    Tap::Off => {}
+                }
+                self.arrive(eng, t, session, born)
+            }
             Ev::Deliver { session, born, record } => self.deliver(eng, t, session, born, record),
         }
     }
@@ -506,11 +551,27 @@ impl<S: Service> Worker<S> {
     fn arrive<Q: EventQueue<Ev>>(&mut self, eng: &mut Q, t: Ns, session: u32, born: Ns) {
         // The client arms its retransmission timer the moment it sends;
         // whatever reaches the server in time supersedes it.
-        let rto = eng.schedule_cancellable(t + RTO_NS, Ev::Arrive { session, born });
-        // The injector only needs frame bytes for corruption; a minimum
-        // Ethernet frame stands in for the request.
-        let mut frame = [0u8; 64];
-        match self.inj.process(&mut frame) {
+        let rto = eng.schedule_cancellable(t + RTO_NS, Ev::Rto { session, born });
+        let fate = match &mut self.tap {
+            // Replay substitutes the recorded fate and updates the
+            // injector's counters without consuming its RNG.
+            Tap::Replay(r) => {
+                let f = r.next_fate();
+                self.inj.apply(f);
+                f
+            }
+            tap => {
+                // The injector only needs frame bytes for corruption; a
+                // minimum Ethernet frame stands in for the request.
+                let mut frame = [0u8; 64];
+                let f = self.inj.process(&mut frame);
+                if let Tap::Record(rec) = tap {
+                    rec.fates.push(f);
+                }
+                f
+            }
+        };
+        match fate {
             Fate::Delivered => {
                 eng.cancel(rto);
                 self.deliver(eng, t, session, born, true);
@@ -579,6 +640,11 @@ impl<S: Service> Worker<S> {
     }
 
     pub(crate) fn finish(self) -> WorkerOut {
+        let (log, diverged) = match self.tap {
+            Tap::Off => (LaneLog::default(), None),
+            Tap::Record(log) => (log, None),
+            Tap::Replay(r) => (LaneLog::default(), r.finish()),
+        };
         WorkerOut {
             table: self.table.stats(),
             service: self.svc.stats(),
@@ -590,6 +656,8 @@ impl<S: Service> Worker<S> {
             faults: self.inj.stats,
             phase_full: self.phase_full,
             phase_steady: self.phase_steady,
+            log,
+            diverged,
         }
     }
 }
@@ -618,23 +686,32 @@ pub mod reference {
         worker_idx: u32,
         svc: S,
         zipfs: &[Arc<Zipf>],
+        mode: &Mode,
     ) -> Result<WorkerOut, Overrun>
     where
         S: Service,
         Q: EventQueue<Ev> + Default,
     {
-        let mut w = Worker::new(cfg, worker_idx, svc, zipfs);
+        let mut w = Worker::new(cfg, worker_idx, svc, zipfs, mode.tap(worker_idx));
         let mut eng = Q::default();
         match cfg.scenario {
             Scenario::OpenLoop { rate_mps } => {
                 // Open loop: all arrivals are drawn up front — the
                 // offered schedule does not react to service progress,
                 // which is the discipline that exposes queueing tails.
-                let mut t: Ns = 0;
-                for _ in 0..cfg.messages_per_worker {
-                    t += exp_gap_ns(&mut w.rng, rate_mps);
-                    let session = w.stream.next(t, &mut w.rng);
-                    eng.schedule(t, Ev::Arrive { session, born: t });
+                if let Some(log) = mode.replay_log() {
+                    // Replay: the recorded schedule *is* the workload;
+                    // the RNG draws below are never made.
+                    for &(at, session) in &log[worker_idx as usize].arrivals {
+                        eng.schedule(at, Ev::Arrive { session, born: at });
+                    }
+                } else {
+                    let mut t: Ns = 0;
+                    for _ in 0..cfg.messages_per_worker {
+                        t += exp_gap_ns(&mut w.rng, rate_mps);
+                        let session = w.stream.next(t, &mut w.rng);
+                        eng.schedule(t, Ev::Arrive { session, born: t });
+                    }
                 }
                 w.mark_open_loop_issued();
             }
@@ -651,7 +728,11 @@ pub mod reference {
 
     /// The scenario runner, generic over the event queue so the wheel
     /// and the reference heap execute the identical lane code.
-    fn run_traffic_sched<S, F, Q>(cfg: &TrafficConfig, make: F) -> Result<TrafficReport, Overrun>
+    fn run_traffic_sched<S, F, Q>(
+        cfg: &TrafficConfig,
+        make: F,
+        mode: Mode,
+    ) -> Result<RunOut, Overrun>
     where
         S: Service,
         F: Fn(u32) -> S + Sync,
@@ -660,16 +741,14 @@ pub mod reference {
         assert!(cfg.workers >= 1, "need at least one worker");
         if cfg.workers == 1 {
             let zipfs = make_zipfs(cfg);
-            return Ok(TrafficReport::from_workers(
-                vec![run_worker::<S, Q>(cfg, 0, make(0), &zipfs)?],
-                1,
-            ));
+            return Ok(collect(vec![run_worker::<S, Q>(cfg, 0, make(0), &zipfs, &mode)?], cfg, matches!(mode, Mode::Record)));
         }
         let results: Vec<Result<WorkerOut, Overrun>> = thread::scope(|s| {
             let handles: Vec<_> = (0..cfg.workers)
                 .map(|i| {
                     let make = &make;
-                    s.spawn(move || run_worker::<S, Q>(cfg, i, make(i), &make_zipfs(cfg)))
+                    let mode = &mode;
+                    s.spawn(move || run_worker::<S, Q>(cfg, i, make(i), &make_zipfs(cfg), mode))
                 })
                 .collect();
             handles
@@ -681,7 +760,7 @@ pub mod reference {
         for r in results {
             outs.push(r?);
         }
-        Ok(TrafficReport::from_workers(outs, cfg.workers))
+        Ok(collect(outs, cfg, matches!(mode, Mode::Record)))
     }
 
     /// Seed FIFO on the default timing-wheel engine — the dispatch
@@ -691,7 +770,7 @@ pub mod reference {
         S: Service,
         F: Fn(u32) -> S + Sync,
     {
-        run_traffic_sched::<S, F, Engine<Ev>>(cfg, make)
+        Ok(run_traffic_sched::<S, F, Engine<Ev>>(cfg, make, Mode::Live)?.report)
     }
 
     /// Seed FIFO on the seed binary-heap scheduler
@@ -701,7 +780,21 @@ pub mod reference {
         S: Service,
         F: Fn(u32) -> S + Sync,
     {
-        run_traffic_sched::<S, F, heap::Engine<Ev>>(cfg, make)
+        Ok(run_traffic_sched::<S, F, heap::Engine<Ev>>(cfg, make, Mode::Live)?.report)
+    }
+
+    /// Mode-aware seed-heap runner: the capture layer's reference
+    /// plane for proving traces are plane-independent.
+    pub(crate) fn run_traffic_heap_mode<S, F>(
+        cfg: &TrafficConfig,
+        make: F,
+        mode: Mode,
+    ) -> Result<RunOut, Overrun>
+    where
+        S: Service,
+        F: Fn(u32) -> S + Sync,
+    {
+        run_traffic_sched::<S, F, heap::Engine<Ev>>(cfg, make, mode)
     }
 }
 

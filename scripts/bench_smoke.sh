@@ -24,13 +24,19 @@
 # runloop) and `adapt_bench` (which runs the online re-layout loop under
 # phase-shifting workloads and asserts the adaptive run converges within
 # 5% of the per-phase-best static layout after every shift, never loses
-# to BAD, and that sampling adds zero simulated overhead), then verifies
-# the JSON artifacts contain every key downstream tooling reads.
-# Reduced-size capacity, demux and adapt sweeps also run twice into
-# scratch files and the outputs are byte-compared — the cross-process
-# bit-reproducibility probes.  Pass --reuse to validate existing JSON
-# files without re-running the benchmarks (the two-run probes are
-# skipped on --reuse).
+# to BAD, and that sampling adds zero simulated overhead) and
+# `trace_bench` (which records every cell of the serving grid, asserts
+# the traces replay bit-identically — including re-sliced to other
+# executor counts and through the engine's memoized replay stage, with
+# adaptive swap verdicts re-derived exactly — round-trips both trace
+# codecs through files, and gates recording overhead at 10% over live
+# serving), then verifies the JSON artifacts contain every key
+# downstream tooling reads.
+# Reduced-size capacity, demux, adapt and trace sweeps also run twice
+# into scratch files and the outputs are byte-compared — the
+# cross-process bit-reproducibility probes.  Pass --reuse to validate
+# existing JSON files without re-running the benchmarks (the two-run
+# probes are skipped on --reuse).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +63,9 @@ if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_demux.json ]; then
 fi
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_adapt.json ]; then
     cargo run -q --release -p protolat-bench --bin adapt_bench
+fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_trace.json ]; then
+    cargo run -q --release -p protolat-bench --bin trace_bench
 fi
 
 if [ "${1:-}" != "--reuse" ]; then
@@ -87,6 +96,14 @@ if [ "${1:-}" != "--reuse" ]; then
         cargo run -q --release -p protolat-bench --bin adapt_bench >/dev/null
     cmp -s "$tmpdir/adp_a.json" "$tmpdir/adp_b.json" || {
         echo "bench_smoke: adapt smoke run not bit-reproducible across runs" >&2
+        exit 1
+    }
+    TRACE_SMOKE=1 BENCH_TRACE_PATH="$tmpdir/trc_a.json" \
+        cargo run -q --release -p protolat-bench --bin trace_bench >/dev/null
+    TRACE_SMOKE=1 BENCH_TRACE_PATH="$tmpdir/trc_b.json" \
+        cargo run -q --release -p protolat-bench --bin trace_bench >/dev/null
+    cmp -s "$tmpdir/trc_a.json" "$tmpdir/trc_b.json" || {
+        echo "bench_smoke: trace smoke run not bit-reproducible across runs" >&2
         exit 1
     }
 fi
@@ -130,7 +147,8 @@ for stack in tcpip rpc; do
         for metric in p50_us p99_us p999_us mps table_hit_rate \
                       cache_hit_rate miss_rate evictions memo_hit_rate \
                       memo_invalidations memo_period_p1 memo_period_p2 \
-                      memo_period_p3 memo_period_p4; do
+                      memo_period_p3 memo_period_p4 drops corruptions \
+                      reorders duplicates rto_fires; do
             if ! grep -q "\"${stack}_${ver}_${metric}\"" BENCH_traffic.json; then
                 echo "bench_smoke: BENCH_traffic.json missing key \"${stack}_${ver}_${metric}\"" >&2
                 missing=1
@@ -216,6 +234,25 @@ for key in bench workers stride window relayout_latency_ms jit_responses \
         missing=1
     fi
 done
+for key in bench smoke workers messages_per_worker rate_mps cells \
+           events_per_cell bytes_per_event_binary bytes_per_event_json \
+           replay_bit_identical executor_probe executor_bit_identical \
+           file_roundtrip_ok adapt_swaps adapt_verdicts_match; do
+    if ! grep -q "\"$key\"" BENCH_trace.json; then
+        echo "bench_smoke: BENCH_trace.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+# The wall-clock overhead fields are present only in full (non-smoke)
+# artifacts; a full BENCH_trace.json must carry them.
+if grep -q '"smoke": 0' BENCH_trace.json; then
+    for key in live_ms record_ms record_overhead_pct; do
+        if ! grep -q "\"$key\"" BENCH_trace.json; then
+            echo "bench_smoke: BENCH_trace.json missing key \"$key\"" >&2
+            missing=1
+        fi
+    done
+fi
 [ "$missing" -eq 0 ] || exit 1
 
 speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)
@@ -373,4 +410,38 @@ grep -q '"single_candidate_bit_identical": true' BENCH_adapt.json || {
     exit 1
 }
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau, demux winner ${winner_policy} ${winner_rate} vs seed ${seed_rate} on conflict, adapt worst phase ratio ${max_ratio} <= 1.05)"
+grep -q '"replay_bit_identical": 1' BENCH_trace.json || {
+    echo "bench_smoke: recorded traces did not replay bit-identically on every grid cell" >&2
+    exit 1
+}
+grep -q '"executor_bit_identical": 1' BENCH_trace.json || {
+    echo "bench_smoke: trace replay diverged when re-sliced to other executor counts" >&2
+    exit 1
+}
+grep -q '"file_roundtrip_ok": 1' BENCH_trace.json || {
+    echo "bench_smoke: trace file round trip (binary or JSON codec) lost events" >&2
+    exit 1
+}
+grep -q '"adapt_verdicts_match": 1' BENCH_trace.json || {
+    echo "bench_smoke: adaptive replay did not re-derive the recorded swap verdicts" >&2
+    exit 1
+}
+trace_swaps=$(sed -n 's/.*"adapt_swaps": \([0-9]*\).*/\1/p' BENCH_trace.json)
+if [ -z "$trace_swaps" ] || [ "$trace_swaps" -lt 1 ]; then
+    echo "bench_smoke: adaptive trace probe recorded no swaps (workload never shifted?)" >&2
+    exit 1
+fi
+trace_overhead="n/a"
+if grep -q '"smoke": 0' BENCH_trace.json; then
+    trace_overhead=$(sed -n 's/.*"record_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_trace.json)
+    if [ -z "$trace_overhead" ]; then
+        echo "bench_smoke: could not parse record_overhead_pct" >&2
+        exit 1
+    fi
+    awk -v o="$trace_overhead" 'BEGIN { exit !(o <= 10.0) }' || {
+        echo "bench_smoke: trace recording overhead ${trace_overhead}% above the 10% ceiling" >&2
+        exit 1
+    }
+fi
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau, demux winner ${winner_policy} ${winner_rate} vs seed ${seed_rate} on conflict, adapt worst phase ratio ${max_ratio} <= 1.05, trace replay bit-identical with ${trace_swaps} verdicts matched and record overhead ${trace_overhead}% <= 10%)"
