@@ -20,7 +20,7 @@ use protolat_bench::harness::JsonReport;
 use protolat_core::config::{StackKind, Version};
 use protolat_core::sweep::SweepEngine;
 use protocols::StackOptions;
-use traffic::{run_traffic, ReplayService, TrafficConfig, TrafficReport};
+use traffic::{run_traffic, ReplayService, TrafficConfig, TrafficReport, WirePath};
 
 /// The serving scenario every cell is measured under.
 const WORKERS: u32 = 4;
@@ -35,6 +35,12 @@ fn serving_cfg() -> TrafficConfig {
         .with_theta(900)
         .with_seed(0x7EA5)
         .with_faults(3_000, 1_500, 3_000, 1_500)
+        // Serve through the zero-copy byte plane: every message is
+        // encoded to real TCP/IP bytes in a pooled buffer and demuxed
+        // back, and the injector's wire-shape fates (truncate, malform,
+        // fragment) are genuinely parsed to their typed decode errors.
+        .with_wire(WirePath::ZeroCopy)
+        .with_wire_faults(800, 500, 700)
 }
 
 fn stack_key(stack: StackKind) -> &'static str {
@@ -178,6 +184,13 @@ fn main() {
         report.field(format!("{k}_reorders"), r.faults.reordered);
         report.field(format!("{k}_duplicates"), r.faults.duplicated);
         report.field(format!("{k}_rto_fires"), r.retransmits);
+        // Wire-plane anomaly provenance: each counter is a typed decode
+        // error from a real byte-level parse of the shaped frame (runt,
+        // bad version nibble, unreassemblable fragment, FCS mismatch).
+        report.field(format!("{k}_truncations"), r.wire.truncated);
+        report.field(format!("{k}_malforms"), r.wire.malformed);
+        report.field(format!("{k}_fragments"), r.wire.fragmented);
+        report.field(format!("{k}_bad_fcs"), r.wire.bad_fcs);
         // Replay-service memo behaviour per cell: how much simulation
         // the steady-state memo eliminated, how the limit-cycle
         // detector classified each lane's warm cost sequence, and how

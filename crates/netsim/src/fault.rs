@@ -17,6 +17,18 @@ pub enum Fate {
     /// Delivered, and a copy arrives again shortly after (the caller
     /// schedules the duplicate).
     Duplicated,
+    /// The frame is cut short on the wire (a runt reaches the
+    /// receiver).  The wire path re-encodes the truncated frame and
+    /// really parses the failure; the descriptor path treats it like a
+    /// drop (the armed RTO retransmits).
+    Truncated,
+    /// A header octet is scribbled *before* the FCS is computed, so the
+    /// frame arrives FCS-clean but semantically broken (bad IP
+    /// version).  Discarded by the parse, retransmitted by the RTO.
+    Malformed,
+    /// The packet arrives as an IP fragment (MF set); this stack does
+    /// no reassembly, so the demux rejects it and the RTO retransmits.
+    Fragmented,
 }
 
 impl Fate {
@@ -28,6 +40,9 @@ impl Fate {
             Fate::Corrupted => 2,
             Fate::Reordered => 3,
             Fate::Duplicated => 4,
+            Fate::Truncated => 5,
+            Fate::Malformed => 6,
+            Fate::Fragmented => 7,
         }
     }
 
@@ -39,6 +54,9 @@ impl Fate {
             2 => Some(Fate::Corrupted),
             3 => Some(Fate::Reordered),
             4 => Some(Fate::Duplicated),
+            5 => Some(Fate::Truncated),
+            6 => Some(Fate::Malformed),
+            7 => Some(Fate::Fragmented),
             _ => None,
         }
     }
@@ -51,6 +69,9 @@ impl Fate {
             Fate::Corrupted => "corrupted",
             Fate::Reordered => "reordered",
             Fate::Duplicated => "duplicated",
+            Fate::Truncated => "truncated",
+            Fate::Malformed => "malformed",
+            Fate::Fragmented => "fragmented",
         }
     }
 
@@ -62,6 +83,9 @@ impl Fate {
             "corrupted" => Some(Fate::Corrupted),
             "reordered" => Some(Fate::Reordered),
             "duplicated" => Some(Fate::Duplicated),
+            "truncated" => Some(Fate::Truncated),
+            "malformed" => Some(Fate::Malformed),
+            "fragmented" => Some(Fate::Fragmented),
             _ => None,
         }
     }
@@ -75,6 +99,9 @@ pub struct FaultStats {
     pub corrupted: u64,
     pub reordered: u64,
     pub duplicated: u64,
+    pub truncated: u64,
+    pub malformed: u64,
+    pub fragmented: u64,
 }
 
 impl FaultStats {
@@ -86,6 +113,9 @@ impl FaultStats {
         self.corrupted += other.corrupted;
         self.reordered += other.reordered;
         self.duplicated += other.duplicated;
+        self.truncated += other.truncated;
+        self.malformed += other.malformed;
+        self.fragmented += other.fragmented;
     }
 }
 
@@ -101,6 +131,12 @@ pub struct FaultInjector {
     pub reorder_chance: f64,
     /// Probability a delivered frame is also duplicated.
     pub duplicate_chance: f64,
+    /// Probability a frame arrives truncated (a runt).
+    pub truncate_chance: f64,
+    /// Probability a frame arrives FCS-clean but semantically mangled.
+    pub malform_chance: f64,
+    /// Probability a packet arrives as an unreassemblable IP fragment.
+    pub fragment_chance: f64,
     /// Frames larger than this are dropped (None = no limit).
     pub size_limit: Option<usize>,
     pub stats: FaultStats,
@@ -121,6 +157,9 @@ impl FaultInjector {
             corrupt_chance,
             reorder_chance: 0.0,
             duplicate_chance: 0.0,
+            truncate_chance: 0.0,
+            malform_chance: 0.0,
+            fragment_chance: 0.0,
             size_limit: None,
             stats: FaultStats::default(),
         }
@@ -137,6 +176,27 @@ impl FaultInjector {
     pub fn with_duplicate(mut self, chance: f64) -> Self {
         assert!((0.0..=1.0).contains(&chance));
         self.duplicate_chance = chance;
+        self
+    }
+
+    /// Set the truncation probability (builder style).
+    pub fn with_truncate(mut self, chance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&chance));
+        self.truncate_chance = chance;
+        self
+    }
+
+    /// Set the malformed-header probability (builder style).
+    pub fn with_malform(mut self, chance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&chance));
+        self.malform_chance = chance;
+        self
+    }
+
+    /// Set the fragmented-arrival probability (builder style).
+    pub fn with_fragment(mut self, chance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&chance));
+        self.fragment_chance = chance;
         self
     }
 
@@ -173,6 +233,23 @@ impl FaultInjector {
             self.stats.duplicated += 1;
             return Fate::Duplicated;
         }
+        // The wire-shape fates decide *what arrives* rather than
+        // scribbling bytes here: the wire path re-encodes the broken
+        // variant itself (truncation changes the length, malform/
+        // fragment must stay FCS-clean), which also keeps replayed
+        // fates — applied without this RNG — byte-deterministic.
+        if self.truncate_chance > 0.0 && self.rng.chance(self.truncate_chance) {
+            self.stats.truncated += 1;
+            return Fate::Truncated;
+        }
+        if self.malform_chance > 0.0 && self.rng.chance(self.malform_chance) {
+            self.stats.malformed += 1;
+            return Fate::Malformed;
+        }
+        if self.fragment_chance > 0.0 && self.rng.chance(self.fragment_chance) {
+            self.stats.fragmented += 1;
+            return Fate::Fragmented;
+        }
         Fate::Delivered
     }
 
@@ -188,6 +265,9 @@ impl FaultInjector {
             Fate::Corrupted => self.stats.corrupted += 1,
             Fate::Reordered => self.stats.reordered += 1,
             Fate::Duplicated => self.stats.duplicated += 1,
+            Fate::Truncated => self.stats.truncated += 1,
+            Fate::Malformed => self.stats.malformed += 1,
+            Fate::Fragmented => self.stats.fragmented += 1,
         }
     }
 }
@@ -329,12 +409,76 @@ mod tests {
 
     #[test]
     fn fate_codes_and_names_round_trip() {
-        for fate in [Fate::Delivered, Fate::Dropped, Fate::Corrupted, Fate::Reordered, Fate::Duplicated] {
+        for fate in [
+            Fate::Delivered,
+            Fate::Dropped,
+            Fate::Corrupted,
+            Fate::Reordered,
+            Fate::Duplicated,
+            Fate::Truncated,
+            Fate::Malformed,
+            Fate::Fragmented,
+        ] {
             assert_eq!(Fate::from_code(fate.code()), Some(fate));
             assert_eq!(Fate::from_name(fate.name()), Some(fate));
         }
-        assert_eq!(Fate::from_code(5), None);
+        assert_eq!(Fate::from_code(8), None);
         assert_eq!(Fate::from_name("mangled"), None);
+    }
+
+    #[test]
+    fn wire_fates_occur_and_count() {
+        let mut inj = FaultInjector::new(0.0, 0.0, 11)
+            .with_truncate(0.2)
+            .with_malform(0.2)
+            .with_fragment(0.2);
+        let fates: Vec<Fate> = (0..400)
+            .map(|_| {
+                let mut b = vec![0u8; 64];
+                inj.process(&mut b)
+            })
+            .collect();
+        for want in [Fate::Truncated, Fate::Malformed, Fate::Fragmented] {
+            assert!(fates.contains(&want), "{want:?} never occurred");
+        }
+        assert_eq!(
+            inj.stats.truncated + inj.stats.malformed + inj.stats.fragmented,
+            fates.iter().filter(|f| !matches!(f, Fate::Delivered)).count() as u64
+        );
+    }
+
+    #[test]
+    fn wire_fates_do_not_mutate_bytes() {
+        // The injector decides the fate; the wire layer re-encodes the
+        // broken variant.  Bytes must come back untouched.
+        let mut inj = FaultInjector::new(0.0, 0.0, 12)
+            .with_truncate(1.0);
+        let mut b = vec![0x5Au8; 64];
+        assert_eq!(inj.process(&mut b), Fate::Truncated);
+        assert!(b.iter().all(|&x| x == 0x5A));
+    }
+
+    #[test]
+    fn zero_chance_wire_fates_preserve_fate_sequence() {
+        // Enabling the wire-fate *builders* at zero probability must not
+        // shift the RNG stream of an existing drop/corrupt injector.
+        let run = |with_wire: bool| {
+            let mut inj = if with_wire {
+                FaultInjector::new(0.3, 0.2, 21)
+                    .with_truncate(0.0)
+                    .with_malform(0.0)
+                    .with_fragment(0.0)
+            } else {
+                FaultInjector::new(0.3, 0.2, 21)
+            };
+            (0..200)
+                .map(|_| {
+                    let mut b = vec![0u8; 64];
+                    inj.process(&mut b)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -357,12 +501,39 @@ mod tests {
 
     #[test]
     fn stats_merge_sums_counters() {
-        let mut a = FaultStats { seen: 10, dropped: 1, corrupted: 2, reordered: 3, duplicated: 4 };
-        let b = FaultStats { seen: 5, dropped: 5, corrupted: 1, reordered: 0, duplicated: 2 };
+        let mut a = FaultStats {
+            seen: 10,
+            dropped: 1,
+            corrupted: 2,
+            reordered: 3,
+            duplicated: 4,
+            truncated: 1,
+            malformed: 0,
+            fragmented: 2,
+        };
+        let b = FaultStats {
+            seen: 5,
+            dropped: 5,
+            corrupted: 1,
+            reordered: 0,
+            duplicated: 2,
+            truncated: 0,
+            malformed: 3,
+            fragmented: 1,
+        };
         a.merge(&b);
         assert_eq!(
             a,
-            FaultStats { seen: 15, dropped: 6, corrupted: 3, reordered: 3, duplicated: 6 }
+            FaultStats {
+                seen: 15,
+                dropped: 6,
+                corrupted: 3,
+                reordered: 3,
+                duplicated: 6,
+                truncated: 1,
+                malformed: 3,
+                fragmented: 3,
+            }
         );
     }
 }

@@ -21,13 +21,19 @@
 //!   (105 µs from handing a minimum frame to the chip until the
 //!   transmit-complete interrupt).
 //! * [`fault`] — smoltcp-style fault injection: probabilistic drop,
-//!   corruption, reordering and duplication with a deterministic RNG.
+//!   corruption, reordering and duplication with a deterministic RNG,
+//!   plus wire-shape fates (truncated / malformed / fragmented
+//!   arrivals) for the byte-level data plane.
+//! * [`buf`] — the pooled packet-buffer arena (cache-line-aligned,
+//!   free-list-recycled, generation-checked handles) backing the
+//!   zero-copy wire data plane.
 //! * [`ring`] — lock-free bounded SPSC/MPSC rings (cache-line-padded
 //!   atomics, batch push/pop) for the traffic dispatch plane's
 //!   generator→worker hand-off and work-stealing injectors.
 //! * [`sample`] — allocation-free stride/reservoir sampling primitives
 //!   for the online layout profiler (`traffic::adapt`).
 
+pub mod buf;
 pub mod engine;
 pub mod fault;
 pub mod frame;
@@ -39,6 +45,7 @@ pub mod sample;
 pub mod sched;
 pub mod wire;
 
+pub use buf::{BufError, BufPool, PktBuf, PoolStats, BUF_CAP};
 pub use engine::{Engine, Overrun};
 pub use ring::{spsc, CachePadded, MpscRing, SpscConsumer, SpscProbe, SpscProducer};
 pub use sample::{Reservoir, StrideSampler};

@@ -29,6 +29,10 @@
 //!   (checksum, bcopy, software divide, allocator, map and message
 //!   operations).
 //! * [`driver`] — the LANCE driver shared by both stacks.
+//! * [`wire`] — the zero-copy byte-level data plane: Ethernet/IPv4/TCP
+//!   header views over raw bytes with incremental (RFC 1624) checksum
+//!   maintenance, an in-place frame codec for pooled buffers, and its
+//!   copy-and-materialize reference twin.
 
 pub mod checksum;
 pub mod driver;
@@ -36,5 +40,7 @@ pub mod libmodel;
 pub mod options;
 pub mod rpc;
 pub mod tcpip;
+pub mod wire;
 
 pub use options::StackOptions;
+pub use wire::{WireError, ErrorClass};

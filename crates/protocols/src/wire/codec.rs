@@ -1,0 +1,393 @@
+//! The zero-copy frame codec: encode a TCP/IPv4/Ethernet frame into a
+//! caller-supplied (pooled) buffer, and demux one back down to its
+//! four-tuple — all in place, no intermediate structs, no payload
+//! copies.
+//!
+//! Encode writes every byte explicitly (including the pad to the
+//! 64-byte Ethernet minimum — pooled buffers hold stale bytes from the
+//! previous tenant), so encoding the same packet into a dirty buffer is
+//! bit-reproducible.  Demux enforces the full integrity ladder in the
+//! order a real receive path would: frame length, FCS, ethertype, IP
+//! header (version / IHL / total length / checksum), fragmentation,
+//! protocol, TCP pseudo checksum.
+//!
+//! [`encode_frame_shaped`] produces the deliberately broken variants
+//! the fault injector's wire fates call for — truncated, malformed
+//! (bad version nibble), fragmented — each crafted so the demux ladder
+//! rejects it at exactly one rung.
+
+use netsim::frame::{Frame, FCS, MIN_FRAME};
+
+use super::views::{EthView, Ipv4View, TcpView, ETH_HDR, IP_HDR_MIN, TCP_HDR_MIN};
+use super::WireError;
+use crate::tcpip::hdr::IPPROTO_TCP;
+use crate::checksum;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Minimum frame body (header + padded payload) before the FCS.
+const MIN_BODY: usize = MIN_FRAME - FCS;
+
+/// Length a truncated-shape frame is cut to: mid-IP-header, well under
+/// the Ethernet minimum, so demux reports a runt.
+pub const TRUNCATED_LEN: usize = 32;
+
+/// Everything that goes into a well-formed frame besides the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktSpec {
+    pub dst_mac: [u8; 6],
+    pub src_mac: [u8; 6],
+    pub src_ip: u32,
+    pub dst_ip: u32,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    /// TCP flag byte (0x10 = ACK, 0x18 = PSH|ACK, ...).
+    pub flags: u8,
+    pub window: u16,
+    /// IP identification field.
+    pub ident: u16,
+    pub ttl: u8,
+}
+
+impl Default for PktSpec {
+    fn default() -> Self {
+        PktSpec {
+            dst_mac: [0x02, 0, 0, 0, 0, 0x02],
+            src_mac: [0x02, 0, 0, 0, 0, 0x01],
+            src_ip: 0x0a00_0001,
+            dst_ip: 0x0a00_0002,
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: 0,
+            flags: 0x10,
+            window: 0xffff,
+            ident: 0,
+            ttl: 64,
+        }
+    }
+}
+
+/// The wire-shape variants the fault injector asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// A well-formed frame.
+    Intact,
+    /// Cut to [`TRUNCATED_LEN`] bytes mid-header (a runt).
+    Truncated,
+    /// IP version nibble mangled to 6; FCS still valid, so the error
+    /// surfaces at the IP parse, not the link layer.
+    Malformed,
+    /// More-fragments bit set with a correct header checksum — a valid
+    /// fragment this plane cannot reassemble.
+    Fragmented,
+}
+
+/// Total on-wire length (body padded to the Ethernet minimum + FCS)
+/// for a TCP payload of `payload_len` bytes with minimum headers.
+pub const fn wire_len(payload_len: usize) -> usize {
+    let body = ETH_HDR + IP_HDR_MIN + TCP_HDR_MIN + payload_len;
+    let padded = if body < MIN_BODY { MIN_BODY } else { body };
+    padded + FCS
+}
+
+/// Write the frame body (headers + payload + explicit zero padding)
+/// into `out`, with `frag` as the raw IP fragment field.  Returns the
+/// padded body length (FCS not yet appended).
+fn encode_body(out: &mut [u8], spec: &PktSpec, payload: &[u8], frag: u16) -> usize {
+    let seg_len = TCP_HDR_MIN + payload.len();
+    let total_len = IP_HDR_MIN + seg_len;
+    let body = ETH_HDR + total_len;
+    let padded = body.max(MIN_BODY);
+    assert!(
+        padded + FCS <= out.len(),
+        "frame of {} bytes exceeds buffer of {}",
+        padded + FCS,
+        out.len()
+    );
+    assert!(total_len <= u16::MAX as usize, "payload too large for one datagram");
+
+    // Ethernet.
+    out[0..6].copy_from_slice(&spec.dst_mac);
+    out[6..12].copy_from_slice(&spec.src_mac);
+    out[12..14].copy_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+
+    // IPv4, IHL 5.
+    let ip = &mut out[ETH_HDR..ETH_HDR + IP_HDR_MIN];
+    ip[0] = 0x45;
+    ip[1] = 0;
+    ip[2..4].copy_from_slice(&(total_len as u16).to_be_bytes());
+    ip[4..6].copy_from_slice(&spec.ident.to_be_bytes());
+    ip[6..8].copy_from_slice(&frag.to_be_bytes());
+    ip[8] = spec.ttl;
+    ip[9] = IPPROTO_TCP;
+    ip[10..12].fill(0);
+    ip[12..16].copy_from_slice(&spec.src_ip.to_be_bytes());
+    ip[16..20].copy_from_slice(&spec.dst_ip.to_be_bytes());
+    let ip_ck = checksum::in_cksum(ip);
+    out[ETH_HDR + 10..ETH_HDR + 12].copy_from_slice(&ip_ck.to_be_bytes());
+
+    // TCP, data offset 5.
+    let tcp_at = ETH_HDR + IP_HDR_MIN;
+    let tcp = &mut out[tcp_at..tcp_at + seg_len];
+    tcp[0..2].copy_from_slice(&spec.src_port.to_be_bytes());
+    tcp[2..4].copy_from_slice(&spec.dst_port.to_be_bytes());
+    tcp[4..8].copy_from_slice(&spec.seq.to_be_bytes());
+    tcp[8..12].copy_from_slice(&spec.ack.to_be_bytes());
+    tcp[12] = 5 << 4;
+    tcp[13] = spec.flags;
+    tcp[14..16].copy_from_slice(&spec.window.to_be_bytes());
+    tcp[16..20].fill(0); // checksum (computed below) + urgent pointer
+    tcp[TCP_HDR_MIN..].copy_from_slice(payload);
+    let tcp_ck = checksum::in_cksum_pseudo(spec.src_ip, spec.dst_ip, IPPROTO_TCP, tcp);
+    out[tcp_at + 16..tcp_at + 18].copy_from_slice(&tcp_ck.to_be_bytes());
+
+    // Explicit zero padding: pooled buffers carry the previous
+    // tenant's bytes, and the FCS covers the pad.
+    out[body..padded].fill(0);
+    padded
+}
+
+/// Encode a well-formed frame into `out`; returns the wire length
+/// (body + FCS).  Steady-state cost is a straight sequence of in-place
+/// stores plus two checksums — no allocation.
+pub fn encode_frame(out: &mut [u8], spec: &PktSpec, payload: &[u8]) -> usize {
+    let padded = encode_body(out, spec, payload, 0);
+    let fcs = Frame::fcs_of(&out[..padded]);
+    out[padded..padded + FCS].copy_from_slice(&fcs.to_be_bytes());
+    padded + FCS
+}
+
+/// Encode a frame in the given [`Shape`]; returns the on-wire length
+/// (shorter than [`wire_len`] only for [`Shape::Truncated`]).
+pub fn encode_frame_shaped(out: &mut [u8], spec: &PktSpec, payload: &[u8], shape: Shape) -> usize {
+    match shape {
+        Shape::Intact => encode_frame(out, spec, payload),
+        Shape::Truncated => {
+            let full = encode_frame(out, spec, payload);
+            debug_assert!(TRUNCATED_LEN < full.min(MIN_FRAME));
+            TRUNCATED_LEN
+        }
+        Shape::Malformed => {
+            let padded = encode_body(out, spec, payload, 0);
+            out[ETH_HDR] = 0x65; // version 6, IHL untouched
+            let fcs = Frame::fcs_of(&out[..padded]);
+            out[padded..padded + FCS].copy_from_slice(&fcs.to_be_bytes());
+            padded + FCS
+        }
+        Shape::Fragmented => {
+            let padded = encode_body(out, spec, payload, 0x2000);
+            let fcs = Frame::fcs_of(&out[..padded]);
+            out[padded..padded + FCS].copy_from_slice(&fcs.to_be_bytes());
+            padded + FCS
+        }
+    }
+}
+
+/// What demux extracts from a valid frame.  Offsets index into the
+/// original frame slice so the payload stays zero-copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demux {
+    pub src_ip: u32,
+    pub dst_ip: u32,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: u8,
+    /// Byte offset of the TCP payload within the frame.
+    pub payload_off: usize,
+    /// TCP payload length (bounded by the IP total length, which
+    /// excludes Ethernet padding).
+    pub payload_len: usize,
+}
+
+impl Demux {
+    /// The payload slice within `frame` (the same slice demux parsed).
+    pub fn payload<'a>(&self, frame: &'a [u8]) -> &'a [u8] {
+        &frame[self.payload_off..self.payload_off + self.payload_len]
+    }
+}
+
+/// Parse a received frame down to its demux tuple, enforcing every
+/// integrity check on the way.  Zero-copy: all reads go straight
+/// against `frame`.
+pub fn demux_frame(frame: &[u8]) -> Result<Demux, WireError> {
+    if frame.len() < MIN_FRAME {
+        return Err(WireError::Runt(frame.len()));
+    }
+    let body = &frame[..frame.len() - FCS];
+    let fcs = u32::from_be_bytes(frame[frame.len() - FCS..].try_into().unwrap());
+    if Frame::fcs_of(body) != fcs {
+        return Err(WireError::BadFcs);
+    }
+    let eth = EthView::parse(body)?;
+    let et = eth.ethertype();
+    if et != ETHERTYPE_IPV4 {
+        return Err(WireError::NotIpv4(et));
+    }
+    let ip = Ipv4View::parse(eth.payload())?;
+    if ip.more_fragments() || ip.frag_offset_bytes() != 0 {
+        return Err(WireError::Fragmented);
+    }
+    if ip.proto() != IPPROTO_TCP {
+        return Err(WireError::NotTcp(ip.proto()));
+    }
+    let tcp = TcpView::parse(ip.payload(), ip.src(), ip.dst())?;
+    Ok(Demux {
+        src_ip: ip.src(),
+        dst_ip: ip.dst(),
+        src_port: tcp.src_port(),
+        dst_port: tcp.dst_port(),
+        seq: tcp.seq(),
+        ack: tcp.ack(),
+        flags: tcp.flags(),
+        payload_off: ETH_HDR + ip.header_len() + tcp.data_offset(),
+        payload_len: tcp.payload().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ErrorClass;
+
+    fn spec() -> PktSpec {
+        PktSpec {
+            src_ip: 0x0a00_002a,
+            dst_ip: 0xc0a8_0001,
+            src_port: 40001,
+            dst_port: 7,
+            seq: 1000,
+            ack: 2000,
+            ident: 0x1234,
+            ..PktSpec::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip_minimum_frame() {
+        let mut buf = [0u8; 128];
+        let payload = b"hello wire panel";
+        let n = encode_frame(&mut buf, &spec(), payload);
+        assert_eq!(n, wire_len(payload.len()));
+        assert_eq!(n, 74); // 14 + 20 + 20 + 16 + 4
+        let d = demux_frame(&buf[..n]).unwrap();
+        assert_eq!(d.src_ip, 0x0a00_002a);
+        assert_eq!(d.dst_ip, 0xc0a8_0001);
+        assert_eq!(d.src_port, 40001);
+        assert_eq!(d.dst_port, 7);
+        assert_eq!(d.seq, 1000);
+        assert_eq!(d.ack, 2000);
+        assert_eq!(d.payload(&buf[..n]), payload);
+    }
+
+    #[test]
+    fn empty_payload_pads_to_minimum() {
+        let mut buf = [0u8; 128];
+        let n = encode_frame(&mut buf, &spec(), b"");
+        assert_eq!(n, MIN_FRAME); // 54-byte body padded to 60, + FCS
+        let d = demux_frame(&buf[..n]).unwrap();
+        assert_eq!(d.payload_len, 0, "padding must not leak into the payload");
+    }
+
+    #[test]
+    fn dirty_buffer_encodes_identically() {
+        let payload = b"pool tenant";
+        let mut clean = [0u8; 128];
+        let mut dirty = [0xa5u8; 128];
+        let n = encode_frame(&mut clean, &spec(), payload);
+        let m = encode_frame(&mut dirty, &spec(), payload);
+        assert_eq!(n, m);
+        assert_eq!(clean[..n], dirty[..n], "stale pool bytes leaked into the frame");
+    }
+
+    #[test]
+    fn corruption_caught_by_fcs() {
+        let mut buf = [0u8; 128];
+        let n = encode_frame(&mut buf, &spec(), b"payload");
+        for at in 0..n - FCS {
+            let mut c = buf;
+            c[at] ^= 0x01;
+            assert_eq!(demux_frame(&c[..n]), Err(WireError::BadFcs), "flip at {at}");
+        }
+    }
+
+    #[test]
+    fn shaped_truncated_is_runt() {
+        let mut buf = [0u8; 128];
+        let n = encode_frame_shaped(&mut buf, &spec(), b"x", Shape::Truncated);
+        assert_eq!(n, TRUNCATED_LEN);
+        let err = demux_frame(&buf[..n]).unwrap_err();
+        assert_eq!(err, WireError::Runt(TRUNCATED_LEN));
+        assert_eq!(err.class(), ErrorClass::Truncated);
+    }
+
+    #[test]
+    fn shaped_malformed_is_bad_version() {
+        let mut buf = [0u8; 128];
+        let n = encode_frame_shaped(&mut buf, &spec(), b"x", Shape::Malformed);
+        let err = demux_frame(&buf[..n]).unwrap_err();
+        assert_eq!(err, WireError::BadVersion(6), "FCS must pass; IP parse must fail");
+        assert_eq!(err.class(), ErrorClass::Malformed);
+    }
+
+    #[test]
+    fn shaped_fragment_is_fragmented() {
+        let mut buf = [0u8; 128];
+        let n = encode_frame_shaped(&mut buf, &spec(), b"x", Shape::Fragmented);
+        let err = demux_frame(&buf[..n]).unwrap_err();
+        assert_eq!(err, WireError::Fragmented, "header checksum must pass with MF set");
+        assert_eq!(err.class(), ErrorClass::Fragmented);
+    }
+
+    #[test]
+    fn shaped_intact_matches_plain_encode() {
+        let mut a = [0u8; 128];
+        let mut b = [0u8; 128];
+        let n = encode_frame(&mut a, &spec(), b"same");
+        let m = encode_frame_shaped(&mut b, &spec(), b"same", Shape::Intact);
+        assert_eq!((n, &a[..n]), (m, &b[..m]));
+    }
+
+    #[test]
+    fn non_tcp_protocol_rejected() {
+        let mut buf = [0u8; 128];
+        let n = encode_frame(&mut buf, &spec(), b"x");
+        // Patch proto to UDP keeping the IP checksum correct, re-FCS.
+        let body_len = n - FCS;
+        {
+            let ip = &mut buf[ETH_HDR..body_len];
+            let old = u16::from_be_bytes([ip[8], ip[9]]);
+            let new = u16::from_be_bytes([ip[8], 17]);
+            let ck = checksum::incr_update(u16::from_be_bytes([ip[10], ip[11]]), old, new);
+            ip[9] = 17;
+            ip[10..12].copy_from_slice(&ck.to_be_bytes());
+        }
+        let fcs = Frame::fcs_of(&buf[..body_len]);
+        buf[body_len..n].copy_from_slice(&fcs.to_be_bytes());
+        assert_eq!(demux_frame(&buf[..n]), Err(WireError::NotTcp(17)));
+    }
+
+    #[test]
+    fn non_ipv4_ethertype_rejected() {
+        let mut buf = [0u8; 128];
+        let n = encode_frame(&mut buf, &spec(), b"x");
+        let body_len = n - FCS;
+        buf[12..14].copy_from_slice(&0x3007u16.to_be_bytes());
+        let fcs = Frame::fcs_of(&buf[..body_len]);
+        buf[body_len..n].copy_from_slice(&fcs.to_be_bytes());
+        assert_eq!(demux_frame(&buf[..n]), Err(WireError::NotIpv4(0x3007)));
+    }
+
+    #[test]
+    fn wire_len_grows_past_minimum() {
+        assert_eq!(wire_len(0), 64);
+        assert_eq!(wire_len(6), 64); // 60-byte body exactly
+        assert_eq!(wire_len(7), 65);
+        assert_eq!(wire_len(100), 14 + 40 + 100 + 4);
+    }
+}

@@ -1,0 +1,390 @@
+//! Zero-copy header views: typed accessors over raw frame bytes.
+//!
+//! Each view is a thin wrapper over a `&[u8]` (or `&mut [u8]`) that
+//! validates on construction and then reads fields straight out of the
+//! wire representation — no intermediate structs, no copies.  The
+//! mutable views maintain the header checksum *incrementally* on every
+//! setter (RFC 1624 via [`checksum::incr_update`]), so touching one
+//! field costs two one's-complement adds instead of an O(header)
+//! re-sum.
+//!
+//! The views are layer-local: [`EthView`] knows nothing about the FCS
+//! trailer (the codec strips it), [`Ipv4View`] exposes but does not
+//! reject fragments (the codec decides), and [`TcpView`] checks its
+//! pseudo-header checksum against the addresses the caller parsed from
+//! the IP layer.
+
+use crate::checksum;
+use crate::tcpip::hdr::IPPROTO_TCP;
+
+use super::WireError;
+
+/// Ethernet header length (dst + src + ethertype).
+pub const ETH_HDR: usize = 14;
+/// Minimum IPv4 header length (IHL = 5).
+pub const IP_HDR_MIN: usize = 20;
+/// Minimum TCP header length (data offset = 5).
+pub const TCP_HDR_MIN: usize = 20;
+
+// ------------------------------------------------------------- Ethernet
+
+/// Read-only view of an Ethernet II header and its payload.
+#[derive(Clone, Copy)]
+pub struct EthView<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> EthView<'a> {
+    /// View `b` as an Ethernet header (FCS already stripped).
+    pub fn parse(b: &'a [u8]) -> Result<Self, WireError> {
+        if b.len() < ETH_HDR {
+            return Err(WireError::TruncatedEth(b.len()));
+        }
+        Ok(EthView { b })
+    }
+
+    pub fn dst(&self) -> [u8; 6] {
+        self.b[0..6].try_into().unwrap()
+    }
+
+    pub fn src(&self) -> [u8; 6] {
+        self.b[6..12].try_into().unwrap()
+    }
+
+    pub fn ethertype(&self) -> u16 {
+        u16::from_be_bytes([self.b[12], self.b[13]])
+    }
+
+    /// Everything after the header.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.b[ETH_HDR..]
+    }
+}
+
+/// Mutable view of an Ethernet II header.
+pub struct EthViewMut<'a> {
+    b: &'a mut [u8],
+}
+
+impl<'a> EthViewMut<'a> {
+    pub fn new(b: &'a mut [u8]) -> Result<Self, WireError> {
+        if b.len() < ETH_HDR {
+            return Err(WireError::TruncatedEth(b.len()));
+        }
+        Ok(EthViewMut { b })
+    }
+
+    pub fn set_dst(&mut self, mac: [u8; 6]) {
+        self.b[0..6].copy_from_slice(&mac);
+    }
+
+    pub fn set_src(&mut self, mac: [u8; 6]) {
+        self.b[6..12].copy_from_slice(&mac);
+    }
+
+    pub fn set_ethertype(&mut self, et: u16) {
+        self.b[12..14].copy_from_slice(&et.to_be_bytes());
+    }
+
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.b[ETH_HDR..]
+    }
+}
+
+// ----------------------------------------------------------------- IPv4
+
+/// Read-only view of an IPv4 header (options supported) and payload.
+///
+/// Construction validates version, IHL, total length and the header
+/// checksum; fragmentation is *exposed*, not rejected — the codec
+/// decides what to do with fragments.
+#[derive(Clone, Copy)]
+pub struct Ipv4View<'a> {
+    b: &'a [u8],
+    hdr_len: usize,
+    total_len: usize,
+}
+
+impl<'a> Ipv4View<'a> {
+    pub fn parse(b: &'a [u8]) -> Result<Self, WireError> {
+        if b.len() < IP_HDR_MIN {
+            return Err(WireError::TruncatedIp(b.len()));
+        }
+        let version = b[0] >> 4;
+        if version != 4 {
+            return Err(WireError::BadVersion(version));
+        }
+        let ihl = b[0] & 0x0f;
+        let hdr_len = ihl as usize * 4;
+        if ihl < 5 || hdr_len > b.len() {
+            return Err(WireError::BadIhl(ihl));
+        }
+        let total_len = u16::from_be_bytes([b[2], b[3]]) as usize;
+        if total_len < hdr_len || total_len > b.len() {
+            return Err(WireError::BadTotalLen { total: total_len as u16, have: b.len() });
+        }
+        if !checksum::verify(&b[..hdr_len]) {
+            return Err(WireError::BadIpChecksum);
+        }
+        Ok(Ipv4View { b, hdr_len, total_len })
+    }
+
+    pub fn header_len(&self) -> usize {
+        self.hdr_len
+    }
+
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.b[4], self.b[5]])
+    }
+
+    /// Raw fragment field: bit 13 = MF, low 13 bits = offset / 8.
+    pub fn frag(&self) -> u16 {
+        u16::from_be_bytes([self.b[6], self.b[7]])
+    }
+
+    pub fn more_fragments(&self) -> bool {
+        self.frag() & 0x2000 != 0
+    }
+
+    pub fn frag_offset_bytes(&self) -> usize {
+        ((self.frag() & 0x1fff) as usize) * 8
+    }
+
+    pub fn ttl(&self) -> u8 {
+        self.b[8]
+    }
+
+    pub fn proto(&self) -> u8 {
+        self.b[9]
+    }
+
+    pub fn header_checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b[10], self.b[11]])
+    }
+
+    pub fn src(&self) -> u32 {
+        u32::from_be_bytes(self.b[12..16].try_into().unwrap())
+    }
+
+    pub fn dst(&self) -> u32 {
+        u32::from_be_bytes(self.b[16..20].try_into().unwrap())
+    }
+
+    /// Option bytes between the fixed header and the payload.
+    pub fn options(&self) -> &'a [u8] {
+        &self.b[IP_HDR_MIN..self.hdr_len]
+    }
+
+    /// The datagram payload, bounded by `total_len` — **not** by the
+    /// slice length, which may include Ethernet padding.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.b[self.hdr_len..self.total_len]
+    }
+}
+
+/// Mutable view of a valid IPv4 header.  Every setter patches the
+/// header checksum incrementally, so the view is always serializable
+/// as-is.
+pub struct Ipv4ViewMut<'a> {
+    b: &'a mut [u8],
+    hdr_len: usize,
+}
+
+impl<'a> Ipv4ViewMut<'a> {
+    /// Validates exactly like [`Ipv4View::parse`] — the incremental
+    /// checksum maintenance is only sound starting from a header whose
+    /// stored checksum is correct.
+    pub fn new(b: &'a mut [u8]) -> Result<Self, WireError> {
+        let hdr_len = Ipv4View::parse(b)?.header_len();
+        Ok(Ipv4ViewMut { b, hdr_len })
+    }
+
+    fn word(&self, at: usize) -> u16 {
+        u16::from_be_bytes([self.b[at], self.b[at + 1]])
+    }
+
+    /// Replace the 16-bit header word at byte offset `at`, patching
+    /// the checksum (RFC 1624).
+    fn set_word(&mut self, at: usize, new: u16) {
+        let old = self.word(at);
+        let ck = checksum::incr_update(self.word(10), old, new);
+        self.b[at..at + 2].copy_from_slice(&new.to_be_bytes());
+        self.b[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    pub fn set_ident(&mut self, ident: u16) {
+        self.set_word(4, ident);
+    }
+
+    pub fn set_frag(&mut self, frag: u16) {
+        self.set_word(6, frag);
+    }
+
+    pub fn set_ttl(&mut self, ttl: u8) {
+        let proto = self.b[9];
+        self.set_word(8, u16::from_be_bytes([ttl, proto]));
+    }
+
+    pub fn set_total_len(&mut self, total: u16) {
+        self.set_word(2, total);
+    }
+
+    pub fn set_src(&mut self, src: u32) {
+        let old = u32::from_be_bytes(self.b[12..16].try_into().unwrap());
+        let ck = checksum::incr_update32(self.word(10), old, src);
+        self.b[12..16].copy_from_slice(&src.to_be_bytes());
+        self.b[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    pub fn set_dst(&mut self, dst: u32) {
+        let old = u32::from_be_bytes(self.b[16..20].try_into().unwrap());
+        let ck = checksum::incr_update32(self.word(10), old, dst);
+        self.b[16..20].copy_from_slice(&dst.to_be_bytes());
+        self.b[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Reborrow read-only (e.g. to re-verify in tests).
+    pub fn as_view(&self) -> Ipv4View<'_> {
+        Ipv4View::parse(self.b).expect("mutable view kept header valid")
+    }
+
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.b[self.hdr_len..]
+    }
+}
+
+// ------------------------------------------------------------------ TCP
+
+/// Read-only view of a TCP header (options supported) and payload.
+///
+/// `parse` verifies the checksum over the pseudo-header and the whole
+/// segment, so the caller must pass the segment sliced to the IP
+/// payload bound (`Ipv4View::payload`), never the padded frame tail.
+#[derive(Clone, Copy)]
+pub struct TcpView<'a> {
+    b: &'a [u8],
+    data_off: usize,
+}
+
+impl<'a> TcpView<'a> {
+    pub fn parse(seg: &'a [u8], src_ip: u32, dst_ip: u32) -> Result<Self, WireError> {
+        if seg.len() < TCP_HDR_MIN {
+            return Err(WireError::TruncatedTcp(seg.len()));
+        }
+        let doff_words = seg[12] >> 4;
+        let data_off = doff_words as usize * 4;
+        if data_off < TCP_HDR_MIN || data_off > seg.len() {
+            return Err(WireError::BadDataOffset(doff_words));
+        }
+        if !checksum::verify_pseudo(src_ip, dst_ip, IPPROTO_TCP, seg) {
+            return Err(WireError::BadTcpChecksum);
+        }
+        Ok(TcpView { b: seg, data_off })
+    }
+
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.b[0], self.b[1]])
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.b[2], self.b[3]])
+    }
+
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.b[4..8].try_into().unwrap())
+    }
+
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes(self.b[8..12].try_into().unwrap())
+    }
+
+    pub fn data_offset(&self) -> usize {
+        self.data_off
+    }
+
+    pub fn flags(&self) -> u8 {
+        self.b[13]
+    }
+
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.b[14], self.b[15]])
+    }
+
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b[16], self.b[17]])
+    }
+
+    pub fn urgent(&self) -> u16 {
+        u16::from_be_bytes([self.b[18], self.b[19]])
+    }
+
+    /// Option bytes between the fixed header and the payload.
+    pub fn options(&self) -> &'a [u8] {
+        &self.b[TCP_HDR_MIN..self.data_off]
+    }
+
+    pub fn payload(&self) -> &'a [u8] {
+        &self.b[self.data_off..]
+    }
+}
+
+/// Mutable view of a valid TCP segment.  Setters patch the segment
+/// checksum incrementally; header-word edits leave the pseudo-header
+/// contribution unchanged, so plain RFC 1624 word replacement applies.
+pub struct TcpViewMut<'a> {
+    b: &'a mut [u8],
+}
+
+impl<'a> TcpViewMut<'a> {
+    pub fn new(seg: &'a mut [u8], src_ip: u32, dst_ip: u32) -> Result<Self, WireError> {
+        TcpView::parse(seg, src_ip, dst_ip)?;
+        Ok(TcpViewMut { b: seg })
+    }
+
+    fn word(&self, at: usize) -> u16 {
+        u16::from_be_bytes([self.b[at], self.b[at + 1]])
+    }
+
+    fn set_word(&mut self, at: usize, new: u16) {
+        let old = self.word(at);
+        let ck = checksum::incr_update(self.word(16), old, new);
+        self.b[at..at + 2].copy_from_slice(&new.to_be_bytes());
+        self.b[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    fn set_dword(&mut self, at: usize, new: u32) {
+        let old = u32::from_be_bytes(self.b[at..at + 4].try_into().unwrap());
+        let ck = checksum::incr_update32(self.word(16), old, new);
+        self.b[at..at + 4].copy_from_slice(&new.to_be_bytes());
+        self.b[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    pub fn set_src_port(&mut self, port: u16) {
+        self.set_word(0, port);
+    }
+
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.set_word(2, port);
+    }
+
+    pub fn set_seq(&mut self, seq: u32) {
+        self.set_dword(4, seq);
+    }
+
+    pub fn set_ack(&mut self, ack: u32) {
+        self.set_dword(8, ack);
+    }
+
+    pub fn set_window(&mut self, window: u16) {
+        self.set_word(14, window);
+    }
+
+    /// Reborrow read-only (checksum must still verify).
+    pub fn as_view(&self, src_ip: u32, dst_ip: u32) -> TcpView<'_> {
+        TcpView::parse(self.b, src_ip, dst_ip).expect("mutable view kept segment valid")
+    }
+}

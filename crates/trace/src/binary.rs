@@ -21,8 +21,10 @@ use crate::event::{ConfigRecord, PhaseRec, StreamRec, TraceEvent, MAX_PHASES};
 
 /// File magic: "Protocol-Latency TRace".
 pub const MAGIC: [u8; 4] = *b"PLTR";
-/// The format version this build writes and reads.
-pub const FORMAT_VERSION: u16 = 1;
+/// The format version this build writes and reads.  Version 2 added
+/// the wire-path fields (`wire_kind` + truncate/malform/fragment ppm)
+/// to the config record.
+pub const FORMAT_VERSION: u16 = 2;
 /// Upper bound on a single record's payload; anything larger is a
 /// corrupt length prefix, not a real record.
 pub const MAX_RECORD_LEN: u32 = 1 << 20;
@@ -82,6 +84,10 @@ fn payload(ev: &TraceEvent) -> (u8, Vec<u8>) {
             }
             buf.extend_from_slice(&c.seed.to_le_bytes());
             for v in [c.drop_ppm, c.corrupt_ppm, c.reorder_ppm, c.duplicate_ppm] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            buf.push(c.wire_kind);
+            for v in [c.truncate_ppm, c.malform_ppm, c.fragment_ppm] {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
             buf.push(c.policy_kind);
@@ -216,6 +222,10 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<ConfigRecord, TraceError> {
     let corrupt_ppm = c.u32(W)?;
     let reorder_ppm = c.u32(W)?;
     let duplicate_ppm = c.u32(W)?;
+    let wire_kind = c.u8(W)?;
+    let truncate_ppm = c.u32(W)?;
+    let malform_ppm = c.u32(W)?;
+    let fragment_ppm = c.u32(W)?;
     let policy_kind = c.u8(W)?;
     let policy_param = c.u32(W)?;
     let stream = c.stream(W)?;
@@ -249,6 +259,10 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<ConfigRecord, TraceError> {
         corrupt_ppm,
         reorder_ppm,
         duplicate_ppm,
+        wire_kind,
+        truncate_ppm,
+        malform_ppm,
+        fragment_ppm,
         policy_kind,
         policy_param,
         stream,

@@ -103,6 +103,12 @@ pub struct ConfigRecord {
     pub corrupt_ppm: u32,
     pub reorder_ppm: u32,
     pub duplicate_ppm: u32,
+    /// Wire-path code (see [`wire_name`]): which data plane served the
+    /// run — descriptor, zero-copy bytes, or the reference codec.
+    pub wire_kind: u8,
+    pub truncate_ppm: u32,
+    pub malform_ppm: u32,
+    pub fragment_ppm: u32,
     /// Demux cache policy code (see [`policy_name`]) plus its size
     /// parameter.
     pub policy_kind: u8,
@@ -161,6 +167,28 @@ pub fn stream_code(name: &str) -> Option<u8> {
     }
 }
 
+/// Stable wire-path name for the JSON codec.  Codes: 0 descriptor
+/// (synthetic 64-byte frames), 1 zero_copy (pooled buffers + byte
+/// codec), 2 reference (copy-and-materialize codec).
+pub fn wire_name(kind: u8) -> Option<&'static str> {
+    match kind {
+        0 => Some("descriptor"),
+        1 => Some("zero_copy"),
+        2 => Some("reference"),
+        _ => None,
+    }
+}
+
+/// Inverse of [`wire_name`].
+pub fn wire_code(name: &str) -> Option<u8> {
+    match name {
+        "descriptor" => Some(0),
+        "zero_copy" => Some(1),
+        "reference" => Some(2),
+        _ => None,
+    }
+}
+
 /// Stable policy-kind name for the JSON codec.  Codes: 0 one_entry,
 /// 1 direct_mapped (`param` = slots), 2 two_way_lru (`param` = sets),
 /// 3 fifo (`param` = slots), 4 random (`param` = slots).
@@ -202,8 +230,12 @@ mod tests {
         for k in 0..5u8 {
             assert_eq!(policy_code(policy_name(k).unwrap()), Some(k));
         }
+        for k in 0..3u8 {
+            assert_eq!(wire_code(wire_name(k).unwrap()), Some(k));
+        }
         assert_eq!(scenario_name(9), None);
         assert_eq!(stream_name(9), None);
         assert_eq!(policy_name(9), None);
+        assert_eq!(wire_name(9), None);
     }
 }

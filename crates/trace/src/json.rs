@@ -16,8 +16,8 @@ use netsim::Fate;
 use crate::binary::{Record, FORMAT_VERSION};
 use crate::error::TraceError;
 use crate::event::{
-    policy_code, policy_name, scenario_code, scenario_name, stream_code, stream_name,
-    ConfigRecord, PhaseRec, StreamRec, TraceEvent, MAX_PHASES,
+    policy_code, policy_name, scenario_code, scenario_name, stream_code, stream_name, wire_code,
+    wire_name, ConfigRecord, PhaseRec, StreamRec, TraceEvent, MAX_PHASES,
 };
 
 // ---------------------------------------------------------------- encode
@@ -78,6 +78,10 @@ fn config_line(c: &ConfigRecord) -> String {
     kv_num(&mut o, "corrupt_ppm", u64::from(c.corrupt_ppm));
     kv_num(&mut o, "reorder_ppm", u64::from(c.reorder_ppm));
     kv_num(&mut o, "duplicate_ppm", u64::from(c.duplicate_ppm));
+    kv_str(&mut o, "wire", wire_name(c.wire_kind).expect("wire path code"));
+    kv_num(&mut o, "truncate_ppm", u64::from(c.truncate_ppm));
+    kv_num(&mut o, "malform_ppm", u64::from(c.malform_ppm));
+    kv_num(&mut o, "fragment_ppm", u64::from(c.fragment_ppm));
     kv_str(&mut o, "policy", policy_name(c.policy_kind).expect("policy kind code"));
     kv_num(&mut o, "policy_param", u64::from(c.policy_param));
     stream_kvs(&mut o, "stream", &c.stream);
@@ -378,6 +382,8 @@ fn parse_stream(obj: &Obj, prefix: &str) -> Result<StreamRec, TraceError> {
 fn parse_config(obj: &Obj) -> Result<ConfigRecord, TraceError> {
     let scenario_kind = scenario_code(obj.str_("scenario", "scenario kind")?)
         .ok_or_else(|| obj.err("unknown scenario kind"))?;
+    let wire_kind =
+        wire_code(obj.str_("wire", "wire path")?).ok_or_else(|| obj.err("unknown wire path"))?;
     let policy_kind = policy_code(obj.str_("policy", "policy kind")?)
         .ok_or_else(|| obj.err("unknown policy kind"))?;
     let n_phases = obj.num32("phases", "phase count")?;
@@ -410,6 +416,10 @@ fn parse_config(obj: &Obj) -> Result<ConfigRecord, TraceError> {
         corrupt_ppm: obj.num32("corrupt_ppm", "corrupt_ppm")?,
         reorder_ppm: obj.num32("reorder_ppm", "reorder_ppm")?,
         duplicate_ppm: obj.num32("duplicate_ppm", "duplicate_ppm")?,
+        wire_kind,
+        truncate_ppm: obj.num32("truncate_ppm", "truncate_ppm")?,
+        malform_ppm: obj.num32("malform_ppm", "malform_ppm")?,
+        fragment_ppm: obj.num32("fragment_ppm", "fragment_ppm")?,
         policy_kind,
         policy_param: obj.num32("policy_param", "policy_param")?,
         stream: parse_stream(obj, "stream")?,

@@ -32,13 +32,15 @@ pub mod error;
 pub mod event;
 pub mod io;
 pub mod json;
+pub mod pcap;
 
 pub use binary::{FORMAT_VERSION, MAGIC, MAX_RECORD_LEN};
 pub use error::TraceError;
 pub use event::{
-    policy_code, policy_name, scenario_code, scenario_name, stream_code, stream_name,
-    ConfigRecord, PhaseRec, StreamRec, TraceEvent, VerdictRec, MAX_PHASES,
+    policy_code, policy_name, scenario_code, scenario_name, stream_code, stream_name, wire_code,
+    wire_name, ConfigRecord, PhaseRec, StreamRec, TraceEvent, VerdictRec, MAX_PHASES,
 };
+pub use pcap::{PcapError, PcapPacket, PcapSink, PcapSource, LINKTYPE_ETHERNET};
 pub use io::{
     decode, encode, fingerprint, read_events, write_events, Format, TraceReader, TraceWriter,
 };

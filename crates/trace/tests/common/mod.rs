@@ -43,6 +43,10 @@ pub fn gen_config(rng: &mut SplitMix64) -> ConfigRecord {
         corrupt_ppm: rng.below(100_000) as u32,
         reorder_ppm: rng.below(100_000) as u32,
         duplicate_ppm: rng.below(100_000) as u32,
+        wire_kind: rng.below(3) as u8,
+        truncate_ppm: rng.below(100_000) as u32,
+        malform_ppm: rng.below(100_000) as u32,
+        fragment_ppm: rng.below(100_000) as u32,
         policy_kind: rng.below(5) as u8,
         policy_param: rng.below(1 << 10) as u32,
         stream: gen_stream(rng),
@@ -65,7 +69,7 @@ pub fn gen_event(rng: &mut SplitMix64) -> TraceEvent {
         },
         1 => TraceEvent::Fate {
             lane: rng.below(16) as u32,
-            fate: Fate::from_code(rng.below(5) as u8).unwrap(),
+            fate: Fate::from_code(rng.below(8) as u8).unwrap(),
         },
         2 => TraceEvent::Rto {
             lane: rng.below(16) as u32,

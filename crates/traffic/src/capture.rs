@@ -43,6 +43,7 @@ use crate::adapt::{
 use crate::dispatch::run_dispatch_mode;
 use crate::policy::PolicyKind;
 use crate::runloop::{reference, TrafficConfig, TrafficReport, WorkerOut};
+use crate::wire::WirePath;
 use crate::service::Service;
 use crate::workload::{Phase, PhasePlan, Scenario, StreamKind};
 
@@ -335,6 +336,10 @@ pub fn config_to_record(cfg: &TrafficConfig) -> ConfigRecord {
         corrupt_ppm: cfg.corrupt_ppm,
         reorder_ppm: cfg.reorder_ppm,
         duplicate_ppm: cfg.duplicate_ppm,
+        wire_kind: cfg.wire.code(),
+        truncate_ppm: cfg.truncate_ppm,
+        malform_ppm: cfg.malform_ppm,
+        fragment_ppm: cfg.fragment_ppm,
         policy_kind,
         policy_param,
         stream: stream_to_rec(cfg.stream),
@@ -403,6 +408,11 @@ pub fn config_from_record(rec: &ConfigRecord) -> Result<TrafficConfig, TraceErro
         corrupt_ppm: rec.corrupt_ppm,
         reorder_ppm: rec.reorder_ppm,
         duplicate_ppm: rec.duplicate_ppm,
+        wire: WirePath::from_code(rec.wire_kind)
+            .ok_or_else(|| invalid(format!("unknown wire path code {}", rec.wire_kind)))?,
+        truncate_ppm: rec.truncate_ppm,
+        malform_ppm: rec.malform_ppm,
+        fragment_ppm: rec.fragment_ppm,
         policy,
         stream: stream_from_rec(&rec.stream)?,
         phases: if phases.is_empty() { PhasePlan::none() } else { PhasePlan::new(&phases) },

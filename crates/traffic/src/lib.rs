@@ -32,6 +32,12 @@
 //! * [`runloop`] — the lane (logical worker) serving pipeline and the
 //!   seed per-lane FIFO execution (`runloop::reference`); deterministic
 //!   for a fixed seed and lane count.
+//! * [`wire`] — the wire data plane: in wire mode every send is
+//!   encoded to real Ethernet/IPv4/TCP bytes in a recycled pooled
+//!   buffer (`protocols::wire` + `netsim::buf`), the fault injector
+//!   operates on those bytes, and survivors are demuxed back *from the
+//!   bytes* — bit-identical latency reports to descriptor mode, real
+//!   encode/parse cost on the wall clock.
 //! * [`dispatch`] — the default execution: a lock-free dispatch plane
 //!   (generator→lane SPSC rings, MPSC injectors, lane work stealing)
 //!   that runs the identical lane code bit-identically to the
@@ -45,6 +51,7 @@ pub mod policy;
 pub mod runloop;
 pub mod service;
 pub mod session;
+pub mod wire;
 pub mod workload;
 
 pub use adapt::{
@@ -67,6 +74,7 @@ pub use runloop::{
 pub use policy::{cache_slot, DemuxCache, PolicyKind};
 pub use service::{detect_cycle, FixedService, ReplayService, Service, ServiceStats, MAX_PERIOD};
 pub use session::{buckets_for_capacity, conflict_cycle, DemuxKey, SessionTable, TableStats};
+pub use wire::{WirePath, WireStats};
 pub use workload::{
     exp_gap_ns, Phase, PhasePlan, PhasedStream, RefStream, Scenario, StreamKind, Zipf, MAX_PHASES,
 };

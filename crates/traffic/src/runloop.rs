@@ -64,6 +64,7 @@ use crate::hist::LatencyHistogram;
 use crate::policy::PolicyKind;
 use crate::service::{Service, ServiceStats};
 use crate::session::{buckets_for_capacity, conflict_cycle, DemuxKey, SessionTable, TableStats};
+use crate::wire::{WireLane, WirePath, WireStats};
 use crate::workload::{exp_gap_ns, PhasePlan, PhasedStream, RefStream, Scenario, StreamKind, Zipf};
 
 /// Demux cost of a one-entry-cache hit (the paper's inlined fast-path
@@ -114,6 +115,19 @@ pub struct TrafficConfig {
     pub corrupt_ppm: u32,
     pub reorder_ppm: u32,
     pub duplicate_ppm: u32,
+    /// Wire data-plane representation: descriptor-only (seed
+    /// behaviour), zero-copy pooled bytes, or the copy-heavy reference
+    /// codec.  Must not change a bit of the latency report — only the
+    /// `wire` counters and the real (wall-clock) per-message cost.
+    pub wire: WirePath,
+    /// Wire-shape fault probabilities, parts per million: frames cut
+    /// short, headers mangled, unexpected IP fragments.  The fates are
+    /// drawn in every mode (so paths stay bit-comparable); wire modes
+    /// additionally re-encode the broken variant and push it through
+    /// the real parser.
+    pub truncate_ppm: u32,
+    pub malform_ppm: u32,
+    pub fragment_ppm: u32,
     /// Per-shard demux address-cache policy.
     pub policy: PolicyKind,
     /// Locality structure of the per-lane reference stream.
@@ -143,6 +157,10 @@ impl TrafficConfig {
             corrupt_ppm: 0,
             reorder_ppm: 0,
             duplicate_ppm: 0,
+            wire: WirePath::Descriptor,
+            truncate_ppm: 0,
+            malform_ppm: 0,
+            fragment_ppm: 0,
             policy: PolicyKind::OneEntry,
             stream: StreamKind::Zipf,
             phases: PhasePlan::none(),
@@ -225,6 +243,20 @@ impl TrafficConfig {
         self
     }
 
+    /// Select the wire data-plane representation.
+    pub fn with_wire(mut self, wire: WirePath) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// Set the three wire-shape fault probabilities, parts per million.
+    pub fn with_wire_faults(mut self, truncate: u32, malform: u32, fragment: u32) -> Self {
+        self.truncate_ppm = truncate;
+        self.malform_ppm = malform;
+        self.fragment_ppm = fragment;
+        self
+    }
+
     /// Sessions resident per shard under this configuration.
     pub fn effective_shard_capacity(&self) -> usize {
         if self.shard_budget_bytes > 0 {
@@ -259,6 +291,8 @@ pub struct TrafficReport {
     pub faults: FaultStats,
     pub table: TableStats,
     pub service: ServiceStats,
+    /// Byte-path counters (all zero in descriptor mode).
+    pub wire: WireStats,
     /// Per-phase latency histograms (all recorded completions, keyed by
     /// the arrival's *born* instant).  Empty unless the configuration
     /// carries a [`PhasePlan`].
@@ -289,6 +323,7 @@ impl TrafficReport {
             faults: FaultStats::default(),
             table: TableStats::default(),
             service: ServiceStats::default(),
+            wire: WireStats::default(),
             phase_hists: Vec::new(),
             phase_steady: Vec::new(),
         };
@@ -301,6 +336,7 @@ impl TrafficReport {
             r.faults.merge(&o.faults);
             r.table.merge(&o.table);
             r.service.merge(&o.service);
+            r.wire.merge(&o.wire);
             merge_phase_hists(&mut r.phase_hists, &o.phase_full);
             merge_phase_hists(&mut r.phase_steady, &o.phase_steady);
         }
@@ -330,6 +366,7 @@ pub(crate) struct WorkerOut {
     pub(crate) faults: FaultStats,
     pub(crate) table: TableStats,
     pub(crate) service: ServiceStats,
+    pub(crate) wire: WireStats,
     pub(crate) phase_full: Vec<LatencyHistogram>,
     pub(crate) phase_steady: Vec<LatencyHistogram>,
     /// The lane's recorded decisions (empty unless recording).
@@ -408,6 +445,8 @@ pub(crate) struct Worker<S> {
     pub(crate) stream: PhasedStream,
     pub(crate) rng: SplitMix64,
     inj: FaultInjector,
+    /// Wire data-plane state (inert in descriptor mode).
+    wire: WireLane,
     hist: LatencyHistogram,
     /// Phase bookkeeping — all empty without a [`PhasePlan`], so the
     /// unphased hot path pays one `is_empty` branch per completion.
@@ -447,7 +486,10 @@ impl<S: Service> Worker<S> {
             inj_seed,
         )
         .with_reorder(cfg.reorder_ppm as f64 / 1e6)
-        .with_duplicate(cfg.duplicate_ppm as f64 / 1e6);
+        .with_duplicate(cfg.duplicate_ppm as f64 / 1e6)
+        .with_truncate(cfg.truncate_ppm as f64 / 1e6)
+        .with_malform(cfg.malform_ppm as f64 / 1e6)
+        .with_fragment(cfg.fragment_ppm as f64 / 1e6);
         let (closed_loop, think_ns) = match cfg.scenario {
             Scenario::ClosedLoop { think_ns, .. } => (true, think_ns),
             Scenario::OpenLoop { .. } => (false, 0),
@@ -475,6 +517,7 @@ impl<S: Service> Worker<S> {
             stream: lane_stream(cfg, worker_idx, zipfs),
             rng,
             inj,
+            wire: WireLane::new(cfg.wire, worker_idx, cfg.workers),
             hist: LatencyHistogram::new(),
             phase_starts,
             phase_settled,
@@ -552,6 +595,10 @@ impl<S: Service> Worker<S> {
         // The client arms its retransmission timer the moment it sends;
         // whatever reaches the server in time supersedes it.
         let rto = eng.schedule_cancellable(t + RTO_NS, Ev::Rto { session, born });
+        // Wire mode: the message exists as real TCP/IP bytes in a
+        // pooled buffer before it meets the injector (no-op otherwise).
+        let gs = self.global_session(session);
+        self.wire.encode(gs, session, born);
         let fate = match &mut self.tap {
             // Replay substitutes the recorded fate and updates the
             // injector's counters without consuming its RNG.
@@ -561,16 +608,27 @@ impl<S: Service> Worker<S> {
                 f
             }
             tap => {
-                // The injector only needs frame bytes for corruption; a
-                // minimum Ethernet frame stands in for the request.
-                let mut frame = [0u8; 64];
-                let f = self.inj.process(&mut frame);
+                let f = match self.wire.frame_mut() {
+                    // Wire mode: the injector scribbles on the real
+                    // frame.  The draw sequence is identical either way
+                    // (one draw per enabled fate; the corrupt index is
+                    // a single length-independent draw).
+                    Some(frame) => self.inj.process(frame),
+                    // The injector only needs frame bytes for
+                    // corruption; a minimum Ethernet frame stands in
+                    // for the request.
+                    None => self.inj.process(&mut [0u8; 64]),
+                };
                 if let Tap::Record(rec) = tap {
                     rec.fates.push(f);
                 }
                 f
             }
         };
+        // Wire mode: what arrives is whatever the byte-level demux
+        // parses back out of the frame — the session rank is re-derived
+        // from the wire 4-tuple, not trusted from the generator.
+        let session = self.wire.resolve(fate).unwrap_or(session);
         match fate {
             Fate::Delivered => {
                 eng.cancel(rto);
@@ -581,6 +639,14 @@ impl<S: Service> Worker<S> {
                 // discarded): the armed timer fires at t + RTO and *is*
                 // the retransmission — the full wait shows up in the
                 // recorded latency.
+                self.retransmits += 1;
+            }
+            Fate::Truncated | Fate::Malformed | Fate::Fragmented => {
+                // The frame arrives undecodable — cut short, mangled
+                // header, or a fragment this plane cannot reassemble.
+                // The receiver discards it exactly like an FCS failure
+                // (the wire path has already counted the typed decode
+                // error); the armed timer is the retransmission.
                 self.retransmits += 1;
             }
             Fate::Reordered => {
@@ -648,6 +714,7 @@ impl<S: Service> Worker<S> {
         WorkerOut {
             table: self.table.stats(),
             service: self.svc.stats(),
+            wire: self.wire.finish(),
             hist: self.hist,
             completed: self.completed,
             end_ns: self.end_ns,

@@ -30,9 +30,14 @@
 # executor counts and through the engine's memoized replay stage, with
 # adaptive swap verdicts re-derived exactly — round-trips both trace
 # codecs through files, and gates recording overhead at 10% over live
-# serving), then verifies the JSON artifacts contain every key
-# downstream tooling reads.
-# Reduced-size capacity, demux, adapt and trace sweeps also run twice
+# serving) and `wire_bench` (which asserts the zero-copy pooled codec
+# encodes+demuxes real TCP/IP frames >= 2x faster than the
+# copy-and-materialize reference, that the buffer pool never allocates
+# at steady state, that serving through bytes is bit-identical to the
+# descriptor path on both planes, and that the checked-in pcap
+# round-trips byte-identically), then verifies the JSON artifacts
+# contain every key downstream tooling reads.
+# Reduced-size capacity, demux, adapt, trace and wire sweeps also run twice
 # into scratch files and the outputs are byte-compared — the
 # cross-process bit-reproducibility probes.  Pass --reuse to validate
 # existing JSON files without re-running the benchmarks (the two-run
@@ -66,6 +71,9 @@ if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_adapt.json ]; then
 fi
 if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_trace.json ]; then
     cargo run -q --release -p protolat-bench --bin trace_bench
+fi
+if [ "${1:-}" != "--reuse" ] || [ ! -f BENCH_wire.json ]; then
+    cargo run -q --release -p protolat-bench --bin wire_bench
 fi
 
 if [ "${1:-}" != "--reuse" ]; then
@@ -104,6 +112,14 @@ if [ "${1:-}" != "--reuse" ]; then
         cargo run -q --release -p protolat-bench --bin trace_bench >/dev/null
     cmp -s "$tmpdir/trc_a.json" "$tmpdir/trc_b.json" || {
         echo "bench_smoke: trace smoke run not bit-reproducible across runs" >&2
+        exit 1
+    }
+    WIRE_SMOKE=1 BENCH_WIRE_PATH="$tmpdir/wir_a.json" \
+        cargo run -q --release -p protolat-bench --bin wire_bench >/dev/null
+    WIRE_SMOKE=1 BENCH_WIRE_PATH="$tmpdir/wir_b.json" \
+        cargo run -q --release -p protolat-bench --bin wire_bench >/dev/null
+    cmp -s "$tmpdir/wir_a.json" "$tmpdir/wir_b.json" || {
+        echo "bench_smoke: wire smoke run not bit-reproducible across runs" >&2
         exit 1
     }
 fi
@@ -148,7 +164,8 @@ for stack in tcpip rpc; do
                       cache_hit_rate miss_rate evictions memo_hit_rate \
                       memo_invalidations memo_period_p1 memo_period_p2 \
                       memo_period_p3 memo_period_p4 drops corruptions \
-                      reorders duplicates rto_fires; do
+                      reorders duplicates rto_fires truncations malforms \
+                      fragments bad_fcs; do
             if ! grep -q "\"${stack}_${ver}_${metric}\"" BENCH_traffic.json; then
                 echo "bench_smoke: BENCH_traffic.json missing key \"${stack}_${ver}_${metric}\"" >&2
                 missing=1
@@ -249,6 +266,25 @@ if grep -q '"smoke": 0' BENCH_trace.json; then
     for key in live_ms record_ms record_overhead_pct; do
         if ! grep -q "\"$key\"" BENCH_trace.json; then
             echo "bench_smoke: BENCH_trace.json missing key \"$key\"" >&2
+            missing=1
+        fi
+    done
+fi
+for key in bench smoke packets rounds workers messages_per_worker \
+           frames_encoded frames_demuxed payload_bytes bad_fcs truncated \
+           malformed fragmented pool_allocs pool_recycled pool_grows \
+           pool_high_water pool_recycle_rate wire_bit_identical \
+           pcap_frames pcap_roundtrip_ok; do
+    if ! grep -q "\"$key\"" BENCH_wire.json; then
+        echo "bench_smoke: BENCH_wire.json missing key \"$key\"" >&2
+        missing=1
+    fi
+done
+# The codec timing fields are present only in full (non-smoke) artifacts.
+if grep -q '"smoke": 0' BENCH_wire.json; then
+    for key in zero_copy_ns_per_pkt reference_ns_per_pkt codec_speedup; do
+        if ! grep -q "\"$key\"" BENCH_wire.json; then
+            echo "bench_smoke: BENCH_wire.json missing key \"$key\"" >&2
             missing=1
         fi
     done
@@ -444,4 +480,29 @@ if grep -q '"smoke": 0' BENCH_trace.json; then
     }
 fi
 
-echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau, demux winner ${winner_policy} ${winner_rate} vs seed ${seed_rate} on conflict, adapt worst phase ratio ${max_ratio} <= 1.05, trace replay bit-identical with ${trace_swaps} verdicts matched and record overhead ${trace_overhead}% <= 10%)"
+grep -q '"wire_bit_identical": true' BENCH_wire.json || {
+    echo "bench_smoke: serving through real bytes perturbed the simulation" >&2
+    exit 1
+}
+grep -q '"pcap_roundtrip_ok": 1' BENCH_wire.json || {
+    echo "bench_smoke: tcpip_roundtrip.pcap did not re-emit byte-identically" >&2
+    exit 1
+}
+grep -q '"pool_grows": 0' BENCH_wire.json || {
+    echo "bench_smoke: packet-buffer pool allocated at steady state" >&2
+    exit 1
+}
+wire_speedup="n/a"
+if grep -q '"smoke": 0' BENCH_wire.json; then
+    wire_speedup=$(sed -n 's/.*"codec_speedup": \([0-9.]*\).*/\1/p' BENCH_wire.json)
+    if [ -z "$wire_speedup" ]; then
+        echo "bench_smoke: could not parse codec_speedup" >&2
+        exit 1
+    fi
+    awk -v s="$wire_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+        echo "bench_smoke: zero-copy codec speedup ${wire_speedup}x below the 2x floor" >&2
+        exit 1
+    }
+fi
+
+echo "bench_smoke: OK (memoized sweep ${speedup}x, fused ${fused}ms <= materialized ${mater}ms, replay hot loop ${replay_speedup}x, layout placer ${layout_speedup}x vs reference, traffic workers ${worker_speedup}x, scheduler ${engine_speedup}x micro / ${engine_e2e}x e2e, capacity best ${best_capacity} msg/s >= 2x seed plateau, demux winner ${winner_policy} ${winner_rate} vs seed ${seed_rate} on conflict, adapt worst phase ratio ${max_ratio} <= 1.05, trace replay bit-identical with ${trace_swaps} verdicts matched and record overhead ${trace_overhead}% <= 10%, wire codec ${wire_speedup}x zero-copy vs reference)"
